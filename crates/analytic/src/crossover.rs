@@ -1,0 +1,56 @@
+//! Crossover finding: the `k` beyond which recomputation beats
+//! incremental maintenance (§6.2–6.3's headline numbers).
+
+/// Find the smallest `k` in `1..=max_k` where `cost_a(k) >= cost_b(k)`,
+/// i.e. where curve `a` stops being cheaper. Returns `None` if `a` stays
+/// cheaper throughout.
+pub fn crossover_k(
+    max_k: u64,
+    cost_a: impl Fn(u64) -> f64,
+    cost_b: impl Fn(u64) -> f64,
+) -> Option<u64> {
+    (1..=max_k).find(|&k| cost_a(k) >= cost_b(k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bytes, io};
+    use eca_workload::Params;
+
+    #[test]
+    fn headline_crossovers() {
+        let p = Params::default();
+        // Bytes: ECA-best vs RV-best crosses at k = C = 100.
+        let k = crossover_k(200, |k| bytes::b_eca_best(&p, k), |_| bytes::b_rv_best(&p));
+        assert_eq!(k, Some(100));
+        // Bytes: ECA-worst crosses at 30 (paper: "30 or more updates").
+        let k = crossover_k(200, |k| bytes::b_eca_worst(&p, k), |_| bytes::b_rv_best(&p));
+        assert_eq!(k, Some(30));
+        // IO Scenario 1: k = 3.
+        let k = crossover_k(
+            50,
+            |k| io::scenario1::eca_best(&p, k) as f64,
+            |_| io::scenario1::rv_best(&p) as f64,
+        );
+        assert_eq!(k, Some(3));
+        // IO Scenario 2: worst case crosses at 6, best case at 9.
+        let k = crossover_k(
+            50,
+            |k| io::scenario2::eca_worst(&p, k),
+            |_| io::scenario2::rv_best(&p) as f64,
+        );
+        assert_eq!(k, Some(6));
+        let k = crossover_k(
+            50,
+            |k| io::scenario2::eca_best(&p, k) as f64,
+            |_| io::scenario2::rv_best(&p) as f64,
+        );
+        assert_eq!(k, Some(9));
+    }
+
+    #[test]
+    fn no_crossover_returns_none() {
+        assert_eq!(crossover_k(10, |_| 0.0, |_| 1.0), None);
+    }
+}

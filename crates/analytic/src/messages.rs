@@ -1,0 +1,42 @@
+//! §6.1: message counts.
+
+/// `M_RV = 2⌈k/s⌉` — RV sends one query and receives one answer every `s`
+/// updates.
+pub fn m_rv(k: u64, s: u64) -> u64 {
+    assert!(s >= 1, "recompute period must be >= 1");
+    2 * k.div_ceil(s)
+}
+
+/// `M_ECA = 2k` — ECA always sends one query and receives one answer per
+/// update.
+pub fn m_eca(k: u64) -> u64 {
+    2 * k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rv_bounds_from_the_paper() {
+        // "RV generates at least 2 messages (s = k) and at most 2k (s=1)."
+        let k = 17;
+        assert_eq!(m_rv(k, k), 2);
+        assert_eq!(m_rv(k, 1), 2 * k);
+        // Ceiling behaviour.
+        assert_eq!(m_rv(5, 2), 6);
+    }
+
+    #[test]
+    fn eca_is_always_2k() {
+        for k in [0, 1, 10, 120] {
+            assert_eq!(m_eca(k), 2 * k);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "period")]
+    fn zero_period_panics() {
+        m_rv(3, 0);
+    }
+}

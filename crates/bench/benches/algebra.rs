@@ -1,0 +1,90 @@
+//! Substrate microbenchmarks: signed-bag algebra, SPJ evaluation, and the
+//! physical engine's access paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eca_core::ViewDef;
+use eca_relational::{SignedBag, Tuple, Update};
+use eca_storage::Scenario;
+use eca_wire::{Message, WireQuery};
+use eca_workload::{Example6, Params};
+
+fn calibrated_db() -> (ViewDef, eca_core::BaseDb) {
+    let w = Example6::new(Params::default(), 9);
+    let view = Example6::view().expect("static view");
+    let mut db = eca_core::BaseDb::for_view(&view);
+    for (rel, schema) in Example6::schemas().iter().enumerate() {
+        for t in w.base_tuples(rel) {
+            db.insert(schema.relation(), t);
+        }
+    }
+    (view, db)
+}
+
+fn bench_signed_bags(c: &mut Criterion) {
+    let mut group = c.benchmark_group("signed_bag");
+    let a: SignedBag = (0..1000).map(|i| Tuple::ints([i, i % 7])).collect();
+    let b: SignedBag = (500..1500).map(|i| Tuple::ints([i, i % 5])).collect();
+    group.bench_function("plus_1k", |bch| bch.iter(|| a.plus(&b)));
+    group.bench_function("minus_1k", |bch| bch.iter(|| a.minus(&b)));
+    group.bench_function("negated_1k", |bch| bch.iter(|| a.negated()));
+    group.finish();
+}
+
+fn bench_spj(c: &mut Criterion) {
+    let (view, db) = calibrated_db();
+    let mut group = c.benchmark_group("spj_eval");
+    group.bench_function("full_view_c100", |b| b.iter(|| view.eval(&db).unwrap()));
+    let q = view
+        .substitute(&Update::insert("r2", Tuple::ints([3, 7])))
+        .unwrap();
+    group.bench_function("bound_term_c100", |b| b.iter(|| q.eval(&db).unwrap()));
+    group.finish();
+}
+
+fn bench_physical_engine(c: &mut Criterion) {
+    let w = Example6::new(Params::default(), 9);
+    let view = Example6::view().expect("static view");
+    let mut group = c.benchmark_group("physical_engine");
+    for (name, scenario) in [
+        ("scenario1", Scenario::Indexed),
+        ("scenario2", Scenario::nested_loop_default()),
+    ] {
+        let mut source = w.build_source(scenario).expect("build");
+        let full = WireQuery::from_query(&view.as_query());
+        group.bench_function(BenchmarkId::new("recompute", name), |b| {
+            b.iter(|| source.answer(&full).unwrap())
+        });
+        let bound = WireQuery::from_query(
+            &view
+                .substitute(&Update::insert("r1", Tuple::ints([9, 3])))
+                .unwrap(),
+        );
+        group.bench_function(BenchmarkId::new("bound_probe", name), |b| {
+            b.iter(|| source.answer(&bound).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_wire_codec(c: &mut Criterion) {
+    let (view, db) = calibrated_db();
+    let answer = view.eval(&db).unwrap();
+    let msg = Message::QueryAnswer {
+        id: eca_core::QueryId(1),
+        answer,
+    };
+    let encoded = msg.encode();
+    let mut group = c.benchmark_group("wire_codec");
+    group.bench_function("encode_answer", |b| b.iter(|| msg.encode()));
+    group.bench_function("decode_answer", |b| {
+        b.iter(|| Message::decode(encoded.clone()).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_signed_bags, bench_spj, bench_physical_engine, bench_wire_codec
+}
+criterion_main!(benches);

@@ -1,0 +1,205 @@
+//! The basic incremental view maintenance algorithm (paper Alg. 5.1),
+//! adapted from \[BLT86\] to the warehousing environment.
+//!
+//! On update `U_i` the warehouse sends `Q_i = V⟨U_i⟩`; on answer `A_i` it
+//! applies `MV ← MV + A_i`. Correct in a centralized setting, but in the
+//! decoupled warehouse environment queries are evaluated on *later* source
+//! states, so this algorithm is neither convergent nor weakly consistent
+//! (paper Examples 2 and 3). It is implemented as the anomalous baseline.
+
+use eca_relational::{SignedBag, Update};
+
+use crate::error::CoreError;
+use crate::expr::QueryId;
+use crate::maintainer::{OutboundQuery, QueryIdGen, ViewMaintainer};
+use crate::view::ViewDef;
+
+/// The anomalous baseline maintainer.
+pub struct Basic {
+    view: ViewDef,
+    mv: SignedBag,
+    ids: QueryIdGen,
+    pending: std::collections::BTreeSet<QueryId>,
+}
+
+impl Basic {
+    /// Create with `initial` as the starting materialized state.
+    pub fn new(view: ViewDef, initial: SignedBag) -> Self {
+        Basic {
+            view,
+            mv: initial,
+            ids: QueryIdGen::new(),
+            pending: Default::default(),
+        }
+    }
+}
+
+impl ViewMaintainer for Basic {
+    fn algorithm(&self) -> &'static str {
+        "Basic"
+    }
+
+    fn view(&self) -> &ViewDef {
+        &self.view
+    }
+
+    fn materialized(&self) -> &SignedBag {
+        &self.mv
+    }
+
+    fn on_update(&mut self, update: &Update) -> Result<Vec<OutboundQuery>, CoreError> {
+        if !self.view.involves(update) {
+            return Ok(Vec::new());
+        }
+        let query = self.view.substitute(update)?;
+        let id = self.ids.fresh();
+        self.pending.insert(id);
+        Ok(vec![OutboundQuery { id, query }])
+    }
+
+    fn on_answer(
+        &mut self,
+        id: QueryId,
+        answer: SignedBag,
+    ) -> Result<Vec<OutboundQuery>, CoreError> {
+        if !self.pending.remove(&id) {
+            return Err(CoreError::UnknownQuery { id: id.0 });
+        }
+        self.mv.merge(&answer);
+        Ok(Vec::new())
+    }
+
+    fn is_quiescent(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basedb::BaseDb;
+    use eca_relational::{Predicate, Schema, Tuple};
+
+    fn view2() -> ViewDef {
+        ViewDef::new(
+            "V",
+            vec![
+                Schema::new("r1", &["W", "X"]),
+                Schema::new("r2", &["X", "Y"]),
+            ],
+            Predicate::col_eq(1, 2),
+            vec![0],
+        )
+        .unwrap()
+    }
+
+    /// Paper Example 1: low update rate — the basic algorithm is correct.
+    #[test]
+    fn example_1_correct_when_updates_are_spaced() {
+        let v = view2();
+        let mut db = BaseDb::for_view(&v);
+        db.insert("r1", Tuple::ints([1, 2]));
+        db.insert("r2", Tuple::ints([2, 4]));
+        let mut alg = Basic::new(v.clone(), v.eval(&db).unwrap());
+
+        let u1 = Update::insert("r2", Tuple::ints([2, 3]));
+        db.apply(&u1);
+        let qs = alg.on_update(&u1).unwrap();
+        assert_eq!(qs.len(), 1);
+        let a1 = qs[0].query.eval(&db).unwrap();
+        alg.on_answer(qs[0].id, a1).unwrap();
+
+        // MV = ([1],[1]) with duplicate retention.
+        assert_eq!(alg.materialized().count(&Tuple::ints([1])), 2);
+        assert!(alg.is_quiescent());
+        assert_eq!(*alg.materialized(), v.eval(&db).unwrap());
+    }
+
+    /// Paper Example 2: the insert anomaly — final view has a spurious
+    /// duplicate [4].
+    #[test]
+    fn example_2_insert_anomaly() {
+        let v = view2();
+        let mut db = BaseDb::for_view(&v);
+        db.insert("r1", Tuple::ints([1, 2]));
+        let mut alg = Basic::new(v.clone(), SignedBag::new());
+
+        let u1 = Update::insert("r2", Tuple::ints([2, 3]));
+        let u2 = Update::insert("r1", Tuple::ints([4, 2]));
+
+        // Both updates execute at the source before either query arrives.
+        db.apply(&u1);
+        let q1 = alg.on_update(&u1).unwrap().remove(0);
+        db.apply(&u2);
+        let q2 = alg.on_update(&u2).unwrap().remove(0);
+
+        let a1 = q1.query.eval(&db).unwrap();
+        alg.on_answer(q1.id, a1).unwrap();
+        let a2 = q2.query.eval(&db).unwrap();
+        alg.on_answer(q2.id, a2).unwrap();
+
+        // Anomaly: MV = ([1],[4],[4]) although V = ([1],[4]).
+        assert_eq!(alg.materialized().count(&Tuple::ints([4])), 2);
+        assert_ne!(*alg.materialized(), v.eval(&db).unwrap());
+    }
+
+    /// Paper Example 3: the deletion anomaly — deletions are missed.
+    #[test]
+    fn example_3_delete_anomaly() {
+        // V = π_{W,Y}(r1 ⋈ r2)
+        let v = ViewDef::new(
+            "V",
+            vec![
+                Schema::new("r1", &["W", "X"]),
+                Schema::new("r2", &["X", "Y"]),
+            ],
+            Predicate::col_eq(1, 2),
+            vec![0, 3],
+        )
+        .unwrap();
+        let mut db = BaseDb::for_view(&v);
+        db.insert("r1", Tuple::ints([1, 2]));
+        db.insert("r2", Tuple::ints([2, 3]));
+        let mut alg = Basic::new(v.clone(), v.eval(&db).unwrap());
+        assert_eq!(alg.materialized().count(&Tuple::ints([1, 3])), 1);
+
+        let u1 = Update::delete("r1", Tuple::ints([1, 2]));
+        let u2 = Update::delete("r2", Tuple::ints([2, 3]));
+        db.apply(&u1);
+        let q1 = alg.on_update(&u1).unwrap().remove(0);
+        db.apply(&u2);
+        let q2 = alg.on_update(&u2).unwrap().remove(0);
+
+        // Both queries see empty relations → empty answers.
+        let a1 = q1.query.eval(&db).unwrap();
+        assert!(a1.is_empty());
+        alg.on_answer(q1.id, a1).unwrap();
+        let a2 = q2.query.eval(&db).unwrap();
+        alg.on_answer(q2.id, a2).unwrap();
+
+        // Anomaly: the view still contains [1,3] though it should be empty.
+        assert_eq!(alg.materialized().count(&Tuple::ints([1, 3])), 1);
+        assert!(v.eval(&db).unwrap().is_empty());
+    }
+
+    #[test]
+    fn irrelevant_updates_ignored() {
+        let v = view2();
+        let mut alg = Basic::new(v, SignedBag::new());
+        assert!(alg
+            .on_update(&Update::insert("other", Tuple::ints([1])))
+            .unwrap()
+            .is_empty());
+        assert!(alg.is_quiescent());
+    }
+
+    #[test]
+    fn unknown_answer_rejected() {
+        let v = view2();
+        let mut alg = Basic::new(v, SignedBag::new());
+        assert!(matches!(
+            alg.on_answer(QueryId(99), SignedBag::new()),
+            Err(CoreError::UnknownQuery { id: 99 })
+        ));
+    }
+}

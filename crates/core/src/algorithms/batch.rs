@@ -1,0 +1,343 @@
+//! Batch ECA (paper §7, future work: *"how ECA can be extended to handle
+//! a set of updates at once … since in practice many source updates will
+//! be 'batched', this extension should result in a very useful
+//! performance enhancement"*).
+//!
+//! Batch ECA buffers update notifications and, every `batch_size`
+//! updates, ships **one** query that is the sum of the per-update ECA
+//! queries:
+//!
+//! ```text
+//! q_i       = V⟨U_i⟩ − Σ_{Q ∈ UQS(at U_i)} Q⟨U_i⟩ − Σ_{l<i in batch} q_l⟨U_i⟩
+//! Q_batch   = Σ_i q_i            (one message, one answer)
+//! ```
+//!
+//! Each `q_i` is exactly the query eager ECA would have sent, including
+//! compensation against both genuinely pending queries and earlier
+//! batch-mates (whose sub-queries are evaluated at the same, later,
+//! source state). Summing them is sound because answers are additive and
+//! ECA installs `COLLECT` only at `UQS = ∅`; the message count drops from
+//! `2k` to `2⌈k/n⌉`.
+//!
+//! Like RV with period `s`, convergence at the end of a run requires the
+//! update count to be a multiple of `batch_size` (or an explicit
+//! [`BatchEca::pending_batch_len`]-guided flush by the driver); a partial
+//! trailing batch is buffered, not lost.
+
+use std::collections::BTreeMap;
+
+use eca_relational::{SignedBag, Update};
+
+use crate::error::CoreError;
+use crate::expr::{Query, QueryId};
+use crate::maintainer::{OutboundQuery, QueryIdGen, ViewMaintainer};
+use crate::view::ViewDef;
+
+/// ECA with update batching.
+pub struct BatchEca {
+    view: ViewDef,
+    mv: SignedBag,
+    collect: SignedBag,
+    uqs: BTreeMap<QueryId, Query>,
+    ids: QueryIdGen,
+    batch_size: usize,
+    /// Per-update queries accumulated for the current batch.
+    batch: Vec<Query>,
+}
+
+impl BatchEca {
+    /// Create with `initial = V[ss0]`, shipping one query per
+    /// `batch_size` updates. `batch_size = 1` degenerates to ECA with the
+    /// Appendix-D.2 local-evaluation refinement.
+    ///
+    /// # Errors
+    /// [`CoreError::InvalidRecomputePeriod`] when `batch_size == 0`.
+    pub fn new(view: ViewDef, initial: SignedBag, batch_size: usize) -> Result<Self, CoreError> {
+        if batch_size == 0 {
+            return Err(CoreError::InvalidRecomputePeriod { period: 0 });
+        }
+        Ok(BatchEca {
+            view,
+            mv: initial,
+            collect: SignedBag::new(),
+            uqs: BTreeMap::new(),
+            ids: QueryIdGen::new(),
+            batch_size,
+            batch: Vec::new(),
+        })
+    }
+
+    /// Updates buffered toward the next batch flush.
+    pub fn pending_batch_len(&self) -> usize {
+        self.batch.len()
+    }
+
+    /// Flush the current (possibly partial) batch immediately. The driver
+    /// can call this at the end of an update stream that is not a
+    /// multiple of the batch size.
+    ///
+    /// # Errors
+    /// Propagates evaluation errors from local terms.
+    pub fn flush(&mut self) -> Result<Vec<OutboundQuery>, CoreError> {
+        if self.batch.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut terms = Vec::new();
+        for q in self.batch.drain(..) {
+            terms.extend(q.terms().iter().cloned());
+        }
+        // Appendix D.2: fully-bound terms never need the source.
+        let (local, remote): (Vec<_>, Vec<_>) =
+            terms.into_iter().partition(|t| t.unbound_count() == 0);
+        if !local.is_empty() {
+            let value = Query::from_terms(self.view.clone(), local).eval(&crate::BaseDb::new())?;
+            self.collect.merge(&value);
+        }
+        if remote.is_empty() {
+            if self.uqs.is_empty() {
+                self.mv.merge(&self.collect);
+                self.collect = SignedBag::new();
+            }
+            return Ok(Vec::new());
+        }
+        let query = Query::from_terms(self.view.clone(), remote);
+        let id = self.ids.fresh();
+        self.uqs.insert(id, query.clone());
+        Ok(vec![OutboundQuery { id, query }])
+    }
+}
+
+impl ViewMaintainer for BatchEca {
+    fn algorithm(&self) -> &'static str {
+        "Batch-ECA"
+    }
+
+    fn view(&self) -> &ViewDef {
+        &self.view
+    }
+
+    fn materialized(&self) -> &SignedBag {
+        &self.mv
+    }
+
+    fn on_update(&mut self, update: &Update) -> Result<Vec<OutboundQuery>, CoreError> {
+        if !self.view.involves(update) {
+            return Ok(Vec::new());
+        }
+        // q_i: compensate against pending queries (UQS membership at this
+        // moment, per ECA's rule) and against earlier batch-mates.
+        let mut q = self.view.substitute(update)?;
+        for pending in self.uqs.values() {
+            q = q.minus(&pending.substitute(update));
+        }
+        for mate in &self.batch {
+            q = q.minus(&mate.substitute(update));
+        }
+        self.batch.push(q);
+        if self.batch.len() >= self.batch_size {
+            self.flush()
+        } else {
+            Ok(Vec::new())
+        }
+    }
+
+    fn on_answer(
+        &mut self,
+        id: QueryId,
+        answer: SignedBag,
+    ) -> Result<Vec<OutboundQuery>, CoreError> {
+        if self.uqs.remove(&id).is_none() {
+            return Err(CoreError::UnknownQuery { id: id.0 });
+        }
+        self.collect.merge(&answer);
+        if self.uqs.is_empty() && self.batch.is_empty() {
+            self.mv.merge(&self.collect);
+            self.collect = SignedBag::new();
+        }
+        Ok(Vec::new())
+    }
+
+    fn is_quiescent(&self) -> bool {
+        self.uqs.is_empty() && self.batch.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basedb::BaseDb;
+    use eca_relational::{Predicate, Schema, Tuple};
+
+    fn view2() -> ViewDef {
+        ViewDef::new(
+            "V",
+            vec![
+                Schema::new("r1", &["W", "X"]),
+                Schema::new("r2", &["X", "Y"]),
+            ],
+            Predicate::col_eq(1, 2),
+            vec![0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn zero_batch_size_rejected() {
+        assert!(BatchEca::new(view2(), SignedBag::new(), 0).is_err());
+    }
+
+    /// Example 2's anomalous interleaving, batched into one message.
+    #[test]
+    fn example_2_in_one_batch() {
+        let v = view2();
+        let mut db = BaseDb::for_view(&v);
+        db.insert("r1", Tuple::ints([1, 2]));
+        let mut alg = BatchEca::new(v.clone(), SignedBag::new(), 2).unwrap();
+
+        let u1 = Update::insert("r2", Tuple::ints([2, 3]));
+        let u2 = Update::insert("r1", Tuple::ints([4, 2]));
+        db.apply(&u1);
+        assert!(alg.on_update(&u1).unwrap().is_empty(), "buffered");
+        assert_eq!(alg.pending_batch_len(), 1);
+        db.apply(&u2);
+        let qs = alg.on_update(&u2).unwrap();
+        assert_eq!(qs.len(), 1, "one coalesced query");
+        // V⟨U1⟩ + V⟨U2⟩ shipped; the batch-mate compensation V⟨U1⟩⟨U2⟩ is
+        // fully bound and evaluated locally.
+        assert_eq!(qs[0].query.terms().len(), 2);
+
+        let a = qs[0].query.eval(&db).unwrap();
+        alg.on_answer(qs[0].id, a).unwrap();
+        assert!(alg.is_quiescent());
+        assert_eq!(*alg.materialized(), v.eval(&db).unwrap());
+    }
+
+    /// Batch of 3 against a 3-relation view (Example 4's updates).
+    #[test]
+    fn example_4_in_one_batch() {
+        let v = ViewDef::new(
+            "V",
+            vec![
+                Schema::new("r1", &["W", "X"]),
+                Schema::new("r2", &["X", "Y"]),
+                Schema::new("r3", &["X", "Y"]),
+            ],
+            Predicate::col_eq(1, 2).and(Predicate::col_eq(3, 4)),
+            vec![0],
+        )
+        .unwrap();
+        let mut db = BaseDb::for_view(&v);
+        db.insert("r1", Tuple::ints([1, 2]));
+        let mut alg = BatchEca::new(v.clone(), SignedBag::new(), 3).unwrap();
+
+        let updates = [
+            Update::insert("r1", Tuple::ints([4, 2])),
+            Update::insert("r3", Tuple::ints([5, 3])),
+            Update::insert("r2", Tuple::ints([2, 5])),
+        ];
+        let mut queries = Vec::new();
+        for u in &updates {
+            db.apply(u);
+            queries.extend(alg.on_update(u).unwrap());
+        }
+        assert_eq!(queries.len(), 1, "2k messages collapse to 2");
+        let a = queries[0].query.eval(&db).unwrap();
+        alg.on_answer(queries[0].id, a).unwrap();
+        assert_eq!(
+            *alg.materialized(),
+            SignedBag::from_tuples([Tuple::ints([1]), Tuple::ints([4])])
+        );
+    }
+
+    /// Batches racing batches: the second batch's updates arrive while
+    /// the first batch's query is still unanswered, so the second batch
+    /// compensates the first.
+    #[test]
+    fn consecutive_batches_compensate() {
+        let v = view2();
+        let mut db = BaseDb::for_view(&v);
+        db.insert("r1", Tuple::ints([1, 2]));
+        let mut alg = BatchEca::new(v.clone(), SignedBag::new(), 2).unwrap();
+
+        let script = [
+            Update::insert("r2", Tuple::ints([2, 3])),
+            Update::insert("r2", Tuple::ints([2, 4])),
+            Update::insert("r1", Tuple::ints([4, 2])),
+            Update::delete("r2", Tuple::ints([2, 3])),
+        ];
+        let mut queries = Vec::new();
+        for u in &script {
+            db.apply(u);
+            queries.extend(alg.on_update(u).unwrap());
+        }
+        assert_eq!(queries.len(), 2);
+        // The second batch compensates the first, but those compensation
+        // terms are fully bound (both tuples known) and are evaluated
+        // locally — only the two unbound own-terms ship.
+        assert_eq!(queries[1].query.terms().len(), 2);
+
+        // All answers evaluated on the final state (worst case).
+        for q in &queries {
+            alg.on_answer(q.id, q.query.eval(&db).unwrap()).unwrap();
+        }
+        assert!(alg.is_quiescent());
+        assert_eq!(*alg.materialized(), v.eval(&db).unwrap());
+    }
+
+    /// A partial trailing batch is flushed explicitly.
+    #[test]
+    fn explicit_flush_of_partial_batch() {
+        let v = view2();
+        let mut db = BaseDb::for_view(&v);
+        db.insert("r1", Tuple::ints([1, 2]));
+        let mut alg = BatchEca::new(v.clone(), SignedBag::new(), 10).unwrap();
+
+        let u = Update::insert("r2", Tuple::ints([2, 3]));
+        db.apply(&u);
+        assert!(alg.on_update(&u).unwrap().is_empty());
+        assert!(!alg.is_quiescent(), "buffered update outstanding");
+        let qs = alg.flush().unwrap();
+        assert_eq!(qs.len(), 1);
+        alg.on_answer(qs[0].id, qs[0].query.eval(&db).unwrap())
+            .unwrap();
+        assert_eq!(*alg.materialized(), v.eval(&db).unwrap());
+        assert!(alg.flush().unwrap().is_empty(), "nothing left");
+    }
+
+    /// Batch size 1 behaves exactly like optimized ECA.
+    #[test]
+    fn batch_size_one_equals_eca() {
+        let v = view2();
+        let mut db = BaseDb::for_view(&v);
+        db.insert("r1", Tuple::ints([1, 2]));
+        let mut batch = BatchEca::new(v.clone(), SignedBag::new(), 1).unwrap();
+        let mut eca = crate::algorithms::Eca::with_local_eval(v.clone(), SignedBag::new());
+
+        let u1 = Update::insert("r2", Tuple::ints([2, 3]));
+        let u2 = Update::insert("r1", Tuple::ints([4, 2]));
+        db.apply(&u1);
+        let b1 = batch.on_update(&u1).unwrap().remove(0);
+        let e1 = eca.on_update(&u1).unwrap().remove(0);
+        db.apply(&u2);
+        let b2 = batch.on_update(&u2).unwrap().remove(0);
+        let e2 = eca.on_update(&u2).unwrap().remove(0);
+        assert_eq!(b1.query.terms(), e1.query.terms());
+        assert_eq!(b2.query.terms(), e2.query.terms());
+
+        for (alg, qs) in [
+            (&mut batch as &mut dyn ViewMaintainer, [&b1, &b2]),
+            (&mut eca as &mut dyn ViewMaintainer, [&e1, &e2]),
+        ] {
+            for q in qs {
+                alg.on_answer(q.id, q.query.eval(&db).unwrap()).unwrap();
+            }
+        }
+        assert_eq!(batch.materialized(), eca.materialized());
+    }
+
+    #[test]
+    fn unknown_answer_rejected() {
+        let mut alg = BatchEca::new(view2(), SignedBag::new(), 2).unwrap();
+        assert!(alg.on_answer(QueryId(9), SignedBag::new()).is_err());
+    }
+}

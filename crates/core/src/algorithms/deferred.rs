@@ -1,0 +1,196 @@
+//! Deferred view maintenance timing (paper §2).
+//!
+//! The paper assumes *immediate* update throughout but observes that
+//! "with little or no modification our algorithms can be applied to
+//! deferred and periodic update as well" (\[RK86\]'s deferred timing:
+//! refresh only when the view is queried; \[LHM+86\]'s periodic timing:
+//! refresh on a schedule).
+//!
+//! [`Deferred`] wraps any maintainer: update notifications are buffered,
+//! and [`Deferred::refresh`] replays them into the inner algorithm in
+//! arrival order — which preserves the in-order-delivery precondition the
+//! inner algorithms rely on, so all their guarantees carry over to the
+//! refresh points. Periodic maintenance is `refresh()` on a timer;
+//! deferred maintenance is `refresh()` before serving a warehouse read.
+
+use eca_relational::{SignedBag, Update};
+
+use crate::error::CoreError;
+use crate::expr::QueryId;
+use crate::maintainer::{OutboundQuery, ViewMaintainer};
+use crate::view::ViewDef;
+
+/// A maintainer whose update processing is deferred to refresh points.
+pub struct Deferred<M: ViewMaintainer> {
+    inner: M,
+    buffer: Vec<Update>,
+}
+
+impl<M: ViewMaintainer> Deferred<M> {
+    /// Wrap `inner`.
+    pub fn new(inner: M) -> Self {
+        Deferred {
+            inner,
+            buffer: Vec::new(),
+        }
+    }
+
+    /// Updates awaiting the next refresh.
+    pub fn deferred_len(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Replay all buffered updates into the inner algorithm, returning
+    /// the queries it emits. Call before serving a read (deferred
+    /// timing) or on a schedule (periodic timing).
+    ///
+    /// # Errors
+    /// Propagates inner-algorithm errors.
+    pub fn refresh(&mut self) -> Result<Vec<OutboundQuery>, CoreError> {
+        let mut out = Vec::new();
+        for u in std::mem::take(&mut self.buffer) {
+            out.extend(self.inner.on_update(&u)?);
+        }
+        Ok(out)
+    }
+
+    /// The wrapped maintainer.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+}
+
+impl<M: ViewMaintainer> ViewMaintainer for Deferred<M> {
+    fn algorithm(&self) -> &'static str {
+        "Deferred"
+    }
+
+    fn view(&self) -> &ViewDef {
+        self.inner.view()
+    }
+
+    fn materialized(&self) -> &SignedBag {
+        self.inner.materialized()
+    }
+
+    fn on_update(&mut self, update: &Update) -> Result<Vec<OutboundQuery>, CoreError> {
+        if self.inner.view().involves(update) {
+            self.buffer.push(update.clone());
+        }
+        Ok(Vec::new())
+    }
+
+    fn on_answer(
+        &mut self,
+        id: QueryId,
+        answer: SignedBag,
+    ) -> Result<Vec<OutboundQuery>, CoreError> {
+        self.inner.on_answer(id, answer)
+    }
+
+    fn is_quiescent(&self) -> bool {
+        self.buffer.is_empty() && self.inner.is_quiescent()
+    }
+
+    fn drain_intermediate_states(&mut self) -> Vec<SignedBag> {
+        self.inner.drain_intermediate_states()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::Eca;
+    use crate::basedb::BaseDb;
+    use eca_relational::{Predicate, Schema, Tuple};
+
+    fn view2() -> ViewDef {
+        ViewDef::new(
+            "V",
+            vec![
+                Schema::new("r1", &["W", "X"]),
+                Schema::new("r2", &["X", "Y"]),
+            ],
+            Predicate::col_eq(1, 2),
+            vec![0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn updates_buffer_until_refresh() {
+        let v = view2();
+        let mut db = BaseDb::for_view(&v);
+        db.insert("r1", Tuple::ints([1, 2]));
+        let mut alg = Deferred::new(Eca::with_local_eval(v.clone(), SignedBag::new()));
+
+        let u1 = Update::insert("r2", Tuple::ints([2, 3]));
+        let u2 = Update::insert("r1", Tuple::ints([4, 2]));
+        db.apply(&u1);
+        db.apply(&u2);
+        assert!(alg.on_update(&u1).unwrap().is_empty());
+        assert!(alg.on_update(&u2).unwrap().is_empty());
+        assert_eq!(alg.deferred_len(), 2);
+        assert!(alg.materialized().is_empty(), "stale until refresh");
+        assert!(!alg.is_quiescent());
+
+        let queries = alg.refresh().unwrap();
+        assert_eq!(alg.deferred_len(), 0);
+        for q in &queries {
+            alg.on_answer(q.id, q.query.eval(&db).unwrap()).unwrap();
+        }
+        assert!(alg.is_quiescent());
+        assert_eq!(*alg.materialized(), v.eval(&db).unwrap());
+    }
+
+    #[test]
+    fn refresh_preserves_update_order() {
+        // Insert then delete of the same tuple must net out, which only
+        // works if replay preserves arrival order.
+        let v = view2();
+        let mut db = BaseDb::for_view(&v);
+        db.insert("r2", Tuple::ints([2, 5]));
+        let mut alg = Deferred::new(Eca::with_local_eval(v.clone(), SignedBag::new()));
+
+        let ins = Update::insert("r1", Tuple::ints([1, 2]));
+        let del = Update::delete("r1", Tuple::ints([1, 2]));
+        db.apply(&ins);
+        db.apply(&del);
+        alg.on_update(&ins).unwrap();
+        alg.on_update(&del).unwrap();
+
+        let queries = alg.refresh().unwrap();
+        for q in &queries {
+            alg.on_answer(q.id, q.query.eval(&db).unwrap()).unwrap();
+        }
+        assert!(alg.materialized().is_empty());
+    }
+
+    #[test]
+    fn irrelevant_updates_not_buffered() {
+        let mut alg = Deferred::new(Eca::new(view2(), SignedBag::new()));
+        alg.on_update(&Update::insert("other", Tuple::ints([1])))
+            .unwrap();
+        assert_eq!(alg.deferred_len(), 0);
+        assert!(alg.is_quiescent());
+    }
+
+    #[test]
+    fn multiple_refresh_cycles() {
+        let v = view2();
+        let mut db = BaseDb::for_view(&v);
+        db.insert("r1", Tuple::ints([1, 2]));
+        let mut alg = Deferred::new(Eca::with_local_eval(v.clone(), SignedBag::new()));
+
+        for round in 0..3i64 {
+            let u = Update::insert("r2", Tuple::ints([2, 10 + round]));
+            db.apply(&u);
+            alg.on_update(&u).unwrap();
+            let queries = alg.refresh().unwrap();
+            for q in &queries {
+                alg.on_answer(q.id, q.query.eval(&db).unwrap()).unwrap();
+            }
+            assert_eq!(*alg.materialized(), v.eval(&db).unwrap(), "round {round}");
+        }
+    }
+}

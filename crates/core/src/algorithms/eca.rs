@@ -1,0 +1,506 @@
+//! The Eager Compensating Algorithm (paper Alg. 5.2).
+//!
+//! When update `U_i` arrives while queries are pending (`UQS ≠ ∅`), those
+//! queries will be evaluated at the source on a state that already reflects
+//! `U_i`. ECA offsets this *eagerly* by attaching one compensating query per
+//! pending query:
+//!
+//! ```text
+//! Q_i = V⟨U_i⟩ − Σ_{Q_j ∈ UQS} Q_j⟨U_i⟩
+//! ```
+//!
+//! Answers are buffered in `COLLECT` and installed into `MV` only when
+//! `UQS = ∅`, so the view never assumes an invalid intermediate state —
+//! this is what lifts ECA from convergent to strongly consistent
+//! (paper §5.2 and Appendix B).
+
+use std::collections::BTreeMap;
+
+use eca_relational::{SignedBag, Update};
+
+use crate::error::CoreError;
+use crate::expr::{Query, QueryId};
+use crate::maintainer::{OutboundQuery, QueryIdGen, ViewMaintainer};
+use crate::view::ViewDef;
+
+/// The Eager Compensating Algorithm.
+///
+/// ```
+/// use eca_core::algorithms::Eca;
+/// use eca_core::maintainer::ViewMaintainer;
+/// use eca_core::{BaseDb, ViewDef};
+/// use eca_relational::{Predicate, Schema, SignedBag, Tuple, Update};
+///
+/// let view = ViewDef::new(
+///     "V",
+///     vec![Schema::new("r1", &["W", "X"]), Schema::new("r2", &["X", "Y"])],
+///     Predicate::col_eq(1, 2),
+///     vec![0],
+/// )?;
+/// let mut source = BaseDb::for_view(&view);
+/// source.insert("r1", Tuple::ints([1, 2]));
+/// let mut eca = Eca::new(view.clone(), SignedBag::new());
+///
+/// // Example 2's racing updates: both execute before any query answers.
+/// let u1 = Update::insert("r2", Tuple::ints([2, 3]));
+/// let u2 = Update::insert("r1", Tuple::ints([4, 2]));
+/// source.apply(&u1);
+/// let q1 = eca.on_update(&u1)?.remove(0);
+/// source.apply(&u2);
+/// let q2 = eca.on_update(&u2)?.remove(0); // carries a compensating term
+///
+/// eca.on_answer(q1.id, q1.query.eval(&source)?)?;
+/// eca.on_answer(q2.id, q2.query.eval(&source)?)?;
+/// assert_eq!(*eca.materialized(), view.eval(&source)?);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Eca {
+    view: ViewDef,
+    mv: SignedBag,
+    collect: SignedBag,
+    /// The unanswered query set, with each query's full expression kept so
+    /// later updates can compensate it (`Q_j⟨U_i⟩`).
+    uqs: BTreeMap<QueryId, Query>,
+    ids: QueryIdGen,
+    /// Appendix D.2 optimization: evaluate fully-bound terms locally
+    /// instead of shipping them.
+    local_eval: bool,
+}
+
+impl Eca {
+    /// Create with `initial` as the starting materialized state
+    /// (`MV = V[ss0]`). Queries are sent verbatim as in Algorithm 5.2.
+    pub fn new(view: ViewDef, initial: SignedBag) -> Self {
+        Eca {
+            view,
+            mv: initial,
+            collect: SignedBag::new(),
+            uqs: BTreeMap::new(),
+            ids: QueryIdGen::new(),
+            local_eval: false,
+        }
+    }
+
+    /// As [`Eca::new`], with the Appendix D.2 refinement enabled: terms
+    /// whose atoms are all bound tuples mention no base relation, so they
+    /// are evaluated at the warehouse and never shipped ("no compensating
+    /// query needs to be sent since all data needed is already at the
+    /// warehouse"). The cost analysis of §6 assumes this behaviour.
+    pub fn with_local_eval(view: ViewDef, initial: SignedBag) -> Self {
+        Eca {
+            local_eval: true,
+            ..Eca::new(view, initial)
+        }
+    }
+
+    /// The current `COLLECT` buffer (exposed for traces and tests).
+    pub fn collect(&self) -> &SignedBag {
+        &self.collect
+    }
+
+    /// Number of pending queries `|UQS|`.
+    pub fn pending_queries(&self) -> usize {
+        self.uqs.len()
+    }
+}
+
+impl ViewMaintainer for Eca {
+    fn algorithm(&self) -> &'static str {
+        "ECA"
+    }
+
+    fn view(&self) -> &ViewDef {
+        &self.view
+    }
+
+    fn materialized(&self) -> &SignedBag {
+        &self.mv
+    }
+
+    fn on_update(&mut self, update: &Update) -> Result<Vec<OutboundQuery>, CoreError> {
+        if !self.view.involves(update) {
+            return Ok(Vec::new());
+        }
+        // Q_i = V⟨U_i⟩ − Σ_{Q_j ∈ UQS} Q_j⟨U_i⟩
+        let mut query = self.view.substitute(update)?;
+        for pending in self.uqs.values() {
+            query = query.minus(&pending.substitute(update));
+        }
+
+        // Appendix D.2: terms with every atom bound mention no base
+        // relation — "all data needed is already at the warehouse" — so
+        // they are evaluated locally instead of shipped to the source.
+        let (local, remote): (Vec<_>, Vec<_>) = query
+            .terms()
+            .iter()
+            .cloned()
+            .partition(|t| self.local_eval && t.unbound_count() == 0);
+        if !local.is_empty() {
+            let local_query = Query::from_terms(self.view.clone(), local);
+            // No base relations are touched; an empty lookup suffices.
+            let value = local_query.eval(&crate::BaseDb::new())?;
+            self.collect.merge(&value);
+        }
+        if remote.is_empty() {
+            // Nothing needs the source (only possible for single-relation
+            // views, where V⟨U⟩ itself is fully bound). Install
+            // immediately if nothing is pending.
+            if self.uqs.is_empty() {
+                self.mv.merge(&self.collect);
+                self.collect = SignedBag::new();
+            }
+            return Ok(Vec::new());
+        }
+        let remote_query = Query::from_terms(self.view.clone(), remote);
+        let id = self.ids.fresh();
+        // UQS stores the shipped query; the locally-evaluated terms would
+        // vanish under any future substitution anyway.
+        self.uqs.insert(id, remote_query.clone());
+        Ok(vec![OutboundQuery {
+            id,
+            query: remote_query,
+        }])
+    }
+
+    fn on_answer(
+        &mut self,
+        id: QueryId,
+        answer: SignedBag,
+    ) -> Result<Vec<OutboundQuery>, CoreError> {
+        if self.uqs.remove(&id).is_none() {
+            return Err(CoreError::UnknownQuery { id: id.0 });
+        }
+        self.collect.merge(&answer);
+        if self.uqs.is_empty() {
+            // MV ← MV + COLLECT; COLLECT ← ∅
+            self.mv.merge(&self.collect);
+            self.collect = SignedBag::new();
+        }
+        Ok(Vec::new())
+    }
+
+    fn is_quiescent(&self) -> bool {
+        self.uqs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basedb::BaseDb;
+    use eca_relational::{Predicate, Schema, Tuple};
+
+    fn view2(proj: Vec<usize>) -> ViewDef {
+        ViewDef::new(
+            "V",
+            vec![
+                Schema::new("r1", &["W", "X"]),
+                Schema::new("r2", &["X", "Y"]),
+            ],
+            Predicate::col_eq(1, 2),
+            proj,
+        )
+        .unwrap()
+    }
+
+    fn view3() -> ViewDef {
+        // V = π_W(r1 ⋈X r2 ⋈Y r3), r2(X,Y), r3(X,Y) joined r2.Y = r3.X.
+        ViewDef::new(
+            "V",
+            vec![
+                Schema::new("r1", &["W", "X"]),
+                Schema::new("r2", &["X", "Y"]),
+                Schema::new("r3", &["X", "Y"]),
+            ],
+            Predicate::col_eq(1, 2).and(Predicate::col_eq(3, 4)),
+            vec![0],
+        )
+        .unwrap()
+    }
+
+    /// Paper §1.2 walk-through of Example 2: ECA repairs the insert anomaly.
+    #[test]
+    fn example_2_with_compensation() {
+        let v = view2(vec![0]);
+        let mut db = BaseDb::for_view(&v);
+        db.insert("r1", Tuple::ints([1, 2]));
+        let mut alg = Eca::new(v.clone(), SignedBag::new());
+
+        let u1 = Update::insert("r2", Tuple::ints([2, 3]));
+        let u2 = Update::insert("r1", Tuple::ints([4, 2]));
+
+        db.apply(&u1);
+        let q1 = alg.on_update(&u1).unwrap().remove(0);
+        db.apply(&u2);
+        let q2 = alg.on_update(&u2).unwrap().remove(0);
+        // Q2 must carry one compensating term.
+        assert_eq!(q2.query.terms().len(), 2);
+
+        let a1 = q1.query.eval(&db).unwrap();
+        // A1 contains the anomalous extra [4] ...
+        assert_eq!(a1.count(&Tuple::ints([4])), 1);
+        alg.on_answer(q1.id, a1).unwrap();
+        // ... but the view is not yet updated (UQS nonempty).
+        assert!(alg.materialized().is_empty());
+        assert!(!alg.is_quiescent());
+
+        let a2 = q2.query.eval(&db).unwrap();
+        // The compensation makes A2 empty (paper step 8).
+        assert!(a2.is_empty());
+        alg.on_answer(q2.id, a2).unwrap();
+
+        assert!(alg.is_quiescent());
+        assert_eq!(*alg.materialized(), v.eval(&db).unwrap());
+        assert_eq!(alg.materialized().count(&Tuple::ints([1])), 1);
+        assert_eq!(alg.materialized().count(&Tuple::ints([4])), 1);
+    }
+
+    /// Paper Example 4: three insertions into three relations, all before
+    /// any answer.
+    #[test]
+    fn example_4_three_inserts() {
+        let v = view3();
+        let mut db = BaseDb::for_view(&v);
+        db.insert("r1", Tuple::ints([1, 2]));
+        let mut alg = Eca::new(v.clone(), SignedBag::new());
+
+        let u1 = Update::insert("r1", Tuple::ints([4, 2]));
+        let u2 = Update::insert("r3", Tuple::ints([5, 3]));
+        let u3 = Update::insert("r2", Tuple::ints([2, 5]));
+
+        db.apply(&u1);
+        let q1 = alg.on_update(&u1).unwrap().remove(0);
+        assert_eq!(q1.query.terms().len(), 1);
+        db.apply(&u2);
+        let q2 = alg.on_update(&u2).unwrap().remove(0);
+        assert_eq!(q2.query.terms().len(), 2);
+        db.apply(&u3);
+        let q3 = alg.on_update(&u3).unwrap().remove(0);
+        // Q3 = V⟨U3⟩ − Q1⟨U3⟩ − Q2⟨U3⟩ where Q2⟨U3⟩ has 2 terms → 4 terms.
+        assert_eq!(q3.query.terms().len(), 4);
+
+        let a1 = q1.query.eval(&db).unwrap();
+        assert_eq!(a1, SignedBag::from_tuples([Tuple::ints([4])]));
+        alg.on_answer(q1.id, a1).unwrap();
+
+        let a2 = q2.query.eval(&db).unwrap();
+        assert_eq!(a2, SignedBag::from_tuples([Tuple::ints([1])]));
+        alg.on_answer(q2.id, a2).unwrap();
+
+        let a3 = q3.query.eval(&db).unwrap();
+        assert!(a3.is_empty(), "A3 should be empty, got {a3:?}");
+        alg.on_answer(q3.id, a3).unwrap();
+
+        assert_eq!(
+            *alg.materialized(),
+            SignedBag::from_tuples([Tuple::ints([1]), Tuple::ints([4])])
+        );
+        assert_eq!(*alg.materialized(), v.eval(&db).unwrap());
+    }
+
+    /// Appendix A Example 7: same updates as Example 4 but A1 arrives
+    /// between U2 and U3.
+    #[test]
+    fn example_7_interleaved_answer() {
+        let v = view3();
+        let mut db = BaseDb::for_view(&v);
+        db.insert("r1", Tuple::ints([1, 2]));
+        let mut alg = Eca::new(v.clone(), SignedBag::new());
+
+        let u1 = Update::insert("r1", Tuple::ints([4, 2]));
+        let u2 = Update::insert("r3", Tuple::ints([5, 3]));
+        let u3 = Update::insert("r2", Tuple::ints([2, 5]));
+
+        db.apply(&u1);
+        let q1 = alg.on_update(&u1).unwrap().remove(0);
+        db.apply(&u2);
+        let q2 = alg.on_update(&u2).unwrap().remove(0);
+
+        // A1 evaluated now (after U1, U2; before U3): empty.
+        let a1 = q1.query.eval(&db).unwrap();
+        assert!(a1.is_empty());
+        alg.on_answer(q1.id, a1).unwrap();
+
+        db.apply(&u3);
+        let q3 = alg.on_update(&u3).unwrap().remove(0);
+        // Only Q2 is pending now: Q3 = V⟨U3⟩ − Q2⟨U3⟩ (paper: 3 terms).
+        assert_eq!(q3.query.terms().len(), 3);
+
+        let a2 = q2.query.eval(&db).unwrap();
+        assert_eq!(a2, SignedBag::from_tuples([Tuple::ints([1])]));
+        alg.on_answer(q2.id, a2).unwrap();
+        let a3 = q3.query.eval(&db).unwrap();
+        assert_eq!(a3, SignedBag::from_tuples([Tuple::ints([4])]));
+        alg.on_answer(q3.id, a3).unwrap();
+
+        assert_eq!(*alg.materialized(), v.eval(&db).unwrap());
+    }
+
+    /// Appendix A Example 8: two deletions.
+    #[test]
+    fn example_8_deletions() {
+        let v = view2(vec![0]);
+        let mut db = BaseDb::for_view(&v);
+        db.insert("r1", Tuple::ints([1, 2]));
+        db.insert("r1", Tuple::ints([4, 2]));
+        db.insert("r2", Tuple::ints([2, 3]));
+        let mut alg = Eca::new(v.clone(), v.eval(&db).unwrap());
+        assert_eq!(alg.materialized().pos_len(), 2);
+
+        let u1 = Update::delete("r1", Tuple::ints([4, 2]));
+        let u2 = Update::delete("r2", Tuple::ints([2, 3]));
+        db.apply(&u1);
+        let q1 = alg.on_update(&u1).unwrap().remove(0);
+        db.apply(&u2);
+        let q2 = alg.on_update(&u2).unwrap().remove(0);
+
+        let a1 = q1.query.eval(&db).unwrap();
+        assert!(a1.is_empty());
+        alg.on_answer(q1.id, a1).unwrap();
+        let a2 = q2.query.eval(&db).unwrap();
+        // A2 = (−[4], −[1]) per the paper.
+        assert_eq!(a2.count(&Tuple::ints([1])), -1);
+        assert_eq!(a2.count(&Tuple::ints([4])), -1);
+        alg.on_answer(q2.id, a2).unwrap();
+
+        assert!(alg.materialized().is_empty());
+        assert!(v.eval(&db).unwrap().is_empty());
+    }
+
+    /// Appendix A Example 9: mixed deletion and insertion.
+    #[test]
+    fn example_9_delete_then_insert() {
+        let v = view2(vec![0]);
+        let mut db = BaseDb::for_view(&v);
+        db.insert("r1", Tuple::ints([1, 2]));
+        db.insert("r1", Tuple::ints([4, 2]));
+        let mut alg = Eca::new(v.clone(), SignedBag::new());
+
+        let u1 = Update::delete("r1", Tuple::ints([4, 2]));
+        let u2 = Update::insert("r2", Tuple::ints([2, 3]));
+        db.apply(&u1);
+        let q1 = alg.on_update(&u1).unwrap().remove(0);
+        db.apply(&u2);
+        let q2 = alg.on_update(&u2).unwrap().remove(0);
+
+        let a1 = q1.query.eval(&db).unwrap();
+        // A1 = (−[4]) — the deleted tuple joins the inserted r2 tuple.
+        assert_eq!(a1.count(&Tuple::ints([4])), -1);
+        alg.on_answer(q1.id, a1).unwrap();
+        let a2 = q2.query.eval(&db).unwrap();
+        // A2 = ([1] + [4]) per the paper.
+        assert_eq!(a2.count(&Tuple::ints([1])), 1);
+        assert_eq!(a2.count(&Tuple::ints([4])), 1);
+        alg.on_answer(q2.id, a2).unwrap();
+
+        assert_eq!(
+            *alg.materialized(),
+            SignedBag::from_tuples([Tuple::ints([1])])
+        );
+        assert_eq!(*alg.materialized(), v.eval(&db).unwrap());
+    }
+
+    /// Property 3 of §5.6: with spaced updates, ECA behaves exactly like
+    /// the basic algorithm (no compensating terms).
+    #[test]
+    fn degenerates_to_basic_when_quiescent() {
+        let v = view2(vec![0]);
+        let mut db = BaseDb::for_view(&v);
+        db.insert("r1", Tuple::ints([1, 2]));
+        let mut alg = Eca::new(v.clone(), SignedBag::new());
+
+        for i in 0..5 {
+            let u = Update::insert("r2", Tuple::ints([2, 10 + i]));
+            db.apply(&u);
+            let q = alg.on_update(&u).unwrap().remove(0);
+            assert_eq!(q.query.terms().len(), 1, "no compensation expected");
+            let a = q.query.eval(&db).unwrap();
+            alg.on_answer(q.id, a).unwrap();
+            assert_eq!(*alg.materialized(), v.eval(&db).unwrap());
+        }
+    }
+
+    #[test]
+    fn collect_buffer_exposed() {
+        let v = view2(vec![0]);
+        let mut db = BaseDb::for_view(&v);
+        db.insert("r1", Tuple::ints([1, 2]));
+        let mut alg = Eca::new(v.clone(), SignedBag::new());
+        let u1 = Update::insert("r2", Tuple::ints([2, 3]));
+        let u2 = Update::insert("r2", Tuple::ints([2, 4]));
+        db.apply(&u1);
+        let q1 = alg.on_update(&u1).unwrap().remove(0);
+        db.apply(&u2);
+        let q2 = alg.on_update(&u2).unwrap().remove(0);
+        assert_eq!(alg.pending_queries(), 2);
+        alg.on_answer(q1.id, q1.query.eval(&db).unwrap()).unwrap();
+        assert_eq!(alg.collect().count(&Tuple::ints([1])), 1);
+        alg.on_answer(q2.id, q2.query.eval(&db).unwrap()).unwrap();
+        assert!(alg.collect().is_empty(), "COLLECT reset after install");
+    }
+
+    #[test]
+    fn unknown_answer_rejected() {
+        let v = view2(vec![0]);
+        let mut alg = Eca::new(v, SignedBag::new());
+        assert!(alg.on_answer(QueryId(1), SignedBag::new()).is_err());
+    }
+
+    /// The Appendix D.2 variant strips fully-bound compensating terms from
+    /// shipped queries and still converges (Example 2 replay).
+    #[test]
+    fn local_eval_strips_bound_terms() {
+        let v = view2(vec![0]);
+        let mut db = BaseDb::for_view(&v);
+        db.insert("r1", Tuple::ints([1, 2]));
+        let mut plain = Eca::new(v.clone(), SignedBag::new());
+        let mut opt = Eca::with_local_eval(v.clone(), SignedBag::new());
+
+        let u1 = Update::insert("r2", Tuple::ints([2, 3]));
+        let u2 = Update::insert("r1", Tuple::ints([4, 2]));
+        db.apply(&u1);
+        let p1 = plain.on_update(&u1).unwrap().remove(0);
+        let o1 = opt.on_update(&u1).unwrap().remove(0);
+        db.apply(&u2);
+        let p2 = plain.on_update(&u2).unwrap().remove(0);
+        let o2 = opt.on_update(&u2).unwrap().remove(0);
+        // Plain ships the bound compensation; optimized does not.
+        assert_eq!(p2.query.terms().len(), 2);
+        assert_eq!(o2.query.terms().len(), 1);
+
+        for (alg, q) in [(&mut plain, &p1), (&mut opt, &o1)] {
+            alg.on_answer(q.id, q.query.eval(&db).unwrap()).unwrap();
+        }
+        for (alg, q) in [(&mut plain, &p2), (&mut opt, &o2)] {
+            alg.on_answer(q.id, q.query.eval(&db).unwrap()).unwrap();
+        }
+        let correct = v.eval(&db).unwrap();
+        assert_eq!(*plain.materialized(), correct);
+        assert_eq!(*opt.materialized(), correct);
+    }
+
+    /// With local evaluation, a single-relation view needs no source at
+    /// all — ECA degenerates to purely local maintenance.
+    #[test]
+    fn local_eval_single_relation_view_never_queries() {
+        let v = ViewDef::new(
+            "V",
+            vec![Schema::new("r1", &["A", "B"])],
+            Predicate::col_cmp(0, eca_relational::CmpOp::Lt, 1),
+            vec![0],
+        )
+        .unwrap();
+        let mut db = BaseDb::for_view(&v);
+        let mut alg = Eca::with_local_eval(v.clone(), SignedBag::new());
+        for u in [
+            Update::insert("r1", Tuple::ints([1, 5])),
+            Update::insert("r1", Tuple::ints([9, 2])),
+            Update::delete("r1", Tuple::ints([1, 5])),
+        ] {
+            db.apply(&u);
+            assert!(alg.on_update(&u).unwrap().is_empty());
+            assert_eq!(*alg.materialized(), v.eval(&db).unwrap());
+        }
+        assert!(alg.is_quiescent());
+    }
+}

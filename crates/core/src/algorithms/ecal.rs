@@ -1,0 +1,282 @@
+//! The ECA-Local algorithm (paper §5.5).
+//!
+//! ECAL combines ECA's compensation with *local* handling of updates that
+//! are autonomously computable at the warehouse (\[BLT86\]'s terminology).
+//! The paper leaves the general algorithm as future work because ordering
+//! local updates against in-flight compensated answers is intricate; it
+//! names the building blocks, which we implement for the view classes
+//! where local handling is provably safe:
+//!
+//! * **Single-relation views** `V = π(σ(r1))`: *every* update is
+//!   autonomously computable — `V⟨U⟩ = π(σ(±t))` mentions no base
+//!   relation, so it is evaluated locally with zero messages and zero
+//!   anomaly exposure. MV is updated immediately; no buffering is needed
+//!   because no queries are ever outstanding.
+//! * **Fully keyed multi-relation views**: deletions are handled locally
+//!   with `key-delete` and insertions with uncompensated queries — i.e.
+//!   the ECA-Key algorithm (§5.4), which is the keyed instance of ECAL.
+//! * **All other views**: fall back to full ECA compensation.
+//!
+//! This dispatch is decided once at construction from the view definition.
+
+use eca_relational::algebra::{project, select};
+use eca_relational::{SignedBag, SignedTuple, Update};
+
+use crate::algorithms::{Eca, EcaKey};
+use crate::error::CoreError;
+use crate::expr::QueryId;
+use crate::maintainer::{OutboundQuery, ViewMaintainer};
+use crate::view::ViewDef;
+
+enum Inner {
+    /// Single-relation view: all updates local.
+    SingleRelation { view: ViewDef, mv: SignedBag },
+    /// Fully keyed view: ECA-Key.
+    Keyed(EcaKey),
+    /// General view: ECA.
+    General(Eca),
+}
+
+/// The ECA-Local maintainer.
+pub struct EcaLocal {
+    inner: Inner,
+}
+
+/// Which local-handling mode a view admits.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LocalMode {
+    /// All updates handled locally (single-relation view).
+    AllLocal,
+    /// Deletions local, insertions queried (fully keyed view).
+    DeletesLocal,
+    /// Nothing local; full ECA compensation.
+    NoneLocal,
+}
+
+impl EcaLocal {
+    /// Create with `initial = V[ss0]`, choosing the local-handling mode
+    /// from the view shape.
+    pub fn new(view: ViewDef, initial: SignedBag) -> Self {
+        let inner = if view.base().len() == 1 {
+            Inner::SingleRelation { view, mv: initial }
+        } else if view.is_fully_keyed() && !view.has_repeated_relations() {
+            Inner::Keyed(EcaKey::new(view, initial).expect("checked is_fully_keyed"))
+        } else {
+            Inner::General(Eca::new(view, initial))
+        };
+        EcaLocal { inner }
+    }
+
+    /// The local-handling mode selected for this view.
+    pub fn mode(&self) -> LocalMode {
+        match &self.inner {
+            Inner::SingleRelation { .. } => LocalMode::AllLocal,
+            Inner::Keyed(_) => LocalMode::DeletesLocal,
+            Inner::General(_) => LocalMode::NoneLocal,
+        }
+    }
+
+    /// `V⟨U⟩` for a single-relation view, computed locally: apply the
+    /// selection and projection to the signed updated tuple.
+    fn local_delta(view: &ViewDef, st: &SignedTuple) -> Result<SignedBag, CoreError> {
+        let mut bag = SignedBag::new();
+        bag.add(st.tuple.clone(), st.sign.factor());
+        let selected = select(&bag, view.cond())?;
+        Ok(project(&selected, view.proj())?)
+    }
+}
+
+impl ViewMaintainer for EcaLocal {
+    fn algorithm(&self) -> &'static str {
+        "ECA-Local"
+    }
+
+    fn view(&self) -> &ViewDef {
+        match &self.inner {
+            Inner::SingleRelation { view, .. } => view,
+            Inner::Keyed(k) => k.view(),
+            Inner::General(e) => e.view(),
+        }
+    }
+
+    fn materialized(&self) -> &SignedBag {
+        match &self.inner {
+            Inner::SingleRelation { mv, .. } => mv,
+            Inner::Keyed(k) => k.materialized(),
+            Inner::General(e) => e.materialized(),
+        }
+    }
+
+    fn on_update(&mut self, update: &Update) -> Result<Vec<OutboundQuery>, CoreError> {
+        match &mut self.inner {
+            Inner::SingleRelation { view, mv } => {
+                if !view.involves(update) {
+                    return Ok(Vec::new());
+                }
+                let delta = Self::local_delta(view, &update.signed_tuple())?;
+                mv.merge(&delta);
+                Ok(Vec::new())
+            }
+            Inner::Keyed(k) => k.on_update(update),
+            Inner::General(e) => e.on_update(update),
+        }
+    }
+
+    fn on_answer(
+        &mut self,
+        id: QueryId,
+        answer: SignedBag,
+    ) -> Result<Vec<OutboundQuery>, CoreError> {
+        match &mut self.inner {
+            Inner::SingleRelation { .. } => Err(CoreError::UnknownQuery { id: id.0 }),
+            Inner::Keyed(k) => k.on_answer(id, answer),
+            Inner::General(e) => e.on_answer(id, answer),
+        }
+    }
+
+    fn is_quiescent(&self) -> bool {
+        match &self.inner {
+            Inner::SingleRelation { .. } => true,
+            Inner::Keyed(k) => k.is_quiescent(),
+            Inner::General(e) => e.is_quiescent(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basedb::BaseDb;
+    use eca_relational::{CmpOp, Predicate, Schema, Tuple};
+
+    fn single_rel_view() -> ViewDef {
+        // V = π_A(σ_{A < B}(r1(A,B)))
+        ViewDef::new(
+            "V",
+            vec![Schema::new("r1", &["A", "B"])],
+            Predicate::col_cmp(0, CmpOp::Lt, 1),
+            vec![0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn mode_selection() {
+        assert_eq!(
+            EcaLocal::new(single_rel_view(), SignedBag::new()).mode(),
+            LocalMode::AllLocal
+        );
+
+        let keyed = ViewDef::new(
+            "V",
+            vec![
+                Schema::with_key("r1", &["W", "X"], &["W"]).unwrap(),
+                Schema::with_key("r2", &["X", "Y"], &["Y"]).unwrap(),
+            ],
+            Predicate::col_eq(1, 2),
+            vec![0, 3],
+        )
+        .unwrap();
+        assert_eq!(
+            EcaLocal::new(keyed, SignedBag::new()).mode(),
+            LocalMode::DeletesLocal
+        );
+
+        let general = ViewDef::new(
+            "V",
+            vec![
+                Schema::new("r1", &["W", "X"]),
+                Schema::new("r2", &["X", "Y"]),
+            ],
+            Predicate::col_eq(1, 2),
+            vec![0],
+        )
+        .unwrap();
+        assert_eq!(
+            EcaLocal::new(general, SignedBag::new()).mode(),
+            LocalMode::NoneLocal
+        );
+    }
+
+    #[test]
+    fn single_relation_updates_are_local_and_exact() {
+        let v = single_rel_view();
+        let mut db = BaseDb::for_view(&v);
+        let mut alg = EcaLocal::new(v.clone(), SignedBag::new());
+
+        let script = [
+            Update::insert("r1", Tuple::ints([1, 5])), // passes σ
+            Update::insert("r1", Tuple::ints([9, 2])), // filtered out
+            Update::insert("r1", Tuple::ints([1, 5])), // duplicate
+            Update::delete("r1", Tuple::ints([1, 5])), // remove one copy
+        ];
+        for u in &script {
+            db.apply(u);
+            let qs = alg.on_update(u).unwrap();
+            assert!(qs.is_empty(), "single-relation ECAL never queries");
+            assert_eq!(*alg.materialized(), v.eval(&db).unwrap());
+        }
+        assert_eq!(alg.materialized().count(&Tuple::ints([1])), 1);
+    }
+
+    #[test]
+    fn single_relation_rejects_answers() {
+        let mut alg = EcaLocal::new(single_rel_view(), SignedBag::new());
+        assert!(alg.on_answer(QueryId(1), SignedBag::new()).is_err());
+        assert!(alg.is_quiescent());
+    }
+
+    #[test]
+    fn general_fallback_compensates_like_eca() {
+        // Replay Example 2; the general fallback must repair the anomaly.
+        let v = ViewDef::new(
+            "V",
+            vec![
+                Schema::new("r1", &["W", "X"]),
+                Schema::new("r2", &["X", "Y"]),
+            ],
+            Predicate::col_eq(1, 2),
+            vec![0],
+        )
+        .unwrap();
+        let mut db = BaseDb::for_view(&v);
+        db.insert("r1", Tuple::ints([1, 2]));
+        let mut alg = EcaLocal::new(v.clone(), SignedBag::new());
+
+        let u1 = Update::insert("r2", Tuple::ints([2, 3]));
+        let u2 = Update::insert("r1", Tuple::ints([4, 2]));
+        db.apply(&u1);
+        let q1 = alg.on_update(&u1).unwrap().remove(0);
+        db.apply(&u2);
+        let q2 = alg.on_update(&u2).unwrap().remove(0);
+        assert_eq!(q2.query.terms().len(), 2, "compensation expected");
+        alg.on_answer(q1.id, q1.query.eval(&db).unwrap()).unwrap();
+        alg.on_answer(q2.id, q2.query.eval(&db).unwrap()).unwrap();
+        assert_eq!(*alg.materialized(), v.eval(&db).unwrap());
+    }
+
+    #[test]
+    fn keyed_fallback_deletes_locally() {
+        let v = ViewDef::new(
+            "V",
+            vec![
+                Schema::with_key("r1", &["W", "X"], &["W"]).unwrap(),
+                Schema::with_key("r2", &["X", "Y"], &["Y"]).unwrap(),
+            ],
+            Predicate::col_eq(1, 2),
+            vec![0, 3],
+        )
+        .unwrap();
+        let mut db = BaseDb::for_view(&v);
+        db.insert("r1", Tuple::ints([1, 2]));
+        db.insert("r2", Tuple::ints([2, 3]));
+        let mut alg = EcaLocal::new(v.clone(), v.eval(&db).unwrap());
+        let u = Update::delete("r1", Tuple::ints([1, 2]));
+        db.apply(&u);
+        assert!(
+            alg.on_update(&u).unwrap().is_empty(),
+            "delete handled locally"
+        );
+        assert_eq!(*alg.materialized(), v.eval(&db).unwrap());
+    }
+}

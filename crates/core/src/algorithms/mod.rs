@@ -1,0 +1,134 @@
+//! The view-maintenance algorithm family.
+//!
+//! | Algorithm | Paper section | Guarantee (over interleaved histories) |
+//! |---|---|---|
+//! | [`Basic`] | Alg. 5.1 (\[BLT86\] adapted) | none — exhibits anomalies |
+//! | [`Eca`] | Alg. 5.2 | strong consistency |
+//! | [`EcaKey`] | §5.4 | strong consistency (keyed views) |
+//! | [`EcaLocal`] | §5.5 (future work in paper) | strong consistency on supported view classes |
+//! | [`Lca`] | §5.3 (sketched in paper) | completeness |
+//! | [`RecomputeView`] | Alg. D.1 | strong consistency |
+//! | [`StoreCopies`] | §1.2 | completeness (local replicas) |
+
+pub mod basic;
+pub mod batch;
+pub mod deferred;
+pub mod eca;
+pub mod ecak;
+pub mod ecal;
+pub mod lca;
+pub mod rv;
+pub mod sc;
+
+pub use basic::Basic;
+pub use batch::BatchEca;
+pub use deferred::Deferred;
+pub use eca::Eca;
+pub use ecak::EcaKey;
+pub use ecal::EcaLocal;
+pub use lca::Lca;
+pub use rv::RecomputeView;
+pub use sc::StoreCopies;
+
+use crate::error::CoreError;
+use crate::maintainer::ViewMaintainer;
+use crate::view::ViewDef;
+
+/// Which algorithm to instantiate — used by the simulator, benches and
+/// examples to parameterize runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AlgorithmKind {
+    /// The anomalous baseline (Alg. 5.1).
+    Basic,
+    /// The Eager Compensating Algorithm (Alg. 5.2), queries sent
+    /// verbatim.
+    Eca,
+    /// ECA with the Appendix D.2 refinement: fully-bound terms are
+    /// evaluated locally, never shipped. The §6 cost analysis assumes
+    /// this variant.
+    EcaOptimized,
+    /// ECA-Key (§5.4); requires a fully keyed view.
+    EcaKey,
+    /// ECA-Local (§5.5).
+    EcaLocal,
+    /// The Lazy Compensating Algorithm (§5.3).
+    Lca,
+    /// Recompute the view every `s` updates (Alg. D.1).
+    RecomputeView {
+        /// Recompute period `s ≥ 1`.
+        period: u64,
+    },
+    /// Store copies of all base relations at the warehouse (§1.2).
+    StoreCopies,
+    /// ECA with update batching: one coalesced query per `batch_size`
+    /// updates (§7 future work).
+    BatchEca {
+        /// Updates per batch (≥ 1).
+        batch_size: usize,
+    },
+}
+
+impl AlgorithmKind {
+    /// Instantiate the algorithm for `view` with `initial` as the starting
+    /// materialized state (which must equal `V[ss0]`). Store-Copies starts
+    /// with empty replicas; use [`AlgorithmKind::instantiate_with_base`]
+    /// when the source starts non-empty.
+    ///
+    /// # Errors
+    /// Propagates per-algorithm construction errors (e.g. ECA-Key on an
+    /// unkeyed view).
+    pub fn instantiate(
+        self,
+        view: &ViewDef,
+        initial: eca_relational::SignedBag,
+    ) -> Result<Box<dyn ViewMaintainer>, CoreError> {
+        self.instantiate_with_base(view, initial, None)
+    }
+
+    /// As [`AlgorithmKind::instantiate`], but supplies the source's initial
+    /// base-relation contents so replica-keeping strategies (Store-Copies)
+    /// start in sync.
+    ///
+    /// # Errors
+    /// Propagates per-algorithm construction errors.
+    pub fn instantiate_with_base(
+        self,
+        view: &ViewDef,
+        initial: eca_relational::SignedBag,
+        initial_base: Option<crate::BaseDb>,
+    ) -> Result<Box<dyn ViewMaintainer>, CoreError> {
+        Ok(match self {
+            AlgorithmKind::Basic => Box::new(Basic::new(view.clone(), initial)),
+            AlgorithmKind::Eca => Box::new(Eca::new(view.clone(), initial)),
+            AlgorithmKind::EcaOptimized => Box::new(Eca::with_local_eval(view.clone(), initial)),
+            AlgorithmKind::EcaKey => Box::new(EcaKey::new(view.clone(), initial)?),
+            AlgorithmKind::EcaLocal => Box::new(EcaLocal::new(view.clone(), initial)),
+            AlgorithmKind::Lca => Box::new(Lca::new(view.clone(), initial)),
+            AlgorithmKind::RecomputeView { period } => {
+                Box::new(RecomputeView::new(view.clone(), initial, period)?)
+            }
+            AlgorithmKind::StoreCopies => match initial_base {
+                Some(db) => Box::new(StoreCopies::with_replicas(view.clone(), initial, db)),
+                None => Box::new(StoreCopies::new(view.clone(), initial)),
+            },
+            AlgorithmKind::BatchEca { batch_size } => {
+                Box::new(BatchEca::new(view.clone(), initial, batch_size)?)
+            }
+        })
+    }
+
+    /// Display name matching the paper's abbreviations.
+    pub fn label(self) -> &'static str {
+        match self {
+            AlgorithmKind::Basic => "Basic",
+            AlgorithmKind::Eca => "ECA",
+            AlgorithmKind::EcaOptimized => "ECA*",
+            AlgorithmKind::EcaKey => "ECA-Key",
+            AlgorithmKind::EcaLocal => "ECA-Local",
+            AlgorithmKind::Lca => "LCA",
+            AlgorithmKind::RecomputeView { .. } => "RV",
+            AlgorithmKind::StoreCopies => "SC",
+            AlgorithmKind::BatchEca { .. } => "Batch-ECA",
+        }
+    }
+}

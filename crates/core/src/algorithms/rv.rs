@@ -1,0 +1,182 @@
+//! The Recompute-View strategy (paper §1.2 and Algorithm D.1).
+//!
+//! Every `s`-th update, the warehouse asks the source to evaluate the full
+//! view expression and *replaces* `MV` with the answer. Because the source
+//! evaluates the view atomically on its current state, every installed
+//! state is a valid source view state, so RV is strongly consistent — at
+//! the price of shipping the entire view each time.
+
+use std::collections::BTreeSet;
+
+use eca_relational::{SignedBag, Update};
+
+use crate::error::CoreError;
+use crate::expr::QueryId;
+use crate::maintainer::{OutboundQuery, QueryIdGen, ViewMaintainer};
+use crate::view::ViewDef;
+
+/// The periodic-recompute maintainer.
+pub struct RecomputeView {
+    view: ViewDef,
+    mv: SignedBag,
+    period: u64,
+    count: u64,
+    uqs: BTreeSet<QueryId>,
+    ids: QueryIdGen,
+}
+
+impl RecomputeView {
+    /// Create with recompute period `s ≥ 1` (Algorithm D.1's `s`).
+    ///
+    /// # Errors
+    /// [`CoreError::InvalidRecomputePeriod`] when `period == 0`.
+    pub fn new(view: ViewDef, initial: SignedBag, period: u64) -> Result<Self, CoreError> {
+        if period == 0 {
+            return Err(CoreError::InvalidRecomputePeriod { period });
+        }
+        Ok(RecomputeView {
+            view,
+            mv: initial,
+            period,
+            count: 0,
+            uqs: BTreeSet::new(),
+            ids: QueryIdGen::new(),
+        })
+    }
+
+    /// The recompute period `s`.
+    pub fn period(&self) -> u64 {
+        self.period
+    }
+}
+
+impl ViewMaintainer for RecomputeView {
+    fn algorithm(&self) -> &'static str {
+        "RV"
+    }
+
+    fn view(&self) -> &ViewDef {
+        &self.view
+    }
+
+    fn materialized(&self) -> &SignedBag {
+        &self.mv
+    }
+
+    fn on_update(&mut self, update: &Update) -> Result<Vec<OutboundQuery>, CoreError> {
+        if !self.view.involves(update) {
+            return Ok(Vec::new());
+        }
+        self.count += 1;
+        if self.count % self.period != 0 {
+            return Ok(Vec::new());
+        }
+        let id = self.ids.fresh();
+        self.uqs.insert(id);
+        Ok(vec![OutboundQuery {
+            id,
+            query: self.view.as_query(),
+        }])
+    }
+
+    fn on_answer(
+        &mut self,
+        id: QueryId,
+        answer: SignedBag,
+    ) -> Result<Vec<OutboundQuery>, CoreError> {
+        if !self.uqs.remove(&id) {
+            return Err(CoreError::UnknownQuery { id: id.0 });
+        }
+        // MV ← A_i (replace, not merge — Algorithm D.1).
+        self.mv = answer;
+        Ok(Vec::new())
+    }
+
+    fn is_quiescent(&self) -> bool {
+        self.uqs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basedb::BaseDb;
+    use eca_relational::{Predicate, Schema, Tuple};
+
+    fn view2() -> ViewDef {
+        ViewDef::new(
+            "V",
+            vec![
+                Schema::new("r1", &["W", "X"]),
+                Schema::new("r2", &["X", "Y"]),
+            ],
+            Predicate::col_eq(1, 2),
+            vec![0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn period_zero_rejected() {
+        assert!(RecomputeView::new(view2(), SignedBag::new(), 0).is_err());
+    }
+
+    /// Paper §1.2: recomputing after U2 in Example 2 yields the correct
+    /// view.
+    #[test]
+    fn example_2_fixed_by_recompute() {
+        let v = view2();
+        let mut db = BaseDb::for_view(&v);
+        db.insert("r1", Tuple::ints([1, 2]));
+        // Recompute every 2 updates.
+        let mut alg = RecomputeView::new(v.clone(), SignedBag::new(), 2).unwrap();
+
+        let u1 = Update::insert("r2", Tuple::ints([2, 3]));
+        let u2 = Update::insert("r1", Tuple::ints([4, 2]));
+        db.apply(&u1);
+        assert!(alg.on_update(&u1).unwrap().is_empty(), "skipped by period");
+        db.apply(&u2);
+        let q = alg.on_update(&u2).unwrap().remove(0);
+        let a = q.query.eval(&db).unwrap();
+        alg.on_answer(q.id, a).unwrap();
+
+        assert_eq!(
+            *alg.materialized(),
+            SignedBag::from_tuples([Tuple::ints([1]), Tuple::ints([4])])
+        );
+        assert_eq!(*alg.materialized(), v.eval(&db).unwrap());
+    }
+
+    #[test]
+    fn period_one_recomputes_every_update() {
+        let v = view2();
+        let mut db = BaseDb::for_view(&v);
+        db.insert("r1", Tuple::ints([1, 2]));
+        let mut alg = RecomputeView::new(v.clone(), SignedBag::new(), 1).unwrap();
+        for i in 0..3 {
+            let u = Update::insert("r2", Tuple::ints([2, i]));
+            db.apply(&u);
+            let q = alg.on_update(&u).unwrap().remove(0);
+            let a = q.query.eval(&db).unwrap();
+            alg.on_answer(q.id, a).unwrap();
+            assert_eq!(*alg.materialized(), v.eval(&db).unwrap());
+        }
+    }
+
+    #[test]
+    fn replace_semantics_not_merge() {
+        let v = view2();
+        let mut db = BaseDb::for_view(&v);
+        db.insert("r1", Tuple::ints([1, 2]));
+        db.insert("r2", Tuple::ints([2, 3]));
+        // Start with a wrong MV: replacement must discard it.
+        let wrong = SignedBag::from_tuples([Tuple::ints([9])]);
+        let mut alg = RecomputeView::new(v.clone(), wrong, 1).unwrap();
+        let u = Update::insert("r2", Tuple::ints([2, 4]));
+        db.apply(&u);
+        let q = alg.on_update(&u).unwrap().remove(0);
+        alg.on_answer(q.id, q.query.eval(&db).unwrap()).unwrap();
+        assert_eq!(alg.materialized().count(&Tuple::ints([9])), 0);
+        assert_eq!(*alg.materialized(), v.eval(&db).unwrap());
+    }
+}

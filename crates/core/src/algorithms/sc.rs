@@ -1,0 +1,208 @@
+//! The Store-Copies strategy (paper §1.2).
+//!
+//! The warehouse keeps up-to-date replicas of all base relations used in
+//! its views. Every maintenance query is evaluated *locally* against the
+//! replicas, so no anomaly can arise and no query is ever sent to the
+//! source. The costs are warehouse storage for all base data and the work
+//! of keeping replicas current.
+//!
+//! Because update notifications arrive in source order, the replicas pass
+//! through exactly the source states `ss_0, ss_1, …`, and `MV` is updated
+//! incrementally with `V⟨U_i⟩` evaluated on `ss_i` (Lemma B.2 gives
+//! `V[ss_i] = V[ss_{i-1}] + V⟨U_i⟩[ss_i]`) — so SC is complete.
+
+use eca_relational::{SignedBag, Update, UpdateKind};
+
+use crate::basedb::{BaseDb, BaseLookup};
+use crate::error::CoreError;
+use crate::expr::QueryId;
+use crate::maintainer::{OutboundQuery, ViewMaintainer};
+use crate::view::ViewDef;
+
+/// The store-copies maintainer.
+pub struct StoreCopies {
+    view: ViewDef,
+    mv: SignedBag,
+    replicas: BaseDb,
+}
+
+impl StoreCopies {
+    /// Create with `initial = V[ss0]` and empty replicas.
+    ///
+    /// Use [`StoreCopies::with_replicas`] when the source starts non-empty.
+    pub fn new(view: ViewDef, initial: SignedBag) -> Self {
+        let replicas = BaseDb::for_view(&view);
+        StoreCopies {
+            view,
+            mv: initial,
+            replicas,
+        }
+    }
+
+    /// Create with pre-seeded replicas matching the source's initial state.
+    pub fn with_replicas(view: ViewDef, initial: SignedBag, replicas: BaseDb) -> Self {
+        StoreCopies {
+            view,
+            mv: initial,
+            replicas,
+        }
+    }
+
+    /// The replicated base relations (exposed for storage-cost accounting).
+    pub fn replicas(&self) -> &BaseDb {
+        &self.replicas
+    }
+}
+
+impl ViewMaintainer for StoreCopies {
+    fn algorithm(&self) -> &'static str {
+        "SC"
+    }
+
+    fn view(&self) -> &ViewDef {
+        &self.view
+    }
+
+    fn materialized(&self) -> &SignedBag {
+        &self.mv
+    }
+
+    fn on_update(&mut self, update: &Update) -> Result<Vec<OutboundQuery>, CoreError> {
+        if !self.view.involves(update) {
+            return Ok(Vec::new());
+        }
+        // Guard against ineffective deletes so replicas never go negative.
+        if update.kind == UpdateKind::Delete
+            && self
+                .replicas
+                .bag(&update.relation)
+                .map_or(true, |b| b.count(&update.tuple) <= 0)
+        {
+            return Ok(Vec::new());
+        }
+        self.replicas.apply(update);
+        // Δ = V⟨U⟩ evaluated on the replicas *after* applying U: all other
+        // relations are at the current state, U's relation is replaced by
+        // the signed tuple.
+        let delta = self.view.substitute(update)?.eval(&self.replicas)?;
+        self.mv.merge(&delta);
+        Ok(Vec::new())
+    }
+
+    fn on_answer(
+        &mut self,
+        id: QueryId,
+        _answer: SignedBag,
+    ) -> Result<Vec<OutboundQuery>, CoreError> {
+        // SC never sends queries.
+        Err(CoreError::UnknownQuery { id: id.0 })
+    }
+
+    fn is_quiescent(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eca_relational::{Predicate, Schema, Tuple};
+
+    fn view2() -> ViewDef {
+        ViewDef::new(
+            "V",
+            vec![
+                Schema::new("r1", &["W", "X"]),
+                Schema::new("r2", &["X", "Y"]),
+            ],
+            Predicate::col_eq(1, 2),
+            vec![0],
+        )
+        .unwrap()
+    }
+
+    /// Example 2's interleaving is harmless under SC: queries are local.
+    #[test]
+    fn example_2_no_anomaly() {
+        let v = view2();
+        let mut source = BaseDb::for_view(&v);
+        source.insert("r1", Tuple::ints([1, 2]));
+        let mut alg = StoreCopies::with_replicas(v.clone(), SignedBag::new(), source.clone());
+
+        let u1 = Update::insert("r2", Tuple::ints([2, 3]));
+        let u2 = Update::insert("r1", Tuple::ints([4, 2]));
+        source.apply(&u1);
+        alg.on_update(&u1).unwrap();
+        // Already correct after U1 — completeness.
+        assert_eq!(*alg.materialized(), v.eval(&source).unwrap());
+        source.apply(&u2);
+        alg.on_update(&u2).unwrap();
+        assert_eq!(
+            *alg.materialized(),
+            SignedBag::from_tuples([Tuple::ints([1]), Tuple::ints([4])])
+        );
+    }
+
+    #[test]
+    fn deletions_tracked_exactly() {
+        let v = view2();
+        let mut source = BaseDb::for_view(&v);
+        source.insert("r1", Tuple::ints([1, 2]));
+        source.insert("r2", Tuple::ints([2, 3]));
+        let mut alg =
+            StoreCopies::with_replicas(v.clone(), v.eval(&source).unwrap(), source.clone());
+
+        for u in [
+            Update::delete("r1", Tuple::ints([1, 2])),
+            Update::delete("r2", Tuple::ints([2, 3])),
+        ] {
+            source.apply(&u);
+            alg.on_update(&u).unwrap();
+            assert_eq!(*alg.materialized(), v.eval(&source).unwrap());
+        }
+        assert!(alg.materialized().is_empty());
+    }
+
+    #[test]
+    fn ineffective_delete_is_noop() {
+        let v = view2();
+        let mut alg = StoreCopies::new(v, SignedBag::new());
+        let u = Update::delete("r1", Tuple::ints([9, 9]));
+        assert!(alg.on_update(&u).unwrap().is_empty());
+        assert!(alg.materialized().is_empty());
+        assert_eq!(alg.replicas().total_cardinality(), 0);
+    }
+
+    #[test]
+    fn never_sends_or_accepts_queries() {
+        let v = view2();
+        let mut alg = StoreCopies::new(v, SignedBag::new());
+        let qs = alg
+            .on_update(&Update::insert("r1", Tuple::ints([1, 2])))
+            .unwrap();
+        assert!(qs.is_empty());
+        assert!(alg.on_answer(QueryId(1), SignedBag::new()).is_err());
+        assert!(alg.is_quiescent());
+    }
+
+    #[test]
+    fn duplicate_handling_in_replicas() {
+        let v = view2();
+        let mut source = BaseDb::for_view(&v);
+        source.insert("r2", Tuple::ints([2, 3]));
+        let mut alg = StoreCopies::with_replicas(v.clone(), SignedBag::new(), source.clone());
+        // Insert the same r1 tuple twice: view gains two copies.
+        for _ in 0..2 {
+            let u = Update::insert("r1", Tuple::ints([1, 2]));
+            source.apply(&u);
+            alg.on_update(&u).unwrap();
+        }
+        assert_eq!(alg.materialized().count(&Tuple::ints([1])), 2);
+        // Delete one copy: one view copy goes away.
+        let u = Update::delete("r1", Tuple::ints([1, 2]));
+        source.apply(&u);
+        alg.on_update(&u).unwrap();
+        assert_eq!(alg.materialized().count(&Tuple::ints([1])), 1);
+        assert_eq!(*alg.materialized(), v.eval(&source).unwrap());
+    }
+}

@@ -1,0 +1,156 @@
+//! An in-memory base-relation store.
+//!
+//! [`BaseDb`] is the *logical* reference implementation of a source's data:
+//! a map from relation name to signed-bag contents. It is used by
+//!
+//! * unit tests throughout the workspace,
+//! * the Store-Copies strategy (the warehouse's local replicas, §1.2),
+//! * differential tests that check the physical storage engine
+//!   (`eca-storage`) returns identical answers.
+//!
+//! The physical, I/O-metered source lives in `eca-source`.
+
+use std::collections::BTreeMap;
+
+use eca_relational::{SignedBag, Tuple, Update, UpdateKind};
+
+use crate::view::ViewDef;
+
+/// Read access to base relation contents by name. Implemented by
+/// [`BaseDb`] and by the physical engine in `eca-source`.
+pub trait BaseLookup {
+    /// The current contents of the named relation, or `None` if unknown.
+    fn bag(&self, name: &str) -> Option<&SignedBag>;
+}
+
+/// A simple named collection of base relations.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BaseDb {
+    rels: BTreeMap<String, SignedBag>,
+}
+
+impl BaseDb {
+    /// An empty store with no relations registered.
+    pub fn new() -> Self {
+        BaseDb::default()
+    }
+
+    /// Create a store with one empty relation per base relation of `view`.
+    pub fn for_view(view: &ViewDef) -> Self {
+        let mut db = BaseDb::new();
+        for s in view.base() {
+            db.rels.insert(s.relation().to_owned(), SignedBag::new());
+        }
+        db
+    }
+
+    /// Register an (empty) relation.
+    pub fn register(&mut self, name: impl Into<String>) {
+        self.rels.entry(name.into()).or_default();
+    }
+
+    /// Relation names in deterministic order.
+    pub fn relation_names(&self) -> impl Iterator<Item = &str> + '_ {
+        self.rels.keys().map(String::as_str)
+    }
+
+    /// Insert one copy of `tuple` into `relation` (auto-registers).
+    pub fn insert(&mut self, relation: &str, tuple: Tuple) {
+        self.rels
+            .entry(relation.to_owned())
+            .or_default()
+            .add(tuple, 1);
+    }
+
+    /// Apply an update. Returns `false` when a deletion found no copy to
+    /// remove (the update was ineffective).
+    pub fn apply(&mut self, update: &Update) -> bool {
+        let bag = self.rels.entry(update.relation.clone()).or_default();
+        match update.kind {
+            UpdateKind::Insert => {
+                bag.add(update.tuple.clone(), 1);
+                true
+            }
+            UpdateKind::Delete => {
+                if bag.count(&update.tuple) > 0 {
+                    bag.add(update.tuple.clone(), -1);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Apply a sequence of updates.
+    pub fn apply_all<'a>(&mut self, updates: impl IntoIterator<Item = &'a Update>) {
+        for u in updates {
+            self.apply(u);
+        }
+    }
+
+    /// Total number of tuple occurrences across all relations.
+    pub fn total_cardinality(&self) -> u64 {
+        self.rels.values().map(SignedBag::pos_len).sum()
+    }
+}
+
+impl BaseLookup for BaseDb {
+    fn bag(&self, name: &str) -> Option<&SignedBag> {
+        self.rels.get(name)
+    }
+}
+
+impl std::fmt::Debug for BaseDb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut m = f.debug_map();
+        for (k, v) in &self.rels {
+            m.entry(k, v);
+        }
+        m.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut db = BaseDb::new();
+        db.insert("r1", Tuple::ints([1, 2]));
+        assert_eq!(db.bag("r1").unwrap().count(&Tuple::ints([1, 2])), 1);
+        assert!(db.bag("nope").is_none());
+    }
+
+    #[test]
+    fn apply_updates() {
+        let mut db = BaseDb::new();
+        assert!(db.apply(&Update::insert("r", Tuple::ints([1]))));
+        assert!(db.apply(&Update::delete("r", Tuple::ints([1]))));
+        // Deleting again is ineffective.
+        assert!(!db.apply(&Update::delete("r", Tuple::ints([1]))));
+        assert!(db.bag("r").unwrap().is_empty());
+    }
+
+    #[test]
+    fn apply_all_and_cardinality() {
+        let mut db = BaseDb::new();
+        let us = vec![
+            Update::insert("a", Tuple::ints([1])),
+            Update::insert("a", Tuple::ints([1])),
+            Update::insert("b", Tuple::ints([2])),
+        ];
+        db.apply_all(&us);
+        assert_eq!(db.total_cardinality(), 3);
+    }
+
+    #[test]
+    fn registered_relations_listed() {
+        let mut db = BaseDb::new();
+        db.register("z");
+        db.register("a");
+        let names: Vec<_> = db.relation_names().collect();
+        assert_eq!(names, vec!["a", "z"]);
+    }
+}

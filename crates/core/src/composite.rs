@@ -1,0 +1,318 @@
+//! Union / difference views (paper §7: *"We will modify the algorithms to
+//! handle views defined by more complex relational algebra expressions
+//! (e.g., using union and/or difference)"*).
+//!
+//! Under the paper's own signed-count semantics (§4.1), bag union and bag
+//! difference are **linear**: a composite view
+//!
+//! ```text
+//! V = Σ_b  sign_b · V_b        (sign_b ∈ {+1, −1})
+//! ```
+//!
+//! is maintained exactly by maintaining each SPJ branch `V_b`
+//! independently (with any strongly consistent algorithm) and combining
+//! the branch materializations with signed addition. Each branch sees the
+//! same in-order update stream, so at quiescence every branch holds
+//! `V_b[ss_p]` and the combination holds `V[ss_p]`.
+//!
+//! Note this is the *signed* (monoid) difference: counts may go negative
+//! if a tuple occurs more often in the subtracted branch, mirroring how
+//! signed relations behave everywhere else in the paper. `positive_part`
+//! of the result is the monus (proper bag difference) when needed.
+
+use eca_relational::{SignedBag, Update};
+
+use crate::error::CoreError;
+use crate::expr::QueryId;
+use crate::maintainer::{OutboundQuery, QueryIdGen, ViewMaintainer};
+use crate::view::ViewDef;
+
+/// One branch of a composite view: a coefficient and its maintainer.
+struct Branch {
+    sign: i64,
+    maintainer: Box<dyn ViewMaintainer>,
+}
+
+/// A warehouse view defined as a signed combination of SPJ views.
+pub struct CompositeView {
+    name: String,
+    branches: Vec<Branch>,
+    ids: QueryIdGen,
+    /// Global id → (branch index, branch-local id).
+    routing: std::collections::BTreeMap<QueryId, (usize, QueryId)>,
+    /// Cached combination, rebuilt lazily after changes.
+    combined: SignedBag,
+    dirty: bool,
+}
+
+impl CompositeView {
+    /// An empty composite.
+    pub fn new(name: impl Into<String>) -> Self {
+        CompositeView {
+            name: name.into(),
+            branches: Vec::new(),
+            ids: QueryIdGen::new(),
+            routing: std::collections::BTreeMap::new(),
+            combined: SignedBag::new(),
+            dirty: false,
+        }
+    }
+
+    /// Add a positively-signed (union) branch.
+    pub fn union_branch(&mut self, maintainer: Box<dyn ViewMaintainer>) -> &mut Self {
+        self.push(1, maintainer)
+    }
+
+    /// Add a negatively-signed (difference) branch.
+    pub fn minus_branch(&mut self, maintainer: Box<dyn ViewMaintainer>) -> &mut Self {
+        self.push(-1, maintainer)
+    }
+
+    fn push(&mut self, sign: i64, maintainer: Box<dyn ViewMaintainer>) -> &mut Self {
+        self.branches.push(Branch { sign, maintainer });
+        self.dirty = true;
+        self
+    }
+
+    /// The composite's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of branches.
+    pub fn branch_count(&self) -> usize {
+        self.branches.len()
+    }
+
+    /// The branch views in order, with their signs.
+    pub fn branch_views(&self) -> impl Iterator<Item = (i64, &ViewDef)> + '_ {
+        self.branches.iter().map(|b| (b.sign, b.maintainer.view()))
+    }
+
+    /// Route an update to every branch whose view involves it.
+    ///
+    /// # Errors
+    /// Propagates branch maintainer errors.
+    pub fn on_update(&mut self, update: &Update) -> Result<Vec<OutboundQuery>, CoreError> {
+        let mut out = Vec::new();
+        for (idx, branch) in self.branches.iter_mut().enumerate() {
+            for q in branch.maintainer.on_update(update)? {
+                let global = self.ids.fresh();
+                self.routing.insert(global, (idx, q.id));
+                out.push(OutboundQuery {
+                    id: global,
+                    query: q.query,
+                });
+            }
+        }
+        self.dirty = true;
+        Ok(out)
+    }
+
+    /// Deliver an answer to its branch.
+    ///
+    /// # Errors
+    /// [`CoreError::UnknownQuery`] on unrouted ids.
+    pub fn on_answer(
+        &mut self,
+        id: QueryId,
+        answer: SignedBag,
+    ) -> Result<Vec<OutboundQuery>, CoreError> {
+        let (idx, local) = self
+            .routing
+            .remove(&id)
+            .ok_or(CoreError::UnknownQuery { id: id.0 })?;
+        let mut out = Vec::new();
+        for q in self.branches[idx].maintainer.on_answer(local, answer)? {
+            let global = self.ids.fresh();
+            self.routing.insert(global, (idx, q.id));
+            out.push(OutboundQuery {
+                id: global,
+                query: q.query,
+            });
+        }
+        self.dirty = true;
+        Ok(out)
+    }
+
+    /// The combined materialized view `Σ_b sign_b · MV_b`.
+    pub fn materialized(&mut self) -> &SignedBag {
+        if self.dirty {
+            let mut combined = SignedBag::new();
+            for b in &self.branches {
+                match b.sign {
+                    1 => combined.merge(b.maintainer.materialized()),
+                    -1 => combined.merge_negated(b.maintainer.materialized()),
+                    s => {
+                        for (t, c) in b.maintainer.materialized().iter() {
+                            combined.add(t.clone(), c * s);
+                        }
+                    }
+                }
+            }
+            self.combined = combined;
+            self.dirty = false;
+        }
+        &self.combined
+    }
+
+    /// Whether every branch is quiescent.
+    pub fn is_quiescent(&self) -> bool {
+        self.branches.iter().all(|b| b.maintainer.is_quiescent())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::AlgorithmKind;
+    use crate::basedb::BaseDb;
+    use eca_relational::{Predicate, Schema, Tuple};
+
+    fn branch(name: &str, right: &str) -> ViewDef {
+        // π_W(r1(W,X) ⋈ right(X,Y))
+        ViewDef::new(
+            name,
+            vec![
+                Schema::new("r1", &["W", "X"]),
+                Schema::new(right, &["X", "Y"]),
+            ],
+            Predicate::col_eq(1, 2),
+            vec![0],
+        )
+        .unwrap()
+    }
+
+    fn db() -> BaseDb {
+        let mut db = BaseDb::new();
+        for r in ["r1", "r2", "r3"] {
+            db.register(r);
+        }
+        db.insert("r1", Tuple::ints([1, 5]));
+        db.insert("r2", Tuple::ints([5, 0]));
+        db
+    }
+
+    fn settle(comp: &mut CompositeView, db: &BaseDb, mut queries: Vec<OutboundQuery>) {
+        while let Some(q) = queries.pop() {
+            let a = q.query.eval(db).unwrap();
+            queries.extend(comp.on_answer(q.id, a).unwrap());
+        }
+    }
+
+    /// Union view: V = π_W(r1 ⋈ r2) ∪ π_W(r1 ⋈ r3), maintained through
+    /// racing updates.
+    #[test]
+    fn union_view_converges() {
+        let v1 = branch("b1", "r2");
+        let v2 = branch("b2", "r3");
+        let mut db = db();
+        let mut comp = CompositeView::new("U");
+        comp.union_branch(
+            AlgorithmKind::Eca
+                .instantiate(&v1, v1.eval(&db).unwrap())
+                .unwrap(),
+        );
+        comp.union_branch(
+            AlgorithmKind::Eca
+                .instantiate(&v2, v2.eval(&db).unwrap())
+                .unwrap(),
+        );
+
+        let phase1 = [
+            Update::insert("r3", Tuple::ints([5, 9])), // derives [1] in b2 too
+            Update::insert("r1", Tuple::ints([4, 5])), // derives [4] in both
+        ];
+        let mut queries = Vec::new();
+        for u in &phase1 {
+            db.apply(u);
+            queries.extend(comp.on_update(u).unwrap());
+        }
+        settle(&mut comp, &db, queries);
+        assert!(comp.is_quiescent());
+        // Bag-union semantics: [4] derived once per branch → count 2.
+        assert_eq!(comp.materialized().count(&Tuple::ints([4])), 2);
+
+        // Deleting the r2 tuple kills all b1 derivations.
+        let del = Update::delete("r2", Tuple::ints([5, 0]));
+        db.apply(&del);
+        let queries = comp.on_update(&del).unwrap();
+        settle(&mut comp, &db, queries);
+
+        let expected = v1.eval(&db).unwrap().plus(&v2.eval(&db).unwrap());
+        assert_eq!(*comp.materialized(), expected);
+        assert_eq!(comp.materialized().count(&Tuple::ints([4])), 1);
+    }
+
+    /// Signed difference view: V = π_W(r1 ⋈ r2) − π_W(r1 ⋈ r3).
+    #[test]
+    fn difference_view_converges() {
+        let v1 = branch("b1", "r2");
+        let v2 = branch("b2", "r3");
+        let mut db = db();
+        let mut comp = CompositeView::new("D");
+        comp.union_branch(
+            AlgorithmKind::Eca
+                .instantiate(&v1, v1.eval(&db).unwrap())
+                .unwrap(),
+        );
+        comp.minus_branch(
+            AlgorithmKind::Eca
+                .instantiate(&v2, v2.eval(&db).unwrap())
+                .unwrap(),
+        );
+        assert_eq!(comp.branch_count(), 2);
+
+        // Initially: b1 = ([1]), b2 = ∅ → D = ([1]).
+        assert_eq!(comp.materialized().count(&Tuple::ints([1])), 1);
+
+        // Make b2 also derive [1]: the difference cancels.
+        let u = Update::insert("r3", Tuple::ints([5, 7]));
+        db.apply(&u);
+        let queries = comp.on_update(&u).unwrap();
+        settle(&mut comp, &db, queries);
+        let expected = v1.eval(&db).unwrap().minus(&v2.eval(&db).unwrap());
+        assert_eq!(*comp.materialized(), expected);
+        assert_eq!(comp.materialized().count(&Tuple::ints([1])), 0);
+
+        // Over-subtraction goes negative (signed semantics); the monus is
+        // the positive part.
+        let u2 = Update::insert("r3", Tuple::ints([5, 8]));
+        db.apply(&u2);
+        let queries = comp.on_update(&u2).unwrap();
+        settle(&mut comp, &db, queries);
+        assert_eq!(comp.materialized().count(&Tuple::ints([1])), -1);
+        assert!(comp.materialized().positive_part().is_empty());
+    }
+
+    /// Branches may use different algorithms.
+    #[test]
+    fn mixed_branch_algorithms() {
+        let v1 = branch("b1", "r2");
+        let v2 = branch("b2", "r3");
+        let mut db = db();
+        let mut comp = CompositeView::new("M");
+        comp.union_branch(
+            AlgorithmKind::Lca
+                .instantiate(&v1, v1.eval(&db).unwrap())
+                .unwrap(),
+        );
+        comp.union_branch(
+            AlgorithmKind::StoreCopies
+                .instantiate_with_base(&v2, v2.eval(&db).unwrap(), Some(db.clone()))
+                .unwrap(),
+        );
+        let u = Update::insert("r1", Tuple::ints([9, 5]));
+        db.apply(&u);
+        let queries = comp.on_update(&u).unwrap();
+        settle(&mut comp, &db, queries);
+        let expected = v1.eval(&db).unwrap().plus(&v2.eval(&db).unwrap());
+        assert_eq!(*comp.materialized(), expected);
+    }
+
+    #[test]
+    fn unknown_answer_rejected() {
+        let mut comp = CompositeView::new("X");
+        assert!(comp.on_answer(QueryId(1), SignedBag::new()).is_err());
+    }
+}

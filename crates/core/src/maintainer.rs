@@ -1,0 +1,110 @@
+//! The common interface of all warehouse view-maintenance algorithms.
+//!
+//! The warehouse side of every algorithm is a state machine reacting to two
+//! stimuli (paper §3's `W_up` and `W_ans` events):
+//!
+//! * an update notification arriving from the source, and
+//! * an answer relation arriving for a previously sent query.
+//!
+//! Each reaction may emit queries to be sent to the source. Transport and
+//! interleaving are supplied externally (by `eca-sim` or by a test
+//! harness), which is exactly the decoupling the paper studies.
+
+use eca_relational::{SignedBag, Update};
+
+use crate::error::CoreError;
+use crate::expr::{Query, QueryId};
+use crate::view::ViewDef;
+
+/// A query the warehouse wants evaluated at the source.
+#[derive(Clone, Debug)]
+pub struct OutboundQuery {
+    /// Correlation id: the answer must be delivered with this id.
+    pub id: QueryId,
+    /// The query expression.
+    pub query: Query,
+}
+
+/// A warehouse view-maintenance algorithm.
+///
+/// Implementations must be driven with in-order delivery: `on_update` calls
+/// follow the source's update order, and `on_answer` calls follow the order
+/// in which queries were emitted (FIFO channels, paper §3's message
+/// ordering assumption).
+pub trait ViewMaintainer {
+    /// Short algorithm name for traces and reports (e.g. `"ECA"`).
+    fn algorithm(&self) -> &'static str;
+
+    /// The maintained view definition.
+    fn view(&self) -> &ViewDef;
+
+    /// The current materialized view `MV`.
+    fn materialized(&self) -> &SignedBag;
+
+    /// React to an update notification (a `W_up` event). Returns queries
+    /// to send to the source, in order.
+    ///
+    /// # Errors
+    /// Implementation-specific validation errors.
+    fn on_update(&mut self, update: &Update) -> Result<Vec<OutboundQuery>, CoreError>;
+
+    /// React to a query answer (a `W_ans` event). Returns follow-up
+    /// queries (none, for the paper's algorithms).
+    ///
+    /// # Errors
+    /// [`CoreError::UnknownQuery`] when `id` is not pending.
+    fn on_answer(
+        &mut self,
+        id: QueryId,
+        answer: SignedBag,
+    ) -> Result<Vec<OutboundQuery>, CoreError>;
+
+    /// Whether no queries are outstanding (`UQS = ∅`) and all received
+    /// information has been applied to `MV`.
+    fn is_quiescent(&self) -> bool;
+
+    /// Distinct states `MV` passed through during the *last* `on_update`/
+    /// `on_answer` call, in order, when more than one delta was applied
+    /// inside a single event (the Lazy Compensating Algorithm can close
+    /// several buffered per-update deltas on one answer). The default —
+    /// an empty vector — means "only the current [`materialized`] state".
+    /// Harnesses recording state histories must consume this after every
+    /// event or intermediate states are lost.
+    ///
+    /// [`materialized`]: ViewMaintainer::materialized
+    fn drain_intermediate_states(&mut self) -> Vec<SignedBag> {
+        Vec::new()
+    }
+}
+
+/// Allocates fresh [`QueryId`]s. Shared by all algorithm implementations.
+#[derive(Debug, Default, Clone)]
+pub struct QueryIdGen {
+    next: u64,
+}
+
+impl QueryIdGen {
+    /// A generator starting at id 1.
+    pub fn new() -> Self {
+        QueryIdGen { next: 1 }
+    }
+
+    /// The next fresh id.
+    pub fn fresh(&mut self) -> QueryId {
+        let id = QueryId(self.next);
+        self.next += 1;
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_gen_is_sequential() {
+        let mut g = QueryIdGen::new();
+        assert_eq!(g.fresh(), QueryId(1));
+        assert_eq!(g.fresh(), QueryId(2));
+    }
+}

@@ -1,0 +1,269 @@
+//! A warehouse hosting several materialized views (paper §7: *"in a
+//! warehouse consisting of multiple views where each view is over data
+//! from a single source, ECA is simply applied to each view
+//! separately"*).
+//!
+//! [`MultiView`] routes each update notification to every hosted
+//! maintainer whose view involves the updated relation, and demultiplexes
+//! answers back to the owning maintainer. Query ids are remapped to a
+//! warehouse-global space so that independent maintainers (each with its
+//! own id counter) can share one channel to the source.
+
+use std::collections::BTreeMap;
+
+use eca_relational::{SignedBag, Update};
+
+use crate::error::CoreError;
+use crate::expr::QueryId;
+use crate::maintainer::{OutboundQuery, QueryIdGen, ViewMaintainer};
+
+/// A set of independently maintained views sharing one source channel.
+#[derive(Default)]
+pub struct MultiView {
+    maintainers: Vec<Box<dyn ViewMaintainer>>,
+    ids: QueryIdGen,
+    /// Global query id → (maintainer index, maintainer-local id).
+    routing: BTreeMap<QueryId, (usize, QueryId)>,
+}
+
+impl MultiView {
+    /// An empty warehouse.
+    pub fn new() -> Self {
+        MultiView {
+            maintainers: Vec::new(),
+            ids: QueryIdGen::new(),
+            routing: BTreeMap::new(),
+        }
+    }
+
+    /// Host another view. Returns its index for later inspection.
+    pub fn add(&mut self, maintainer: Box<dyn ViewMaintainer>) -> usize {
+        self.maintainers.push(maintainer);
+        self.maintainers.len() - 1
+    }
+
+    /// Number of hosted views.
+    pub fn len(&self) -> usize {
+        self.maintainers.len()
+    }
+
+    /// Whether no views are hosted.
+    pub fn is_empty(&self) -> bool {
+        self.maintainers.is_empty()
+    }
+
+    /// The maintainer at `index`.
+    pub fn maintainer(&self, index: usize) -> &dyn ViewMaintainer {
+        self.maintainers[index].as_ref()
+    }
+
+    /// The materialized view at `index`.
+    pub fn materialized(&self, index: usize) -> &SignedBag {
+        self.maintainers[index].materialized()
+    }
+
+    /// Route an update to every involved view. Emitted queries carry
+    /// warehouse-global ids.
+    ///
+    /// # Errors
+    /// Propagates the first maintainer error.
+    pub fn on_update(&mut self, update: &Update) -> Result<Vec<OutboundQuery>, CoreError> {
+        let mut out = Vec::new();
+        for (idx, m) in self.maintainers.iter_mut().enumerate() {
+            for q in m.on_update(update)? {
+                let global = self.ids.fresh();
+                self.routing.insert(global, (idx, q.id));
+                out.push(OutboundQuery {
+                    id: global,
+                    query: q.query,
+                });
+            }
+        }
+        Ok(out)
+    }
+
+    /// Deliver an answer to the owning view.
+    ///
+    /// # Errors
+    /// [`CoreError::UnknownQuery`] for unrouted ids.
+    pub fn on_answer(
+        &mut self,
+        id: QueryId,
+        answer: SignedBag,
+    ) -> Result<Vec<OutboundQuery>, CoreError> {
+        let (idx, local) = self
+            .routing
+            .remove(&id)
+            .ok_or(CoreError::UnknownQuery { id: id.0 })?;
+        let mut out = Vec::new();
+        for q in self.maintainers[idx].on_answer(local, answer)? {
+            let global = self.ids.fresh();
+            self.routing.insert(global, (idx, q.id));
+            out.push(OutboundQuery {
+                id: global,
+                query: q.query,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Whether every hosted view is quiescent.
+    pub fn is_quiescent(&self) -> bool {
+        self.maintainers.iter().all(|m| m.is_quiescent())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::AlgorithmKind;
+    use crate::basedb::BaseDb;
+    use crate::view::ViewDef;
+    use eca_relational::{Predicate, Schema, Tuple};
+
+    /// Two views sharing r2: V1 = π_W(r1 ⋈ r2), V2 = π_Y(r2 ⋈ r3).
+    fn two_views() -> (ViewDef, ViewDef) {
+        let v1 = ViewDef::new(
+            "V1",
+            vec![
+                Schema::new("r1", &["W", "X"]),
+                Schema::new("r2", &["X", "Y"]),
+            ],
+            Predicate::col_eq(1, 2),
+            vec![0],
+        )
+        .unwrap();
+        let v2 = ViewDef::new(
+            "V2",
+            vec![
+                Schema::new("r2", &["X", "Y"]),
+                Schema::new("r3", &["Y", "Z"]),
+            ],
+            Predicate::col_eq(1, 2),
+            vec![1],
+        )
+        .unwrap();
+        (v1, v2)
+    }
+
+    fn shared_db(v1: &ViewDef, v2: &ViewDef) -> BaseDb {
+        let mut db = BaseDb::new();
+        for v in [v1, v2] {
+            for s in v.base() {
+                db.register(s.relation());
+            }
+        }
+        db.insert("r1", Tuple::ints([1, 2]));
+        db.insert("r2", Tuple::ints([2, 7]));
+        db.insert("r3", Tuple::ints([7, 9]));
+        db
+    }
+
+    /// Drive updates and answer all emitted queries on the final state
+    /// (the adversarial interleaving), then check both views.
+    #[test]
+    fn shared_relation_updates_fan_out() {
+        let (v1, v2) = two_views();
+        let mut db = shared_db(&v1, &v2);
+        let mut hub = MultiView::new();
+        hub.add(
+            AlgorithmKind::Eca
+                .instantiate(&v1, v1.eval(&db).unwrap())
+                .unwrap(),
+        );
+        hub.add(
+            AlgorithmKind::Eca
+                .instantiate(&v2, v2.eval(&db).unwrap())
+                .unwrap(),
+        );
+        assert_eq!(hub.len(), 2);
+
+        let updates = [
+            Update::insert("r2", Tuple::ints([2, 8])), // involves both views
+            Update::insert("r1", Tuple::ints([4, 2])), // only V1
+            Update::insert("r3", Tuple::ints([8, 5])), // only V2
+        ];
+        let mut queries = Vec::new();
+        for u in &updates {
+            db.apply(u);
+            queries.extend(hub.on_update(u).unwrap());
+        }
+        // r2 update fans out to both views; the others hit one each.
+        assert_eq!(queries.len(), 4);
+
+        for q in &queries {
+            hub.on_answer(q.id, q.query.eval(&db).unwrap()).unwrap();
+        }
+        assert!(hub.is_quiescent());
+        assert_eq!(*hub.materialized(0), v1.eval(&db).unwrap());
+        assert_eq!(*hub.materialized(1), v2.eval(&db).unwrap());
+    }
+
+    /// Different algorithms can coexist per view.
+    #[test]
+    fn mixed_algorithms_per_view() {
+        let (v1, v2) = two_views();
+        let mut db = shared_db(&v1, &v2);
+        let mut hub = MultiView::new();
+        hub.add(
+            AlgorithmKind::Eca
+                .instantiate(&v1, v1.eval(&db).unwrap())
+                .unwrap(),
+        );
+        hub.add(
+            AlgorithmKind::StoreCopies
+                .instantiate_with_base(&v2, v2.eval(&db).unwrap(), Some(db.clone()))
+                .unwrap(),
+        );
+
+        let u = Update::insert("r2", Tuple::ints([2, 9]));
+        db.apply(&u);
+        let queries = hub.on_update(&u).unwrap();
+        // SC answers locally; only ECA queries the source.
+        assert_eq!(queries.len(), 1);
+        assert_eq!(
+            *hub.materialized(1),
+            v2.eval(&db).unwrap(),
+            "SC is already current"
+        );
+        for q in &queries {
+            hub.on_answer(q.id, q.query.eval(&db).unwrap()).unwrap();
+        }
+        assert_eq!(*hub.materialized(0), v1.eval(&db).unwrap());
+    }
+
+    #[test]
+    fn global_ids_do_not_collide() {
+        let (v1, v2) = two_views();
+        let db = shared_db(&v1, &v2);
+        let mut hub = MultiView::new();
+        hub.add(
+            AlgorithmKind::Eca
+                .instantiate(&v1, v1.eval(&db).unwrap())
+                .unwrap(),
+        );
+        hub.add(
+            AlgorithmKind::Eca
+                .instantiate(&v2, v2.eval(&db).unwrap())
+                .unwrap(),
+        );
+
+        // Both inner maintainers will locally use Q1 for their first
+        // query; globally the ids must differ.
+        let qs = hub
+            .on_update(&Update::insert("r2", Tuple::ints([2, 3])))
+            .unwrap();
+        assert_eq!(qs.len(), 2);
+        assert_ne!(qs[0].id, qs[1].id);
+    }
+
+    #[test]
+    fn unknown_answer_rejected() {
+        let mut hub = MultiView::new();
+        assert!(hub.is_empty());
+        assert!(matches!(
+            hub.on_answer(QueryId(5), SignedBag::new()),
+            Err(CoreError::UnknownQuery { .. })
+        ));
+    }
+}

@@ -1,0 +1,624 @@
+//! A small SQL-subset parser for view definitions.
+//!
+//! The paper specifies views in relational algebra; a released library
+//! needs a friendlier front door. [`parse_view`] accepts the SPJ fragment
+//!
+//! ```sql
+//! SELECT r1.W, r3.Z
+//! FROM r1, r2, r3
+//! WHERE r1.X = r2.X AND r2.Y = r3.Y AND r1.W > r3.Z
+//! ```
+//!
+//! and resolves it against a schema catalog into a [`ViewDef`]. Aliases
+//! enable self-joins (`FROM emp e, emp m WHERE e.mgr = m.id`), which map
+//! onto the multiple-occurrence machinery. Conditions are conjunctions
+//! and disjunctions of comparisons between columns and integer/string
+//! literals; `AND` binds tighter than `OR`.
+
+use std::fmt;
+
+use eca_relational::{CmpOp, Operand, Predicate, Schema, Value};
+
+use crate::error::CoreError;
+use crate::view::ViewDef;
+
+/// Errors raised while parsing a view definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Lexical error at byte offset.
+    Lex {
+        /// Byte offset in the input.
+        at: usize,
+        /// Description.
+        message: String,
+    },
+    /// Unexpected token.
+    Unexpected {
+        /// What was found.
+        found: String,
+        /// What was expected.
+        expected: &'static str,
+    },
+    /// A relation named in `FROM` is not in the catalog.
+    UnknownRelation(String),
+    /// A column reference did not resolve.
+    UnknownColumn(String),
+    /// An unqualified column name matched several relations.
+    AmbiguousColumn(String),
+    /// An alias was used twice.
+    DuplicateAlias(String),
+    /// The resolved view failed validation.
+    View(CoreError),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Lex { at, message } => write!(f, "lex error at byte {at}: {message}"),
+            ParseError::Unexpected { found, expected } => {
+                write!(f, "unexpected {found:?}, expected {expected}")
+            }
+            ParseError::UnknownRelation(r) => write!(f, "unknown relation {r:?}"),
+            ParseError::UnknownColumn(c) => write!(f, "unknown column {c:?}"),
+            ParseError::AmbiguousColumn(c) => {
+                write!(f, "column {c:?} is ambiguous; qualify it with an alias")
+            }
+            ParseError::DuplicateAlias(a) => write!(f, "alias {a:?} used twice"),
+            ParseError::View(e) => write!(f, "invalid view: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<CoreError> for ParseError {
+    fn from(e: CoreError) -> Self {
+        ParseError::View(e)
+    }
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Token {
+    Ident(String),
+    Int(i64),
+    Str(String),
+    Comma,
+    Dot,
+    Op(CmpOp),
+    Select,
+    From,
+    Where,
+    And,
+    Or,
+    Star,
+    Eof,
+}
+
+fn lex(input: &str) -> Result<Vec<Token>, ParseError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Op(CmpOp::Eq));
+                i += 1;
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                tokens.push(Token::Op(CmpOp::Ne));
+                i += 2;
+            }
+            '<' => {
+                match bytes.get(i + 1) {
+                    Some(b'=') => {
+                        tokens.push(Token::Op(CmpOp::Le));
+                        i += 2;
+                    }
+                    Some(b'>') => {
+                        tokens.push(Token::Op(CmpOp::Ne));
+                        i += 2;
+                    }
+                    _ => {
+                        tokens.push(Token::Op(CmpOp::Lt));
+                        i += 1;
+                    }
+                };
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Op(CmpOp::Ge));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Op(CmpOp::Gt));
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'\'' {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(ParseError::Lex {
+                        at: i,
+                        message: "unterminated string".into(),
+                    });
+                }
+                tokens.push(Token::Str(input[start..j].to_owned()));
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() || c == '-' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                let value = text.parse::<i64>().map_err(|_| ParseError::Lex {
+                    at: start,
+                    message: format!("bad integer {text:?}"),
+                })?;
+                tokens.push(Token::Int(value));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &input[start..i];
+                tokens.push(match word.to_ascii_uppercase().as_str() {
+                    "SELECT" => Token::Select,
+                    "FROM" => Token::From,
+                    "WHERE" => Token::Where,
+                    "AND" => Token::And,
+                    "OR" => Token::Or,
+                    _ => Token::Ident(word.to_owned()),
+                });
+            }
+            _ => {
+                return Err(ParseError::Lex {
+                    at: i,
+                    message: format!("unexpected char {c:?}"),
+                })
+            }
+        }
+    }
+    tokens.push(Token::Eof);
+    Ok(tokens)
+}
+
+/// A column reference before resolution.
+#[derive(Clone, Debug)]
+struct ColRef {
+    qualifier: Option<String>,
+    column: String,
+}
+
+enum RawOperand {
+    Col(ColRef),
+    Lit(Value),
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn next(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: &Token, expected: &'static str) -> Result<(), ParseError> {
+        let got = self.next();
+        if &got == want {
+            Ok(())
+        } else {
+            Err(ParseError::Unexpected {
+                found: format!("{got:?}"),
+                expected,
+            })
+        }
+    }
+
+    fn ident(&mut self, expected: &'static str) -> Result<String, ParseError> {
+        match self.next() {
+            Token::Ident(s) => Ok(s),
+            other => Err(ParseError::Unexpected {
+                found: format!("{other:?}"),
+                expected,
+            }),
+        }
+    }
+
+    fn colref(&mut self) -> Result<ColRef, ParseError> {
+        let first = self.ident("column reference")?;
+        if self.peek() == &Token::Dot {
+            self.next();
+            let column = self.ident("column name after '.'")?;
+            Ok(ColRef {
+                qualifier: Some(first),
+                column,
+            })
+        } else {
+            Ok(ColRef {
+                qualifier: None,
+                column: first,
+            })
+        }
+    }
+
+    fn operand(&mut self) -> Result<RawOperand, ParseError> {
+        match self.peek().clone() {
+            Token::Int(v) => {
+                self.next();
+                Ok(RawOperand::Lit(Value::Int(v)))
+            }
+            Token::Str(s) => {
+                self.next();
+                Ok(RawOperand::Lit(Value::str(s)))
+            }
+            Token::Ident(_) => Ok(RawOperand::Col(self.colref()?)),
+            other => Err(ParseError::Unexpected {
+                found: format!("{other:?}"),
+                expected: "operand",
+            }),
+        }
+    }
+}
+
+/// One `FROM` entry after parsing: relation name plus effective alias.
+struct FromEntry {
+    relation: String,
+    alias: String,
+}
+
+/// Resolves column references against the `FROM` list.
+struct Resolver<'a> {
+    entries: &'a [FromEntry],
+    schemas: &'a [Schema],
+    offsets: Vec<usize>,
+}
+
+impl<'a> Resolver<'a> {
+    fn resolve(&self, col: &ColRef) -> Result<usize, ParseError> {
+        let display = match &col.qualifier {
+            Some(q) => format!("{q}.{}", col.column),
+            None => col.column.clone(),
+        };
+        let mut found: Option<usize> = None;
+        for (i, entry) in self.entries.iter().enumerate() {
+            if let Some(q) = &col.qualifier {
+                if q != &entry.alias {
+                    continue;
+                }
+            }
+            if let Ok(pos) = self.schemas[i].position_of(&col.column) {
+                if found.is_some() {
+                    return Err(ParseError::AmbiguousColumn(display));
+                }
+                found = Some(self.offsets[i] + pos);
+            }
+        }
+        found.ok_or(ParseError::UnknownColumn(display))
+    }
+}
+
+/// Parse an SPJ view definition from a SQL-subset string, resolving
+/// relation names against `catalog`.
+///
+/// # Errors
+/// Lexical, syntactic and resolution errors; see [`ParseError`].
+pub fn parse_view(name: &str, sql: &str, catalog: &[Schema]) -> Result<ViewDef, ParseError> {
+    let mut p = Parser {
+        tokens: lex(sql)?,
+        pos: 0,
+    };
+    p.expect(&Token::Select, "SELECT")?;
+
+    // Projection list (collected unresolved; FROM is parsed first).
+    let mut raw_cols = Vec::new();
+    loop {
+        raw_cols.push(p.colref()?);
+        if p.peek() == &Token::Comma {
+            p.next();
+        } else {
+            break;
+        }
+    }
+
+    p.expect(&Token::From, "FROM")?;
+    let mut entries = Vec::new();
+    loop {
+        let relation = p.ident("relation name")?;
+        // Optional alias: a bare identifier not followed by '.' handling
+        // is unambiguous here because FROM entries are comma-separated.
+        let alias = if let Token::Ident(a) = p.peek().clone() {
+            p.next();
+            a
+        } else {
+            relation.clone()
+        };
+        if entries.iter().any(|e: &FromEntry| e.alias == alias) {
+            return Err(ParseError::DuplicateAlias(alias));
+        }
+        entries.push(FromEntry { relation, alias });
+        if p.peek() == &Token::Comma {
+            p.next();
+        } else {
+            break;
+        }
+    }
+
+    // Resolve relations against the catalog; each occurrence clones its
+    // schema (self-joins share the relation name).
+    let mut schemas = Vec::with_capacity(entries.len());
+    for e in &entries {
+        let schema = catalog
+            .iter()
+            .find(|s| s.relation() == e.relation)
+            .ok_or_else(|| ParseError::UnknownRelation(e.relation.clone()))?;
+        schemas.push(schema.clone());
+    }
+    let mut offsets = Vec::with_capacity(schemas.len());
+    let mut total = 0usize;
+    for s in &schemas {
+        offsets.push(total);
+        total += s.arity();
+    }
+    let resolver = Resolver {
+        entries: &entries,
+        schemas: &schemas,
+        offsets,
+    };
+
+    // WHERE clause: OR of ANDs of comparisons.
+    let cond = if p.peek() == &Token::Where {
+        p.next();
+        parse_or(&mut p, &resolver)?
+    } else {
+        Predicate::True
+    };
+
+    match p.next() {
+        Token::Eof => {}
+        other => {
+            return Err(ParseError::Unexpected {
+                found: format!("{other:?}"),
+                expected: "end of input",
+            })
+        }
+    }
+
+    let proj = raw_cols
+        .iter()
+        .map(|c| resolver.resolve(c))
+        .collect::<Result<Vec<_>, _>>()?;
+
+    Ok(ViewDef::new(name, schemas, cond, proj)?)
+}
+
+fn parse_or(p: &mut Parser, r: &Resolver<'_>) -> Result<Predicate, ParseError> {
+    let mut acc = parse_and(p, r)?;
+    while p.peek() == &Token::Or {
+        p.next();
+        acc = acc.or(parse_and(p, r)?);
+    }
+    Ok(acc)
+}
+
+fn parse_and(p: &mut Parser, r: &Resolver<'_>) -> Result<Predicate, ParseError> {
+    let mut acc = parse_cmp(p, r)?;
+    while p.peek() == &Token::And {
+        p.next();
+        acc = acc.and(parse_cmp(p, r)?);
+    }
+    Ok(acc)
+}
+
+fn parse_cmp(p: &mut Parser, r: &Resolver<'_>) -> Result<Predicate, ParseError> {
+    let lhs = p.operand()?;
+    let op = match p.next() {
+        Token::Op(op) => op,
+        other => {
+            return Err(ParseError::Unexpected {
+                found: format!("{other:?}"),
+                expected: "comparison operator",
+            })
+        }
+    };
+    let rhs = p.operand()?;
+    let to_operand = |raw: RawOperand| -> Result<Operand, ParseError> {
+        Ok(match raw {
+            RawOperand::Col(c) => Operand::Column(r.resolve(&c)?),
+            RawOperand::Lit(v) => Operand::Const(v),
+        })
+    };
+    Ok(Predicate::Cmp {
+        lhs: to_operand(lhs)?,
+        op,
+        rhs: to_operand(rhs)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basedb::BaseDb;
+    use eca_relational::Tuple;
+
+    fn catalog() -> Vec<Schema> {
+        vec![
+            Schema::new("r1", &["W", "X"]),
+            Schema::new("r2", &["X", "Y"]),
+            Schema::new("r3", &["Y", "Z"]),
+            Schema::new("emp", &["id", "mgr"]),
+        ]
+    }
+
+    #[test]
+    fn parses_the_example6_view() {
+        let v = parse_view(
+            "V",
+            "SELECT r1.W, r3.Z FROM r1, r2, r3 \
+             WHERE r1.X = r2.X AND r2.Y = r3.Y AND r1.W > r3.Z",
+            &catalog(),
+        )
+        .unwrap();
+        assert_eq!(v.base().len(), 3);
+        assert_eq!(v.proj(), &[0, 5]);
+        // Behavioural check against a hand-built equivalent.
+        let reference = crate::ViewDef::new(
+            "V",
+            vec![
+                Schema::new("r1", &["W", "X"]),
+                Schema::new("r2", &["X", "Y"]),
+                Schema::new("r3", &["Y", "Z"]),
+            ],
+            Predicate::col_eq(1, 2)
+                .and(Predicate::col_eq(3, 4))
+                .and(Predicate::col_cmp(0, CmpOp::Gt, 5)),
+            vec![0, 5],
+        )
+        .unwrap();
+        let mut db = BaseDb::for_view(&reference);
+        for (rel, t) in [
+            ("r1", Tuple::ints([9, 1])),
+            ("r1", Tuple::ints([0, 1])),
+            ("r2", Tuple::ints([1, 2])),
+            ("r3", Tuple::ints([2, 3])),
+        ] {
+            db.insert(rel, t);
+        }
+        assert_eq!(v.eval(&db).unwrap(), reference.eval(&db).unwrap());
+    }
+
+    #[test]
+    fn unqualified_unique_columns_resolve() {
+        let v = parse_view("V", "SELECT W FROM r1, r2 WHERE r1.X = r2.X", &catalog()).unwrap();
+        assert_eq!(v.proj(), &[0]);
+    }
+
+    #[test]
+    fn ambiguous_unqualified_column_rejected() {
+        let err = parse_view("V", "SELECT X FROM r1, r2", &catalog()).unwrap_err();
+        assert!(matches!(err, ParseError::AmbiguousColumn(_)), "{err}");
+    }
+
+    #[test]
+    fn self_join_with_aliases() {
+        let v = parse_view(
+            "grandmgr",
+            "SELECT e.id, m.mgr FROM emp e, emp m WHERE e.mgr = m.id",
+            &catalog(),
+        )
+        .unwrap();
+        assert!(v.has_repeated_relations());
+        assert_eq!(v.proj(), &[0, 3]);
+        // An update fans out over both occurrences.
+        let q = v
+            .substitute(&eca_relational::Update::insert("emp", Tuple::ints([1, 1])))
+            .unwrap();
+        assert_eq!(q.terms().len(), 3);
+    }
+
+    #[test]
+    fn literals_and_all_operators() {
+        let v = parse_view(
+            "V",
+            "SELECT W FROM r1 WHERE W >= 2 AND W <= 9 AND X != 4 AND X <> 5 \
+             AND W < 100 AND X > -3 OR W = 0",
+            &catalog(),
+        )
+        .unwrap();
+        let mut db = BaseDb::for_view(&v);
+        db.insert("r1", Tuple::ints([3, 1]));
+        db.insert("r1", Tuple::ints([0, 4]));
+        db.insert("r1", Tuple::ints([200, 1]));
+        let result = v.eval(&db).unwrap();
+        assert_eq!(result.count(&Tuple::ints([3])), 1);
+        assert_eq!(result.count(&Tuple::ints([0])), 1, "OR branch");
+        assert_eq!(result.count(&Tuple::ints([200])), 0);
+    }
+
+    #[test]
+    fn string_literals() {
+        let cat = vec![Schema::new("people", &["name", "city"])];
+        let v = parse_view("V", "SELECT name FROM people WHERE city = 'berlin'", &cat).unwrap();
+        let mut db = BaseDb::new();
+        db.insert(
+            "people",
+            Tuple::new([Value::str("ada"), Value::str("berlin")]),
+        );
+        db.insert(
+            "people",
+            Tuple::new([Value::str("bob"), Value::str("paris")]),
+        );
+        let result = v.eval(&db).unwrap();
+        assert_eq!(result.count(&Tuple::new([Value::str("ada")])), 1);
+        assert_eq!(result.pos_len(), 1);
+    }
+
+    #[test]
+    fn error_paths() {
+        let cat = catalog();
+        assert!(matches!(
+            parse_view("V", "SELECT W FROM nope", &cat),
+            Err(ParseError::UnknownRelation(_))
+        ));
+        assert!(matches!(
+            parse_view("V", "SELECT Q FROM r1", &cat),
+            Err(ParseError::UnknownColumn(_))
+        ));
+        assert!(matches!(
+            parse_view("V", "SELECT W FROM r1 a, r2 a", &cat),
+            Err(ParseError::DuplicateAlias(_))
+        ));
+        assert!(matches!(
+            parse_view("V", "FROM r1", &cat),
+            Err(ParseError::Unexpected { .. })
+        ));
+        assert!(matches!(
+            parse_view("V", "SELECT W FROM r1 WHERE W @ 3", &cat),
+            Err(ParseError::Lex { .. })
+        ));
+        assert!(matches!(
+            parse_view("V", "SELECT W FROM r1 WHERE W = 'open", &cat),
+            Err(ParseError::Lex { .. })
+        ));
+        assert!(matches!(
+            parse_view("V", "SELECT W FROM r1 extra junk", &cat),
+            Err(ParseError::Unexpected { .. })
+        ));
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let v = parse_view("V", "select W from r1 where W = 1", &catalog()).unwrap();
+        assert_eq!(v.proj(), &[0]);
+    }
+}

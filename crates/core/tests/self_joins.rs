@@ -1,0 +1,206 @@
+//! Self-join views — the §4 extension: "Our algorithms can be extended to
+//! allow multiple occurrences of the same relation."
+//!
+//! `V⟨U⟩` expands by inclusion–exclusion over the occurrences (the
+//! multilinearity identity keeps Lemma B.2, hence ECA's correctness).
+
+use eca_core::algorithms::{AlgorithmKind, Eca, Lca};
+use eca_core::maintainer::ViewMaintainer;
+use eca_core::{BaseDb, ViewDef};
+use eca_relational::{Predicate, Schema, SignedBag, Tuple, Update};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+/// Employee hierarchy: emp(id, mgr); V = "grand-manager" pairs
+/// π_{id, grand}(emp ⋈_{mgr = id'} emp') — emp joined with itself.
+fn grandmgr_view() -> ViewDef {
+    ViewDef::new(
+        "grandmgr",
+        vec![
+            Schema::new("emp", &["id", "mgr"]),
+            Schema::new("emp", &["id", "mgr"]),
+        ],
+        Predicate::col_eq(1, 2),
+        vec![0, 3],
+    )
+    .unwrap()
+}
+
+#[test]
+fn substitution_expands_by_inclusion_exclusion() {
+    let v = grandmgr_view();
+    let u = Update::insert("emp", Tuple::ints([5, 7]));
+    let q = v.substitute(&u).unwrap();
+    // Subsets: {occ0}, {occ1}, {occ0, occ1} → 3 terms; the pair term is
+    // negative.
+    assert_eq!(q.terms().len(), 3);
+    let factors: Vec<i64> = q.terms().iter().map(|t| t.factor()).collect();
+    assert_eq!(factors.iter().filter(|&&f| f == 1).count(), 2);
+    assert_eq!(factors.iter().filter(|&&f| f == -1).count(), 1);
+}
+
+#[test]
+fn delta_identity_on_self_join() {
+    // V[new] = V[old] + V⟨U⟩[new] must hold for self-joins too.
+    let v = grandmgr_view();
+    let mut db = BaseDb::new();
+    db.register("emp");
+    db.insert("emp", Tuple::ints([1, 2]));
+    db.insert("emp", Tuple::ints([2, 3]));
+
+    for u in [
+        Update::insert("emp", Tuple::ints([3, 1])), // creates a cycle of pairs
+        Update::insert("emp", Tuple::ints([0, 0])), // self-managing: joins itself
+        Update::delete("emp", Tuple::ints([2, 3])),
+        Update::delete("emp", Tuple::ints([0, 0])),
+    ] {
+        let before = v.eval(&db).unwrap();
+        assert!(db.apply(&u), "{u:?}");
+        let after = v.eval(&db).unwrap();
+        let delta = v.substitute(&u).unwrap().eval(&db).unwrap();
+        assert_eq!(
+            before.plus(&delta),
+            after,
+            "delta identity failed for {u:?}"
+        );
+    }
+}
+
+/// Drive ECA over a self-join view with the adversarial interleaving.
+#[test]
+fn eca_repairs_self_join_anomalies() {
+    let v = grandmgr_view();
+    let mut db = BaseDb::new();
+    db.register("emp");
+    db.insert("emp", Tuple::ints([1, 2]));
+    let mut alg = Eca::new(v.clone(), v.eval(&db).unwrap());
+
+    let updates = [
+        Update::insert("emp", Tuple::ints([2, 3])),
+        Update::insert("emp", Tuple::ints([3, 3])), // self-managing
+        Update::delete("emp", Tuple::ints([1, 2])),
+    ];
+    let mut queries = Vec::new();
+    for u in &updates {
+        db.apply(u);
+        queries.extend(alg.on_update(u).unwrap());
+    }
+    for q in &queries {
+        alg.on_answer(q.id, q.query.eval(&db).unwrap()).unwrap();
+    }
+    assert!(alg.is_quiescent());
+    assert_eq!(*alg.materialized(), v.eval(&db).unwrap());
+}
+
+/// LCA remains complete on self-join views.
+#[test]
+fn lca_complete_on_self_join() {
+    let v = grandmgr_view();
+    let mut db = BaseDb::new();
+    db.register("emp");
+    db.insert("emp", Tuple::ints([1, 1]));
+    let mut alg = Lca::new(v.clone(), v.eval(&db).unwrap());
+
+    let updates = [
+        Update::insert("emp", Tuple::ints([2, 1])),
+        Update::delete("emp", Tuple::ints([1, 1])),
+        Update::insert("emp", Tuple::ints([1, 2])),
+    ];
+    let mut source_states = vec![v.eval(&db).unwrap()];
+    let mut queries = Vec::new();
+    for u in &updates {
+        db.apply(u);
+        source_states.push(v.eval(&db).unwrap());
+        queries.extend(alg.on_update(u).unwrap());
+    }
+    for q in &queries {
+        alg.on_answer(q.id, q.query.eval(&db).unwrap()).unwrap();
+    }
+    assert!(alg.is_quiescent());
+    assert_eq!(alg.state_history(), &source_states[..]);
+}
+
+/// ECA-Key refuses self-join views (the streamlining is proven only for
+/// distinct relations).
+#[test]
+fn eca_key_rejects_self_joins() {
+    let v = ViewDef::new(
+        "V",
+        vec![
+            Schema::with_key("emp", &["id", "mgr"], &["id"]).unwrap(),
+            Schema::with_key("emp", &["id", "mgr"], &["id"]).unwrap(),
+        ],
+        Predicate::col_eq(1, 2),
+        vec![0, 2],
+    )
+    .unwrap();
+    assert!(AlgorithmKind::EcaKey
+        .instantiate(&v, SignedBag::new())
+        .is_err());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// ECA on a self-join view converges on arbitrary schedules.
+    #[test]
+    fn eca_self_join_any_schedule(
+        tuples in prop::collection::vec((0i64..4, 0i64..4), 0..6),
+        intents in prop::collection::vec((0i64..4, 0i64..4, any::<bool>()), 1..8),
+        decisions in prop::collection::vec(any::<bool>(), 0..30),
+    ) {
+        let v = grandmgr_view();
+        let mut db = BaseDb::new();
+        db.register("emp");
+        let mut live = Vec::new();
+        for (a, b) in &tuples {
+            let t = Tuple::ints([*a, *b]);
+            db.insert("emp", t.clone());
+            live.push(t);
+        }
+        let mut alg = Eca::new(v.clone(), v.eval(&db).unwrap());
+
+        // Build effective updates.
+        let mut updates = Vec::new();
+        for (a, b, del) in intents {
+            if del && !live.is_empty() {
+                updates.push(Update::delete("emp", live.remove(0)));
+            } else {
+                let t = Tuple::ints([a, b]);
+                live.push(t.clone());
+                updates.push(Update::insert("emp", t));
+            }
+        }
+
+        let mut pending: VecDeque<eca_core::OutboundQuery> = VecDeque::new();
+        let mut next = 0usize;
+        let mut di = 0usize;
+        loop {
+            let can_u = next < updates.len();
+            let can_a = !pending.is_empty();
+            if !can_u && !can_a {
+                break;
+            }
+            let take_u = if can_u && can_a {
+                let d = decisions.get(di).copied().unwrap_or(true);
+                di += 1;
+                d
+            } else {
+                can_u
+            };
+            if take_u {
+                let u = &updates[next];
+                next += 1;
+                if db.apply(u) {
+                    pending.extend(alg.on_update(u).unwrap());
+                }
+            } else {
+                let q = pending.pop_front().unwrap();
+                let a = q.query.eval(&db).unwrap();
+                pending.extend(alg.on_answer(q.id, a).unwrap());
+            }
+        }
+        prop_assert!(alg.is_quiescent());
+        prop_assert_eq!(alg.materialized(), &v.eval(&db).unwrap());
+    }
+}

@@ -1,0 +1,292 @@
+//! Relational operators over signed bags with the paper's sign-propagation
+//! rules (§4.1): selection and projection preserve signs; cross products
+//! combine them multiplicatively. In the counting formulation these rules
+//! fall out of ordinary `i64` arithmetic on replication counts.
+
+use crate::bag::SignedBag;
+use crate::error::RelationalError;
+use crate::predicate::Predicate;
+use crate::tuple::Tuple;
+
+/// `σ_pred(input)` — keep tuples satisfying `pred`, signs unchanged.
+///
+/// # Errors
+/// Propagates predicate evaluation errors (bad column references).
+pub fn select(input: &SignedBag, pred: &Predicate) -> Result<SignedBag, RelationalError> {
+    if matches!(pred, Predicate::True) {
+        return Ok(input.clone());
+    }
+    let mut out = SignedBag::new();
+    for (tuple, count) in input.iter() {
+        if pred.eval(tuple)? {
+            out.add(tuple.clone(), count);
+        }
+    }
+    Ok(out)
+}
+
+/// `π_positions(input)` — project onto positions, retaining duplicates:
+/// counts of tuples that collapse to the same projection accumulate.
+///
+/// # Errors
+/// Returns [`RelationalError::PositionOutOfRange`] on an invalid position.
+pub fn project(input: &SignedBag, positions: &[usize]) -> Result<SignedBag, RelationalError> {
+    let mut out = SignedBag::new();
+    for (tuple, count) in input.iter() {
+        for &p in positions {
+            if p >= tuple.arity() {
+                return Err(RelationalError::PositionOutOfRange {
+                    position: p,
+                    arity: tuple.arity(),
+                });
+            }
+        }
+        out.add(tuple.project(positions), count);
+    }
+    Ok(out)
+}
+
+/// `left × right` — cross product; counts (and therefore signs) multiply.
+#[must_use]
+pub fn cross(left: &SignedBag, right: &SignedBag) -> SignedBag {
+    let mut out = SignedBag::new();
+    for (lt, lc) in left.iter() {
+        for (rt, rc) in right.iter() {
+            out.add(lt.concat(rt), lc * rc);
+        }
+    }
+    out
+}
+
+/// Hash equi-join: `left ⋈ right` on `left[left_col] = right[right_col]`,
+/// output tuples are concatenations. Equivalent to
+/// `σ_{l=r}(left × right)` but avoids materializing the product.
+#[must_use]
+pub fn equijoin(
+    left: &SignedBag,
+    right: &SignedBag,
+    left_col: usize,
+    right_col: usize,
+) -> SignedBag {
+    use std::collections::HashMap;
+    // Build on the smaller side.
+    let (build, probe, build_col, probe_col, build_is_left) =
+        if left.distinct_len() <= right.distinct_len() {
+            (left, right, left_col, right_col, true)
+        } else {
+            (right, left, right_col, left_col, false)
+        };
+    let mut table: HashMap<&crate::value::Value, Vec<(&Tuple, i64)>> = HashMap::new();
+    for (t, c) in build.iter() {
+        if let Some(v) = t.get(build_col) {
+            table.entry(v).or_default().push((t, c));
+        }
+    }
+    let mut out = SignedBag::new();
+    for (pt, pc) in probe.iter() {
+        let Some(v) = pt.get(probe_col) else { continue };
+        if let Some(matches) = table.get(v) {
+            for (bt, bc) in matches {
+                let joined = if build_is_left {
+                    bt.concat(pt)
+                } else {
+                    pt.concat(bt)
+                };
+                out.add(joined, bc * pc);
+            }
+        }
+    }
+    out
+}
+
+/// Evaluate a full SPJ term `π_proj(σ_cond(r1 × r2 × … × rn))`.
+///
+/// Conjunctive equality conditions are exploited as hash equi-joins while
+/// accumulating the product left to right (column positions are preserved,
+/// so `cond`/`proj` keep their product-relative meaning); the full `cond`
+/// is re-applied at the end, which is idempotent on the equalities already
+/// used and handles every residual conjunct/disjunct.
+///
+/// # Errors
+/// Propagates predicate and projection errors.
+pub fn spj(
+    inputs: &[&SignedBag],
+    cond: &Predicate,
+    proj: &[usize],
+) -> Result<SignedBag, RelationalError> {
+    let Some(first) = inputs.first() else {
+        let selected = select(&SignedBag::singleton(Tuple::ints([])), cond)?;
+        return project(&selected, proj);
+    };
+    // The cross product with an empty relation is empty.
+    if inputs.iter().any(|b| b.is_empty()) {
+        return Ok(SignedBag::new());
+    }
+    // Arity of each input, inferred from any tuple (all inputs non-empty).
+    let arities: Vec<usize> = inputs
+        .iter()
+        .map(|b| b.iter().next().map(|(t, _)| t.arity()).unwrap_or(0))
+        .collect();
+    let mut offsets = Vec::with_capacity(inputs.len());
+    let mut total = 0usize;
+    for &a in &arities {
+        offsets.push(total);
+        total += a;
+    }
+
+    let pairs = cond.equijoin_pairs();
+    let mut acc = (*first).clone();
+    for (i, input) in inputs.iter().enumerate().skip(1) {
+        let lo = offsets[i];
+        let hi = lo + arities[i];
+        // Find an equality linking the accumulated columns to this input.
+        let link = pairs.iter().find_map(|&(a, b)| {
+            if a < lo && (lo..hi).contains(&b) {
+                Some((a, b - lo))
+            } else if b < lo && (lo..hi).contains(&a) {
+                Some((b, a - lo))
+            } else {
+                None
+            }
+        });
+        acc = match link {
+            Some((acc_col, input_col)) => equijoin(&acc, input, acc_col, input_col),
+            None => cross(&acc, input),
+        };
+        if acc.is_empty() {
+            return Ok(SignedBag::new());
+        }
+    }
+    let selected = select(&acc, cond)?;
+    project(&selected, proj)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::CmpOp;
+
+    fn t(vals: &[i64]) -> Tuple {
+        Tuple::ints(vals.iter().copied())
+    }
+
+    #[test]
+    fn select_preserves_signs() {
+        let mut b = SignedBag::new();
+        b.add(t(&[1]), 2);
+        b.add(t(&[2]), -1);
+        b.add(t(&[3]), 1);
+        let s = select(&b, &Predicate::col_const(0, CmpOp::Le, 2)).unwrap();
+        assert_eq!(s.count(&t(&[1])), 2);
+        assert_eq!(s.count(&t(&[2])), -1);
+        assert_eq!(s.count(&t(&[3])), 0);
+    }
+
+    #[test]
+    fn select_true_is_identity() {
+        let b = SignedBag::from_tuples([t(&[1]), t(&[2])]);
+        assert_eq!(select(&b, &Predicate::True).unwrap(), b);
+    }
+
+    #[test]
+    fn project_accumulates_duplicates() {
+        let b = SignedBag::from_tuples([t(&[1, 2]), t(&[1, 3])]);
+        let p = project(&b, &[0]).unwrap();
+        assert_eq!(p.count(&t(&[1])), 2);
+    }
+
+    #[test]
+    fn project_cancels_opposite_signs() {
+        let mut b = SignedBag::new();
+        b.add(t(&[1, 2]), 1);
+        b.add(t(&[1, 3]), -1);
+        let p = project(&b, &[0]).unwrap();
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn cross_multiplies_counts_and_signs() {
+        let mut l = SignedBag::new();
+        l.add(t(&[1]), 2);
+        let mut r = SignedBag::new();
+        r.add(t(&[9]), -1);
+        let c = cross(&l, &r);
+        // (+2) * (−1) = −2 : minus sign carries through, duplicates kept.
+        assert_eq!(c.count(&t(&[1, 9])), -2);
+    }
+
+    #[test]
+    fn cross_with_empty_is_empty() {
+        let l = SignedBag::from_tuples([t(&[1])]);
+        assert!(cross(&l, &SignedBag::new()).is_empty());
+        assert!(cross(&SignedBag::new(), &l).is_empty());
+    }
+
+    #[test]
+    fn cross_distributes_over_plus() {
+        // (a + b) × c == a×c + b×c
+        let a = SignedBag::from_tuples([t(&[1])]);
+        let mut b = SignedBag::new();
+        b.add(t(&[2]), -1);
+        let c = SignedBag::from_tuples([t(&[7]), t(&[8])]);
+        let lhs = cross(&a.plus(&b), &c);
+        let rhs = cross(&a, &c).plus(&cross(&b, &c));
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn equijoin_matches_cross_select() {
+        let r1 = SignedBag::from_tuples([t(&[1, 2]), t(&[4, 2]), t(&[5, 9])]);
+        let mut r2 = SignedBag::new();
+        r2.add(t(&[2, 3]), 1);
+        r2.add(t(&[2, 4]), -1);
+        r2.add(t(&[9, 9]), 1);
+        let joined = equijoin(&r1, &r2, 1, 0);
+        let expected = select(&cross(&r1, &r2), &Predicate::col_eq(1, 2)).unwrap();
+        assert_eq!(joined, expected);
+    }
+
+    #[test]
+    fn equijoin_build_side_choice_is_transparent() {
+        // Force each side to be the build side and compare.
+        let small = SignedBag::from_tuples([t(&[2, 3])]);
+        let large = SignedBag::from_tuples([t(&[1, 2]), t(&[4, 2]), t(&[6, 7])]);
+        let a = equijoin(&large, &small, 1, 0);
+        let b = select(&cross(&large, &small), &Predicate::col_eq(1, 2)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn spj_paper_example_1() {
+        // V = π_W(r1 ⋈ r2) with r1 = ([1,2]), r2 = ([2,4]).
+        let r1 = SignedBag::from_tuples([t(&[1, 2])]);
+        let r2 = SignedBag::from_tuples([t(&[2, 4])]);
+        let v = spj(&[&r1, &r2], &Predicate::col_eq(1, 2), &[0]).unwrap();
+        assert_eq!(v, SignedBag::from_tuples([t(&[1])]));
+    }
+
+    #[test]
+    fn spj_three_relations() {
+        // V = π_W(r1 ⋈X r2 ⋈Y r3), Example 4 final state.
+        let r1 = SignedBag::from_tuples([t(&[1, 2]), t(&[4, 2])]);
+        let r2 = SignedBag::from_tuples([t(&[2, 5])]);
+        let r3 = SignedBag::from_tuples([t(&[5, 3])]);
+        let cond = Predicate::col_eq(1, 2).and(Predicate::col_eq(3, 4));
+        let v = spj(&[&r1, &r2, &r3], &cond, &[0]).unwrap();
+        assert_eq!(v, SignedBag::from_tuples([t(&[1]), t(&[4])]));
+    }
+
+    #[test]
+    fn spj_empty_input_list_yields_unit() {
+        let v = spj(&[], &Predicate::True, &[]).unwrap();
+        assert_eq!(v.pos_len(), 1);
+    }
+
+    #[test]
+    fn spj_short_circuits_on_empty() {
+        let r1 = SignedBag::new();
+        let r2 = SignedBag::from_tuples([t(&[1])]);
+        let v = spj(&[&r1, &r2], &Predicate::True, &[0]).unwrap();
+        assert!(v.is_empty());
+    }
+}

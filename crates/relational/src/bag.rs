@@ -1,0 +1,425 @@
+//! Signed bags: multiset relations with `+`/`−` replication counts.
+//!
+//! This is the counting formulation of the paper's signed-tuple semantics
+//! (§4.1). A tuple mapped to count `n > 0` occurs `n` times with a `+` sign;
+//! count `n < 0` means `|n|` occurrences with a `−` sign. The paper's binary
+//! operators on relations,
+//!
+//! ```text
+//! r1 + r2 = (pos(r1) ∪ pos(r2)) − (neg(r1) ∪ neg(r2))
+//! r1 − r2 = r1 + (−r2)
+//! ```
+//!
+//! are exactly pointwise count addition and subtraction, which is how we
+//! implement them. Zero counts are pruned eagerly, so `r − r` is the empty
+//! bag and equality is structural.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::tuple::{Sign, SignedTuple, Tuple};
+
+/// A relation with signed replication counts.
+///
+/// Iteration order is deterministic (tuples in value order) so traces,
+/// tests, and wire encodings are reproducible.
+///
+/// ```
+/// use eca_relational::{SignedBag, Tuple};
+///
+/// // MV = ([1],[4]); an answer deletes one [4] and inserts [7].
+/// let mv = SignedBag::from_tuples([Tuple::ints([1]), Tuple::ints([4])]);
+/// let mut answer = SignedBag::new();
+/// answer.add(Tuple::ints([4]), -1);
+/// answer.add(Tuple::ints([7]), 1);
+///
+/// let updated = mv.plus(&answer);
+/// assert_eq!(updated.count(&Tuple::ints([4])), 0);
+/// assert_eq!(updated.count(&Tuple::ints([7])), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct SignedBag {
+    counts: BTreeMap<Tuple, i64>,
+}
+
+impl SignedBag {
+    /// The empty bag.
+    pub fn new() -> Self {
+        SignedBag::default()
+    }
+
+    /// A bag holding one positive copy of each given tuple (duplicates
+    /// accumulate).
+    pub fn from_tuples(tuples: impl IntoIterator<Item = Tuple>) -> Self {
+        let mut bag = SignedBag::new();
+        for t in tuples {
+            bag.add(t, 1);
+        }
+        bag
+    }
+
+    /// A bag holding the given signed tuples.
+    pub fn from_signed(tuples: impl IntoIterator<Item = SignedTuple>) -> Self {
+        let mut bag = SignedBag::new();
+        for st in tuples {
+            bag.add(st.tuple, st.sign.factor());
+        }
+        bag
+    }
+
+    /// A bag holding a single positive tuple.
+    pub fn singleton(tuple: Tuple) -> Self {
+        let mut bag = SignedBag::new();
+        bag.add(tuple, 1);
+        bag
+    }
+
+    /// Adjust the count of `tuple` by `delta`, pruning zeros.
+    pub fn add(&mut self, tuple: Tuple, delta: i64) {
+        if delta == 0 {
+            return;
+        }
+        use std::collections::btree_map::Entry;
+        match self.counts.entry(tuple) {
+            Entry::Occupied(mut e) => {
+                *e.get_mut() += delta;
+                if *e.get() == 0 {
+                    e.remove();
+                }
+            }
+            Entry::Vacant(v) => {
+                v.insert(delta);
+            }
+        }
+    }
+
+    /// The signed count of `tuple` (0 if absent).
+    pub fn count(&self, tuple: &Tuple) -> i64 {
+        self.counts.get(tuple).copied().unwrap_or(0)
+    }
+
+    /// Whether the bag has no tuples (all counts zero).
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Number of *distinct* tuples with non-zero count.
+    pub fn distinct_len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total number of positive tuple occurrences.
+    pub fn pos_len(&self) -> u64 {
+        self.counts
+            .values()
+            .filter(|c| **c > 0)
+            .map(|c| *c as u64)
+            .sum()
+    }
+
+    /// Total number of negative tuple occurrences.
+    pub fn neg_len(&self) -> u64 {
+        self.counts
+            .values()
+            .filter(|c| **c < 0)
+            .map(|c| c.unsigned_abs())
+            .sum()
+    }
+
+    /// Sum of all signed counts (can be negative).
+    pub fn signed_len(&self) -> i64 {
+        self.counts.values().sum()
+    }
+
+    /// Whether every count is non-negative, i.e. the bag is a plain
+    /// (unsigned) relation.
+    pub fn is_plain(&self) -> bool {
+        self.counts.values().all(|c| *c > 0)
+    }
+
+    /// Iterate `(tuple, signed count)` pairs in deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Tuple, i64)> + '_ {
+        self.counts.iter().map(|(t, c)| (t, *c))
+    }
+
+    /// Iterate each occurrence as a [`SignedTuple`], expanding counts.
+    pub fn iter_occurrences(&self) -> impl Iterator<Item = SignedTuple> + '_ {
+        self.counts.iter().flat_map(|(t, c)| {
+            let sign = if *c > 0 { Sign::Plus } else { Sign::Minus };
+            std::iter::repeat_with(move || SignedTuple {
+                sign,
+                tuple: t.clone(),
+            })
+            .take(c.unsigned_abs() as usize)
+        })
+    }
+
+    /// The positive part `pos(r)` as a plain bag.
+    pub fn positive_part(&self) -> SignedBag {
+        SignedBag {
+            counts: self
+                .counts
+                .iter()
+                .filter(|(_, c)| **c > 0)
+                .map(|(t, c)| (t.clone(), *c))
+                .collect(),
+        }
+    }
+
+    /// The negative part `neg(r)` as a plain bag (counts made positive).
+    pub fn negative_part(&self) -> SignedBag {
+        SignedBag {
+            counts: self
+                .counts
+                .iter()
+                .filter(|(_, c)| **c < 0)
+                .map(|(t, c)| (t.clone(), -*c))
+                .collect(),
+        }
+    }
+
+    /// The paper's `+` operator: pointwise count addition.
+    #[must_use]
+    pub fn plus(&self, other: &SignedBag) -> SignedBag {
+        let mut out = self.clone();
+        out.merge(other);
+        out
+    }
+
+    /// The paper's `−` operator: `r1 + (−r2)`.
+    #[must_use]
+    pub fn minus(&self, other: &SignedBag) -> SignedBag {
+        self.plus(&other.negated())
+    }
+
+    /// `−r`: every sign flipped.
+    #[must_use]
+    pub fn negated(&self) -> SignedBag {
+        SignedBag {
+            counts: self.counts.iter().map(|(t, c)| (t.clone(), -c)).collect(),
+        }
+    }
+
+    /// In-place `self += other`.
+    pub fn merge(&mut self, other: &SignedBag) {
+        for (t, c) in &other.counts {
+            self.add(t.clone(), *c);
+        }
+    }
+
+    /// In-place `self −= other`.
+    pub fn merge_negated(&mut self, other: &SignedBag) {
+        for (t, c) in &other.counts {
+            self.add(t.clone(), -*c);
+        }
+    }
+
+    /// Remove every occurrence (positive or negative) of tuples for which
+    /// `pred` returns true. Returns the number of distinct tuples removed.
+    ///
+    /// Used by ECA-Key's `key-delete` operation (paper §5.4).
+    pub fn remove_where(&mut self, mut pred: impl FnMut(&Tuple) -> bool) -> usize {
+        let before = self.counts.len();
+        self.counts.retain(|t, _| !pred(t));
+        before - self.counts.len()
+    }
+
+    /// Cap every positive count at 1 and drop negatives.
+    ///
+    /// ECA-Key ignores duplicates when accumulating answers into COLLECT
+    /// (paper §5.4 step 4: "duplicate tuples are not added").
+    #[must_use]
+    pub fn distinct(&self) -> SignedBag {
+        SignedBag {
+            counts: self
+                .counts
+                .iter()
+                .filter(|(_, c)| **c > 0)
+                .map(|(t, _)| (t.clone(), 1))
+                .collect(),
+        }
+    }
+
+    /// Merge `other` into `self`, skipping tuples already present with a
+    /// positive count (ECAK's duplicate suppression). Negative tuples in
+    /// `other` are applied as deletions.
+    pub fn merge_distinct(&mut self, other: &SignedBag) {
+        for (t, c) in &other.counts {
+            if *c > 0 {
+                if self.count(t) <= 0 {
+                    self.add(t.clone(), 1);
+                }
+            } else {
+                self.add(t.clone(), *c);
+            }
+        }
+    }
+
+    /// Total encoded payload size in bytes under the wire codec: a 4-byte
+    /// tuple count, then per occurrence a 1-byte sign plus the tuple
+    /// encoding.
+    pub fn encoded_len(&self) -> usize {
+        4 + self
+            .counts
+            .iter()
+            .map(|(t, c)| (c.unsigned_abs() as usize) * (1 + t.encoded_len()))
+            .sum::<usize>()
+    }
+}
+
+impl fmt::Debug for SignedBag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        let mut first = true;
+        for st in self.iter_occurrences() {
+            if !first {
+                write!(f, ",")?;
+            }
+            first = false;
+            if st.sign == Sign::Minus {
+                write!(f, "{:?}", st)?;
+            } else {
+                write!(f, "{:?}", st.tuple)?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+impl FromIterator<Tuple> for SignedBag {
+    fn from_iter<I: IntoIterator<Item = Tuple>>(iter: I) -> Self {
+        SignedBag::from_tuples(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(vals: &[i64]) -> Tuple {
+        Tuple::ints(vals.iter().copied())
+    }
+
+    #[test]
+    fn add_and_prune_zero() {
+        let mut b = SignedBag::new();
+        b.add(t(&[1]), 1);
+        b.add(t(&[1]), -1);
+        assert!(b.is_empty());
+        assert_eq!(b.count(&t(&[1])), 0);
+    }
+
+    #[test]
+    fn duplicates_are_retained() {
+        let b = SignedBag::from_tuples([t(&[1]), t(&[1]), t(&[2])]);
+        assert_eq!(b.count(&t(&[1])), 2);
+        assert_eq!(b.pos_len(), 3);
+        assert_eq!(b.distinct_len(), 2);
+    }
+
+    #[test]
+    fn plus_matches_paper_definition() {
+        // r1 = (+[1], -[2]), r2 = (+[2], +[3])
+        let mut r1 = SignedBag::new();
+        r1.add(t(&[1]), 1);
+        r1.add(t(&[2]), -1);
+        let r2 = SignedBag::from_tuples([t(&[2]), t(&[3])]);
+        let sum = r1.plus(&r2);
+        // pos union = ([1],[2],[3]); neg union = ([2]); difference = ([1],[3])
+        assert_eq!(sum.count(&t(&[1])), 1);
+        assert_eq!(sum.count(&t(&[2])), 0);
+        assert_eq!(sum.count(&t(&[3])), 1);
+    }
+
+    #[test]
+    fn minus_is_plus_of_negation() {
+        let r1 = SignedBag::from_tuples([t(&[1]), t(&[4])]);
+        let r2 = SignedBag::from_tuples([t(&[4])]);
+        let d = r1.minus(&r2);
+        assert_eq!(d.count(&t(&[1])), 1);
+        assert_eq!(d.count(&t(&[4])), 0);
+        assert_eq!(r1.minus(&r1), SignedBag::new());
+    }
+
+    #[test]
+    fn pos_neg_parts() {
+        let mut b = SignedBag::new();
+        b.add(t(&[1]), 2);
+        b.add(t(&[2]), -3);
+        assert_eq!(b.positive_part().count(&t(&[1])), 2);
+        assert_eq!(b.negative_part().count(&t(&[2])), 3);
+        assert_eq!(b.pos_len(), 2);
+        assert_eq!(b.neg_len(), 3);
+        assert_eq!(b.signed_len(), -1);
+        assert!(!b.is_plain());
+        assert!(b.positive_part().is_plain());
+    }
+
+    #[test]
+    fn remove_where_deletes_matching() {
+        let mut b = SignedBag::from_tuples([t(&[1, 3]), t(&[2, 3]), t(&[1, 4])]);
+        let n = b.remove_where(|tp| tp.get(0) == Some(&crate::Value::Int(1)));
+        assert_eq!(n, 2);
+        assert_eq!(b.distinct_len(), 1);
+        assert_eq!(b.count(&t(&[2, 3])), 1);
+    }
+
+    #[test]
+    fn distinct_and_merge_distinct() {
+        let mut b = SignedBag::new();
+        b.add(t(&[1]), 3);
+        b.add(t(&[2]), -1);
+        let d = b.distinct();
+        assert_eq!(d.count(&t(&[1])), 1);
+        assert_eq!(d.count(&t(&[2])), 0);
+
+        let mut collect = SignedBag::from_tuples([t(&[3, 4])]);
+        let answer = SignedBag::from_tuples([t(&[3, 4]), t(&[3, 3])]);
+        collect.merge_distinct(&answer);
+        // [3,4] was a duplicate and is not added twice.
+        assert_eq!(collect.count(&t(&[3, 4])), 1);
+        assert_eq!(collect.count(&t(&[3, 3])), 1);
+    }
+
+    #[test]
+    fn merge_distinct_applies_deletions() {
+        let mut collect = SignedBag::from_tuples([t(&[1])]);
+        let mut ans = SignedBag::new();
+        ans.add(t(&[1]), -1);
+        collect.merge_distinct(&ans);
+        assert!(collect.is_empty());
+    }
+
+    #[test]
+    fn deterministic_iteration_order() {
+        let b = SignedBag::from_tuples([t(&[3]), t(&[1]), t(&[2])]);
+        let order: Vec<_> = b.iter().map(|(tp, _)| tp.clone()).collect();
+        assert_eq!(order, vec![t(&[1]), t(&[2]), t(&[3])]);
+    }
+
+    #[test]
+    fn iter_occurrences_expands_counts() {
+        let mut b = SignedBag::new();
+        b.add(t(&[1]), 2);
+        b.add(t(&[2]), -1);
+        let occ: Vec<String> = b.iter_occurrences().map(|s| format!("{s:?}")).collect();
+        assert_eq!(occ, vec!["+[1]", "+[1]", "-[2]"]);
+    }
+
+    #[test]
+    fn debug_format() {
+        let mut b = SignedBag::new();
+        b.add(t(&[1]), 1);
+        b.add(t(&[4]), -1);
+        assert_eq!(format!("{b:?}"), "([1],-[4])");
+    }
+
+    #[test]
+    fn encoded_len_scales_with_occurrences() {
+        let one = SignedBag::singleton(t(&[1]));
+        let mut two = SignedBag::new();
+        two.add(t(&[1]), 2);
+        assert!(two.encoded_len() > one.encoded_len());
+        assert_eq!(SignedBag::new().encoded_len(), 4);
+    }
+}

@@ -1,0 +1,104 @@
+//! Error types for the relational layer.
+
+use std::fmt;
+
+/// Errors raised while validating or evaluating relational expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelationalError {
+    /// A tuple's arity did not match the schema it was used with.
+    ArityMismatch {
+        /// Relation or expression the tuple was destined for.
+        context: String,
+        /// Arity required by the schema.
+        expected: usize,
+        /// Arity of the offending tuple.
+        actual: usize,
+    },
+    /// An attribute name was not found in a schema.
+    UnknownAttribute {
+        /// The attribute that failed to resolve.
+        attribute: String,
+        /// The schema it was resolved against (attribute list).
+        schema: String,
+    },
+    /// A positional reference was out of range.
+    PositionOutOfRange {
+        /// The out-of-range position.
+        position: usize,
+        /// The schema arity.
+        arity: usize,
+    },
+    /// Two schemas that had to agree (e.g. for union) did not.
+    SchemaMismatch {
+        /// Left schema description.
+        left: String,
+        /// Right schema description.
+        right: String,
+    },
+    /// A key operation was requested on a relation without a declared key.
+    MissingKey {
+        /// The relation lacking key metadata.
+        relation: String,
+    },
+    /// A predicate compared incompatible operand types.
+    TypeMismatch {
+        /// Human-readable description of the comparison.
+        detail: String,
+    },
+}
+
+impl fmt::Display for RelationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationalError::ArityMismatch {
+                context,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "arity mismatch in {context}: expected {expected}, got {actual}"
+            ),
+            RelationalError::UnknownAttribute { attribute, schema } => {
+                write!(f, "unknown attribute {attribute:?} in schema [{schema}]")
+            }
+            RelationalError::PositionOutOfRange { position, arity } => {
+                write!(f, "position {position} out of range for arity {arity}")
+            }
+            RelationalError::SchemaMismatch { left, right } => {
+                write!(f, "schema mismatch: [{left}] vs [{right}]")
+            }
+            RelationalError::MissingKey { relation } => {
+                write!(f, "relation {relation} has no declared key")
+            }
+            RelationalError::TypeMismatch { detail } => {
+                write!(f, "type mismatch: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RelationalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = RelationalError::ArityMismatch {
+            context: "r1".into(),
+            expected: 2,
+            actual: 3,
+        };
+        assert!(e.to_string().contains("r1"));
+        assert!(e.to_string().contains("expected 2"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&RelationalError::MissingKey {
+            relation: "r".into(),
+        });
+    }
+}

@@ -1,0 +1,95 @@
+//! Base-relation updates (paper §1.1 / §4.1).
+//!
+//! Sources report single-tuple insertions and deletions. Modifications are
+//! treated as a deletion followed by an insertion (paper §4.1).
+
+use std::fmt;
+
+use crate::tuple::{Sign, SignedTuple, Tuple};
+
+/// The kind of a base-relation update.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum UpdateKind {
+    /// `insert(r, t)`
+    Insert,
+    /// `delete(r, t)`
+    Delete,
+}
+
+/// A single-tuple update against a named base relation.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Update {
+    /// Name of the updated base relation.
+    pub relation: String,
+    /// Insert or delete.
+    pub kind: UpdateKind,
+    /// The inserted/deleted tuple (the paper's `tuple(U)`).
+    pub tuple: Tuple,
+}
+
+impl Update {
+    /// `insert(relation, tuple)`.
+    pub fn insert(relation: impl Into<String>, tuple: Tuple) -> Self {
+        Update {
+            relation: relation.into(),
+            kind: UpdateKind::Insert,
+            tuple,
+        }
+    }
+
+    /// `delete(relation, tuple)`.
+    pub fn delete(relation: impl Into<String>, tuple: Tuple) -> Self {
+        Update {
+            relation: relation.into(),
+            kind: UpdateKind::Delete,
+            tuple,
+        }
+    }
+
+    /// The signed tuple to substitute into queries: `+t` for inserts,
+    /// `−t` for deletes (paper §4.1).
+    pub fn signed_tuple(&self) -> SignedTuple {
+        SignedTuple {
+            sign: self.sign(),
+            tuple: self.tuple.clone(),
+        }
+    }
+
+    /// The sign carried by this update.
+    pub fn sign(&self) -> Sign {
+        match self.kind {
+            UpdateKind::Insert => Sign::Plus,
+            UpdateKind::Delete => Sign::Minus,
+        }
+    }
+}
+
+impl fmt::Debug for Update {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let op = match self.kind {
+            UpdateKind::Insert => "insert",
+            UpdateKind::Delete => "delete",
+        };
+        write!(f, "{op}({}, {:?})", self.relation, self.tuple)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signed_tuple_matches_kind() {
+        let ins = Update::insert("r2", Tuple::ints([2, 3]));
+        assert_eq!(ins.signed_tuple().sign, Sign::Plus);
+        let del = Update::delete("r1", Tuple::ints([1, 2]));
+        assert_eq!(del.signed_tuple().sign, Sign::Minus);
+        assert_eq!(del.signed_tuple().tuple, Tuple::ints([1, 2]));
+    }
+
+    #[test]
+    fn debug_matches_paper_notation() {
+        let u = Update::insert("r2", Tuple::ints([2, 3]));
+        assert_eq!(format!("{u:?}"), "insert(r2, [2,3])");
+    }
+}

@@ -1,0 +1,132 @@
+//! Scalar values stored in tuples.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A scalar value in a tuple.
+///
+/// The paper's examples use small integers; we additionally support strings
+/// so that realistic warehouse schemas (names, codes) can be modelled. Values
+/// are totally ordered (integers before strings) so they can serve as index
+/// and key material.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// A 64-bit signed integer.
+    Int(i64),
+    /// An immutable, cheaply-clonable string.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Construct a string value.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Return the integer payload, if this is an [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// Return the string payload, if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Int(_) => None,
+            Value::Str(s) => Some(s),
+        }
+    }
+
+    /// Encoded size of the value in bytes, as counted by the wire layer.
+    ///
+    /// Integers are 8 bytes; strings are their UTF-8 length plus a 4-byte
+    /// length prefix. A 1-byte tag is added by the codec itself.
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            Value::Int(_) => 8,
+            Value::Str(s) => 4 + s.len(),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(Arc::from(s.as_str()))
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_roundtrip() {
+        let v = Value::from(42);
+        assert_eq!(v.as_int(), Some(42));
+        assert_eq!(v.as_str(), None);
+    }
+
+    #[test]
+    fn str_roundtrip() {
+        let v = Value::str("hello");
+        assert_eq!(v.as_str(), Some("hello"));
+        assert_eq!(v.as_int(), None);
+    }
+
+    #[test]
+    fn ordering_ints_before_strings() {
+        assert!(Value::Int(i64::MAX) < Value::str(""));
+        assert!(Value::Int(1) < Value::Int(2));
+        assert!(Value::str("a") < Value::str("b"));
+    }
+
+    #[test]
+    fn encoded_len() {
+        assert_eq!(Value::Int(7).encoded_len(), 8);
+        assert_eq!(Value::str("abc").encoded_len(), 7);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(format!("{}", Value::Int(5)), "5");
+        assert_eq!(format!("{:?}", Value::str("x")), "\"x\"");
+    }
+}

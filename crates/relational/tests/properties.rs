@@ -1,0 +1,101 @@
+//! Property-based tests for the signed-bag algebra laws of paper §4.1.
+
+use eca_relational::algebra::{cross, equijoin, project, select};
+use eca_relational::{CmpOp, Predicate, SignedBag, Tuple};
+use proptest::prelude::*;
+
+/// Strategy: a small signed bag of 2-attribute integer tuples with counts in
+/// −3..=3.
+fn signed_bag() -> impl Strategy<Value = SignedBag> {
+    prop::collection::vec(((0i64..6, 0i64..6), -3i64..=3), 0..12).prop_map(|entries| {
+        let mut bag = SignedBag::new();
+        for ((a, b), c) in entries {
+            bag.add(Tuple::ints([a, b]), c);
+        }
+        bag
+    })
+}
+
+proptest! {
+    #[test]
+    fn plus_is_commutative(a in signed_bag(), b in signed_bag()) {
+        prop_assert_eq!(a.plus(&b), b.plus(&a));
+    }
+
+    #[test]
+    fn plus_is_associative(a in signed_bag(), b in signed_bag(), c in signed_bag()) {
+        prop_assert_eq!(a.plus(&b).plus(&c), a.plus(&b.plus(&c)));
+    }
+
+    #[test]
+    fn minus_self_is_empty(a in signed_bag()) {
+        prop_assert!(a.minus(&a).is_empty());
+    }
+
+    #[test]
+    fn double_negation_is_identity(a in signed_bag()) {
+        prop_assert_eq!(a.negated().negated(), a);
+    }
+
+    #[test]
+    fn pos_neg_decomposition(a in signed_bag()) {
+        // r == pos(r) − neg(r)
+        prop_assert_eq!(a.positive_part().minus(&a.negative_part()), a);
+    }
+
+    #[test]
+    fn cross_distributes_over_plus(a in signed_bag(), b in signed_bag(), c in signed_bag()) {
+        let lhs = cross(&a.plus(&b), &c);
+        let rhs = cross(&a, &c).plus(&cross(&b, &c));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn cross_distributes_over_minus(a in signed_bag(), b in signed_bag(), c in signed_bag()) {
+        let lhs = cross(&c, &a.minus(&b));
+        let rhs = cross(&c, &a).minus(&cross(&c, &b));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn select_commutes_with_plus(a in signed_bag(), b in signed_bag()) {
+        let p = Predicate::col_cmp(0, CmpOp::Lt, 1);
+        let lhs = select(&a.plus(&b), &p).unwrap();
+        let rhs = select(&a, &p).unwrap().plus(&select(&b, &p).unwrap());
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn project_commutes_with_plus(a in signed_bag(), b in signed_bag()) {
+        let lhs = project(&a.plus(&b), &[0]).unwrap();
+        let rhs = project(&a, &[0]).unwrap().plus(&project(&b, &[0]).unwrap());
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn equijoin_equals_cross_then_select(a in signed_bag(), b in signed_bag()) {
+        let joined = equijoin(&a, &b, 1, 0);
+        let expected = select(&cross(&a, &b), &Predicate::col_eq(1, 2)).unwrap();
+        prop_assert_eq!(joined, expected);
+    }
+
+    #[test]
+    fn signed_len_is_additive(a in signed_bag(), b in signed_bag()) {
+        prop_assert_eq!(a.plus(&b).signed_len(), a.signed_len() + b.signed_len());
+    }
+
+    #[test]
+    fn distinct_is_idempotent(a in signed_bag()) {
+        let d = a.distinct();
+        prop_assert_eq!(d.distinct(), d);
+    }
+
+    #[test]
+    fn select_partition(a in signed_bag()) {
+        // σ_p(r) + σ_¬p(r) == r
+        let p = Predicate::col_cmp(0, CmpOp::Ge, 1);
+        let yes = select(&a, &p).unwrap();
+        let no = select(&a, &p.clone().not()).unwrap();
+        prop_assert_eq!(yes.plus(&no), a);
+    }
+}

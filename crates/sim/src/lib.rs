@@ -1,0 +1,515 @@
+//! Deterministic discrete-event simulation of the warehouse environment.
+//!
+//! The paper's anomalies (and its best/worst cost cases) are purely a
+//! function of how four event types interleave (§3):
+//!
+//! * `S_up` — the source executes an update and sends a notification,
+//! * `W_up` — the warehouse receives it and (possibly) sends a query,
+//! * `S_qu` — the source evaluates a query on its *current* state,
+//! * `W_ans` — the warehouse receives the answer and updates the view.
+//!
+//! [`Simulation`] wires an [`eca_source::Source`] to any
+//! [`eca_core::ViewMaintainer`] through FIFO channels carrying encoded
+//! [`eca_wire::Message`]s (so byte counts are real), and drives them under
+//! a [`Policy`]:
+//!
+//! * [`Policy::Serial`] — each update fully settles before the next: the
+//!   favorable case where ECA degenerates to the basic algorithm,
+//! * [`Policy::AllUpdatesFirst`] — every update executes before any query
+//!   reaches the source: the paper's anomaly scenario and ECA's worst
+//!   case,
+//! * [`Policy::Random`] — seeded random interleaving of all enabled
+//!   events, used by the property tests to explore histories.
+//!
+//! Every run records the source's view states `V[ss_0..ss_p]` and each
+//! warehouse state, which `eca-consistency` checks against the §3
+//! correctness hierarchy.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod trace;
+
+use std::collections::VecDeque;
+
+use eca_core::maintainer::ViewMaintainer;
+use eca_core::ViewDef;
+use eca_relational::{SignedBag, Update};
+use eca_source::Source;
+use eca_wire::{Direction, Message, TransferMeter, WireQuery};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub use report::RunReport;
+pub use trace::TraceEvent;
+
+/// How source and warehouse events interleave.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Policy {
+    /// Each update is fully processed (notification, query, answer,
+    /// install) before the next update executes. ECA's best case.
+    Serial,
+    /// All updates execute at the source before any query arrives there.
+    /// The anomaly interleaving of Examples 2–4; ECA's worst case.
+    AllUpdatesFirst,
+    /// Seeded uniform choice among all enabled events each step.
+    Random {
+        /// RNG seed (runs are reproducible per seed).
+        seed: u64,
+    },
+}
+
+/// Errors surfaced by a simulation run.
+#[derive(Debug)]
+pub enum SimError {
+    /// The warehouse algorithm failed.
+    Core(eca_core::CoreError),
+    /// The source failed to answer a query.
+    Source(eca_source::SourceError),
+    /// A message failed to decode (indicates a codec bug).
+    Decode(eca_wire::DecodeError),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Core(e) => write!(f, "warehouse error: {e}"),
+            SimError::Source(e) => write!(f, "source error: {e}"),
+            SimError::Decode(e) => write!(f, "decode error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<eca_core::CoreError> for SimError {
+    fn from(e: eca_core::CoreError) -> Self {
+        SimError::Core(e)
+    }
+}
+
+impl From<eca_source::SourceError> for SimError {
+    fn from(e: eca_source::SourceError) -> Self {
+        SimError::Source(e)
+    }
+}
+
+impl From<eca_wire::DecodeError> for SimError {
+    fn from(e: eca_wire::DecodeError) -> Self {
+        SimError::Decode(e)
+    }
+}
+
+/// The wired-up system: source, warehouse, channels, meters, script.
+///
+/// ```
+/// use eca_core::{algorithms::AlgorithmKind, ViewDef};
+/// use eca_relational::{Predicate, Schema, Tuple, Update};
+/// use eca_sim::{Policy, Simulation};
+/// use eca_source::Source;
+/// use eca_storage::Scenario;
+///
+/// let view = ViewDef::new(
+///     "V",
+///     vec![Schema::new("r1", &["W", "X"]), Schema::new("r2", &["X", "Y"])],
+///     Predicate::col_eq(1, 2),
+///     vec![0],
+/// )?;
+/// let mut source = Source::new(Scenario::Indexed);
+/// source.add_relation(Schema::new("r1", &["W", "X"]), 20, None, &[])?;
+/// source.add_relation(Schema::new("r2", &["X", "Y"]), 20, None, &[])?;
+/// source.load("r1", [Tuple::ints([1, 2])])?;
+///
+/// let initial = view.eval(&source.snapshot())?;
+/// let warehouse = AlgorithmKind::Eca.instantiate(&view, initial)?;
+/// let report = Simulation::new(source, warehouse, vec![
+///     Update::insert("r2", Tuple::ints([2, 3])),
+///     Update::insert("r1", Tuple::ints([4, 2])),
+/// ])?
+/// .run(Policy::AllUpdatesFirst)?;
+///
+/// assert!(report.converged());
+/// assert_eq!(report.maintenance_messages(), 4); // 2k for ECA
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Simulation {
+    source: Source,
+    warehouse: Box<dyn ViewMaintainer>,
+    view: ViewDef,
+    /// Source → warehouse FIFO (notifications and answers).
+    s2w: VecDeque<Message>,
+    /// Warehouse → source FIFO (queries).
+    w2s: VecDeque<Message>,
+    script: VecDeque<Update>,
+    meter: TransferMeter,
+    source_view_states: Vec<SignedBag>,
+    warehouse_view_states: Vec<SignedBag>,
+    notifications_sent: u64,
+    trace: Vec<TraceEvent>,
+}
+
+impl Simulation {
+    /// Wire a source and a warehouse algorithm with an update script.
+    ///
+    /// The warehouse's initial `MV` must equal the view evaluated on the
+    /// source's initial state (`V[ss_0]`) — the standard starting
+    /// condition of the paper's proofs.
+    pub fn new(
+        source: Source,
+        warehouse: Box<dyn ViewMaintainer>,
+        script: Vec<Update>,
+    ) -> Result<Self, SimError> {
+        let view = warehouse.view().clone();
+        let initial_source_view = view.eval(&source.snapshot())?;
+        let initial_mv = warehouse.materialized().clone();
+        Ok(Simulation {
+            source,
+            warehouse,
+            view,
+            s2w: VecDeque::new(),
+            w2s: VecDeque::new(),
+            script: script.into(),
+            meter: TransferMeter::new(),
+            source_view_states: vec![initial_source_view],
+            warehouse_view_states: vec![initial_mv],
+            notifications_sent: 0,
+            trace: Vec::new(),
+        })
+    }
+
+    /// Run to quiescence under `policy` and report.
+    ///
+    /// # Errors
+    /// Propagates warehouse, source and codec errors.
+    pub fn run(mut self, policy: Policy) -> Result<RunReport, SimError> {
+        match policy {
+            Policy::Serial => {
+                while self.source_has_update() {
+                    self.step_source_update()?;
+                    self.drain()?;
+                }
+            }
+            Policy::AllUpdatesFirst => {
+                // 1. All updates execute at the source.
+                while self.source_has_update() {
+                    self.step_source_update()?;
+                }
+                // 2. The warehouse processes every notification (emitting
+                //    queries) before the source answers anything.
+                while self.warehouse_has_message() {
+                    self.step_warehouse_deliver()?;
+                }
+                // 3. Everything settles.
+                self.drain()?;
+            }
+            Policy::Random { seed } => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                loop {
+                    let mut enabled = Vec::with_capacity(3);
+                    if self.source_has_update() {
+                        enabled.push(0u8);
+                    }
+                    if self.source_has_query() {
+                        enabled.push(1);
+                    }
+                    if self.warehouse_has_message() {
+                        enabled.push(2);
+                    }
+                    if enabled.is_empty() {
+                        break;
+                    }
+                    match enabled[rng.gen_range(0..enabled.len())] {
+                        0 => self.step_source_update()?,
+                        1 => self.step_source_answer()?,
+                        _ => self.step_warehouse_deliver()?,
+                    }
+                }
+            }
+        }
+        Ok(self.into_report())
+    }
+
+    fn source_has_update(&self) -> bool {
+        !self.script.is_empty()
+    }
+
+    fn source_has_query(&self) -> bool {
+        !self.w2s.is_empty()
+    }
+
+    fn warehouse_has_message(&self) -> bool {
+        !self.s2w.is_empty()
+    }
+
+    /// Settle all in-flight work (no further updates).
+    fn drain(&mut self) -> Result<(), SimError> {
+        while self.source_has_query() || self.warehouse_has_message() {
+            while self.warehouse_has_message() {
+                self.step_warehouse_deliver()?;
+            }
+            while self.source_has_query() {
+                self.step_source_answer()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// `S_up`: execute the next scripted update, notify the warehouse.
+    fn step_source_update(&mut self) -> Result<(), SimError> {
+        let update = self.script.pop_front().expect("caller checked");
+        let effective = self.source.execute_update(&update);
+        self.trace.push(TraceEvent::SourceUpdate {
+            update: update.clone(),
+            effective,
+        });
+        if effective {
+            self.source_view_states
+                .push(self.view.eval(&self.source.snapshot())?);
+            let msg = Message::UpdateNotification { update };
+            self.send_s2w(msg);
+            self.notifications_sent += 1;
+        }
+        Ok(())
+    }
+
+    /// `S_qu`: answer the oldest pending query on the current state.
+    fn step_source_answer(&mut self) -> Result<(), SimError> {
+        let Some(Message::QueryRequest { id, query }) = self.w2s.pop_front() else {
+            panic!("w2s carries only QueryRequest messages");
+        };
+        let answer = self.source.answer(&query)?;
+        self.trace.push(TraceEvent::SourceAnswer {
+            id,
+            tuples: answer.pos_len() + answer.neg_len(),
+        });
+        let payload_bytes = answer.encoded_len() as u64;
+        let tuples = answer.pos_len() + answer.neg_len();
+        self.meter.record_answer_payload(payload_bytes, tuples);
+        self.send_s2w(Message::QueryAnswer { id, answer });
+        Ok(())
+    }
+
+    /// `W_up`/`W_ans`: deliver the oldest source→warehouse message.
+    fn step_warehouse_deliver(&mut self) -> Result<(), SimError> {
+        let msg = self.s2w.pop_front().expect("caller checked");
+        // Roundtrip through the codec: byte counts and decodability are
+        // exercised on every delivery.
+        let msg = Message::decode(msg.encode())?;
+        let outbound = match msg {
+            Message::UpdateNotification { update } => {
+                let queries = self.warehouse.on_update(&update)?;
+                self.trace.push(TraceEvent::WarehouseUpdate {
+                    update,
+                    queries_sent: queries.iter().map(|q| q.id).collect(),
+                });
+                queries
+            }
+            Message::QueryAnswer { id, answer } => {
+                let queries = self.warehouse.on_answer(id, answer)?;
+                self.trace.push(TraceEvent::WarehouseAnswer { id });
+                queries
+            }
+            Message::QueryRequest { .. } => {
+                panic!("s2w never carries QueryRequest messages")
+            }
+        };
+        // Algorithms that apply several buffered deltas inside one event
+        // (LCA) report each intermediate state; others just expose MV.
+        let intermediates = self.warehouse.drain_intermediate_states();
+        if intermediates.is_empty() {
+            self.warehouse_view_states
+                .push(self.warehouse.materialized().clone());
+        } else {
+            self.warehouse_view_states.extend(intermediates);
+        }
+        for q in outbound {
+            let msg = Message::QueryRequest {
+                id: q.id,
+                query: WireQuery::from_query(&q.query),
+            };
+            self.meter
+                .record(Direction::WarehouseToSource, msg.encoded_len() as u64);
+            self.w2s.push_back(msg);
+        }
+        Ok(())
+    }
+
+    fn send_s2w(&mut self, msg: Message) {
+        self.meter
+            .record(Direction::SourceToWarehouse, msg.encoded_len() as u64);
+        self.s2w.push_back(msg);
+    }
+
+    fn into_report(self) -> RunReport {
+        let final_source_view = self.source_view_states.last().cloned().unwrap_or_default();
+        RunReport {
+            algorithm: self.warehouse.algorithm(),
+            source_view_states: self.source_view_states,
+            warehouse_view_states: self.warehouse_view_states,
+            final_mv: self.warehouse.materialized().clone(),
+            final_source_view,
+            quiescent: self.warehouse.is_quiescent(),
+            query_messages: self.meter.messages_w2s(),
+            answer_messages: self.meter.messages_s2w() - self.notifications_sent,
+            notification_messages: self.notifications_sent,
+            answer_bytes: self.meter.answer_bytes(),
+            answer_tuples: self.meter.answer_tuples(),
+            bytes_s2w: self.meter.bytes_s2w(),
+            bytes_w2s: self.meter.bytes_w2s(),
+            io_reads: self.source.io_meter().query_reads(),
+            trace: self.trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eca_core::algorithms::AlgorithmKind;
+    use eca_relational::{Predicate, Schema, Tuple};
+    use eca_storage::Scenario;
+
+    fn view2() -> ViewDef {
+        ViewDef::new(
+            "V",
+            vec![
+                Schema::new("r1", &["W", "X"]),
+                Schema::new("r2", &["X", "Y"]),
+            ],
+            Predicate::col_eq(1, 2),
+            vec![0],
+        )
+        .unwrap()
+    }
+
+    fn make_sim(kind: AlgorithmKind, script: Vec<Update>) -> Simulation {
+        let view = view2();
+        let mut source = Source::new(Scenario::Indexed);
+        source
+            .add_relation(Schema::new("r1", &["W", "X"]), 20, Some("X"), &[])
+            .unwrap();
+        source
+            .add_relation(Schema::new("r2", &["X", "Y"]), 20, Some("X"), &[])
+            .unwrap();
+        source.load("r1", [Tuple::ints([1, 2])]).unwrap();
+        let snapshot = source.snapshot();
+        let initial = view.eval(&snapshot).unwrap();
+        let warehouse = kind
+            .instantiate_with_base(&view, initial, Some(snapshot))
+            .unwrap();
+        Simulation::new(source, warehouse, script).unwrap()
+    }
+
+    fn example2_script() -> Vec<Update> {
+        vec![
+            Update::insert("r2", Tuple::ints([2, 3])),
+            Update::insert("r1", Tuple::ints([4, 2])),
+        ]
+    }
+
+    #[test]
+    fn basic_is_wrong_under_adversarial_policy() {
+        let report = make_sim(AlgorithmKind::Basic, example2_script())
+            .run(Policy::AllUpdatesFirst)
+            .unwrap();
+        assert!(!report.converged());
+        assert_eq!(
+            report.final_mv.count(&Tuple::ints([4])),
+            2,
+            "the Example 2 anomaly"
+        );
+    }
+
+    #[test]
+    fn basic_is_correct_under_serial_policy() {
+        let report = make_sim(AlgorithmKind::Basic, example2_script())
+            .run(Policy::Serial)
+            .unwrap();
+        assert!(report.converged());
+    }
+
+    #[test]
+    fn eca_is_correct_under_adversarial_policy() {
+        let report = make_sim(AlgorithmKind::Eca, example2_script())
+            .run(Policy::AllUpdatesFirst)
+            .unwrap();
+        assert!(report.converged());
+        assert_eq!(report.final_mv.count(&Tuple::ints([1])), 1);
+        assert_eq!(report.final_mv.count(&Tuple::ints([4])), 1);
+    }
+
+    #[test]
+    fn eca_correct_under_random_policies() {
+        for seed in 0..20 {
+            let report = make_sim(AlgorithmKind::Eca, example2_script())
+                .run(Policy::Random { seed })
+                .unwrap();
+            assert!(report.converged(), "seed {seed}");
+            assert!(report.quiescent, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn message_counts_match_paper_formulas() {
+        // ECA: k updates → k queries + k answers (§6.1).
+        let report = make_sim(AlgorithmKind::Eca, example2_script())
+            .run(Policy::AllUpdatesFirst)
+            .unwrap();
+        assert_eq!(report.query_messages, 2);
+        assert_eq!(report.answer_messages, 2);
+        assert_eq!(report.notification_messages, 2);
+        assert_eq!(report.maintenance_messages(), 4);
+
+        // RV with s = k: one recompute → 2 messages.
+        let report = make_sim(
+            AlgorithmKind::RecomputeView { period: 2 },
+            example2_script(),
+        )
+        .run(Policy::AllUpdatesFirst)
+        .unwrap();
+        assert_eq!(report.maintenance_messages(), 2);
+        assert!(report.converged());
+    }
+
+    #[test]
+    fn store_copies_never_messages() {
+        let report = make_sim(AlgorithmKind::StoreCopies, example2_script())
+            .run(Policy::AllUpdatesFirst)
+            .unwrap();
+        assert_eq!(report.maintenance_messages(), 0);
+        assert!(report.converged());
+    }
+
+    #[test]
+    fn byte_meters_are_populated() {
+        let report = make_sim(AlgorithmKind::Eca, example2_script())
+            .run(Policy::Serial)
+            .unwrap();
+        assert!(report.answer_bytes > 0);
+        assert!(report.bytes_w2s > 0);
+        assert!(report.answer_tuples >= 2);
+    }
+
+    #[test]
+    fn trace_records_event_flow() {
+        let report = make_sim(AlgorithmKind::Eca, example2_script())
+            .run(Policy::Serial)
+            .unwrap();
+        let kinds: Vec<&'static str> = report.trace.iter().map(TraceEvent::kind).collect();
+        assert_eq!(kinds[0], "S_up");
+        assert!(kinds.contains(&"W_up"));
+        assert!(kinds.contains(&"S_qu"));
+        assert!(kinds.contains(&"W_ans"));
+    }
+
+    #[test]
+    fn ineffective_updates_are_not_notified() {
+        let script = vec![Update::delete("r1", Tuple::ints([9, 9]))];
+        let report = make_sim(AlgorithmKind::Eca, script)
+            .run(Policy::Serial)
+            .unwrap();
+        assert_eq!(report.notification_messages, 0);
+        assert!(report.converged());
+    }
+}

@@ -1,0 +1,93 @@
+//! Structured event traces of a simulation run.
+
+use eca_core::QueryId;
+use eca_relational::Update;
+
+/// One event in the recorded history, mirroring the paper's §3 event
+/// types.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// `S_up`: the source executed an update.
+    SourceUpdate {
+        /// The update.
+        update: Update,
+        /// Whether it changed the base data (deletes of absent tuples do
+        /// not, and are not notified).
+        effective: bool,
+    },
+    /// `W_up`: the warehouse processed an update notification.
+    WarehouseUpdate {
+        /// The update.
+        update: Update,
+        /// Ids of queries the algorithm emitted in response.
+        queries_sent: Vec<QueryId>,
+    },
+    /// `S_qu`: the source evaluated a query.
+    SourceAnswer {
+        /// The query id.
+        id: QueryId,
+        /// Number of tuple occurrences in the answer.
+        tuples: u64,
+    },
+    /// `W_ans`: the warehouse processed an answer.
+    WarehouseAnswer {
+        /// The query id.
+        id: QueryId,
+    },
+}
+
+impl TraceEvent {
+    /// The paper's event-type label.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::SourceUpdate { .. } => "S_up",
+            TraceEvent::WarehouseUpdate { .. } => "W_up",
+            TraceEvent::SourceAnswer { .. } => "S_qu",
+            TraceEvent::WarehouseAnswer { .. } => "W_ans",
+        }
+    }
+}
+
+impl std::fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceEvent::SourceUpdate { update, effective } => {
+                write!(
+                    f,
+                    "S_up  {update:?}{}",
+                    if *effective { "" } else { " (no-op)" }
+                )
+            }
+            TraceEvent::WarehouseUpdate {
+                update,
+                queries_sent,
+            } => {
+                write!(f, "W_up  {update:?} -> sends {queries_sent:?}")
+            }
+            TraceEvent::SourceAnswer { id, tuples } => {
+                write!(f, "S_qu  {id} answered with {tuples} tuple(s)")
+            }
+            TraceEvent::WarehouseAnswer { id } => write!(f, "W_ans {id} applied"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eca_relational::Tuple;
+
+    #[test]
+    fn kinds_and_display() {
+        let e = TraceEvent::SourceUpdate {
+            update: Update::insert("r1", Tuple::ints([1])),
+            effective: true,
+        };
+        assert_eq!(e.kind(), "S_up");
+        assert!(e.to_string().contains("insert"));
+
+        let w = TraceEvent::WarehouseAnswer { id: QueryId(2) };
+        assert_eq!(w.kind(), "W_ans");
+        assert!(w.to_string().contains("Q2"));
+    }
+}

@@ -1,0 +1,280 @@
+//! The source site (paper §1, Figure 1.1).
+//!
+//! A source is an autonomous system that knows **nothing about views**. It
+//! does exactly two things:
+//!
+//! * execute local updates and notify the warehouse (`S_up` events), and
+//! * evaluate queries it receives against its *current* base relations and
+//!   return the answer (`S_qu` events).
+//!
+//! Both halves of each event are atomic (the paper's local concurrency
+//! assumption); the simulator serializes events, so no locking is needed
+//! here. Query evaluation runs on the metered [`StorageEngine`], so every
+//! run produces honest block-read counts under either Appendix-D cost
+//! scenario.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use eca_core::basedb::BaseDb;
+use eca_relational::{Schema, SignedBag, Update};
+use eca_storage::{IoMeter, Scenario, StorageEngine, StorageError};
+use eca_wire::WireQuery;
+
+/// Errors raised by the source.
+#[derive(Debug)]
+pub enum SourceError {
+    /// A query referenced a relation absent from the catalog.
+    UnknownRelation(String),
+    /// The storage layer failed.
+    Storage(StorageError),
+    /// The wire query could not be rebuilt into an evaluatable form.
+    BadQuery(eca_core::CoreError),
+}
+
+impl std::fmt::Display for SourceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SourceError::UnknownRelation(r) => write!(f, "unknown relation {r:?}"),
+            SourceError::Storage(e) => write!(f, "storage error: {e}"),
+            SourceError::BadQuery(e) => write!(f, "bad query: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SourceError {}
+
+impl From<StorageError> for SourceError {
+    fn from(e: StorageError) -> Self {
+        SourceError::Storage(e)
+    }
+}
+
+/// The source site: a schema catalog over a metered storage engine.
+pub struct Source {
+    engine: StorageEngine,
+    catalog: Vec<Schema>,
+    /// Count of updates executed (the `i` in `S_up_i`).
+    updates_executed: u64,
+    /// Count of queries answered.
+    queries_answered: u64,
+}
+
+impl Source {
+    /// An empty source under the given cost scenario.
+    pub fn new(scenario: Scenario) -> Self {
+        Source {
+            engine: StorageEngine::new(scenario),
+            catalog: Vec::new(),
+            updates_executed: 0,
+            queries_answered: 0,
+        }
+    }
+
+    /// Register a base relation with its physical layout.
+    ///
+    /// # Errors
+    /// Propagates storage validation errors.
+    pub fn add_relation(
+        &mut self,
+        schema: Schema,
+        tuples_per_block: usize,
+        clustered_on: Option<&str>,
+        unclustered_on: &[&str],
+    ) -> Result<(), SourceError> {
+        self.engine.create_table(
+            schema.clone(),
+            tuples_per_block,
+            clustered_on,
+            unclustered_on,
+        )?;
+        self.catalog.push(schema);
+        Ok(())
+    }
+
+    /// Bulk-load tuples without counting toward query I/O.
+    ///
+    /// # Errors
+    /// [`SourceError::UnknownRelation`] for unregistered relations.
+    pub fn load(
+        &mut self,
+        relation: &str,
+        tuples: impl IntoIterator<Item = eca_relational::Tuple>,
+    ) -> Result<(), SourceError> {
+        if !self.catalog.iter().any(|s| s.relation() == relation) {
+            return Err(SourceError::UnknownRelation(relation.to_owned()));
+        }
+        for t in tuples {
+            self.engine.apply(&Update::insert(relation, t));
+        }
+        self.engine.meter().reset();
+        Ok(())
+    }
+
+    /// The schema catalog.
+    pub fn catalog(&self) -> &[Schema] {
+        &self.catalog
+    }
+
+    /// The I/O meter (block reads charged to query evaluation).
+    pub fn io_meter(&self) -> &IoMeter {
+        self.engine.meter()
+    }
+
+    /// Enable an LRU block cache at this source (the paper's caching
+    /// ablation, §6.3). Returns a handle for hit/miss statistics.
+    pub fn enable_cache(&mut self, capacity: usize) -> eca_storage::BlockCache {
+        self.engine.enable_cache(capacity)
+    }
+
+    /// Updates executed so far.
+    pub fn updates_executed(&self) -> u64 {
+        self.updates_executed
+    }
+
+    /// Queries answered so far.
+    pub fn queries_answered(&self) -> u64 {
+        self.queries_answered
+    }
+
+    /// Execute an update locally (the first half of an `S_up` event).
+    /// Returns `false` when a delete found nothing to remove.
+    pub fn execute_update(&mut self, update: &Update) -> bool {
+        let effective = self.engine.apply(update);
+        if effective {
+            self.updates_executed += 1;
+        }
+        effective
+    }
+
+    /// Evaluate a wire query on the current base relations (an `S_qu`
+    /// event).
+    ///
+    /// # Errors
+    /// [`SourceError::BadQuery`] when the query references unknown
+    /// relations; storage errors otherwise.
+    pub fn answer(&mut self, query: &WireQuery) -> Result<SignedBag, SourceError> {
+        let rebuilt = query
+            .to_query(&self.catalog)
+            .map_err(SourceError::BadQuery)?;
+        let answer = self.engine.eval_query(&rebuilt)?;
+        self.queries_answered += 1;
+        Ok(answer)
+    }
+
+    /// A logical snapshot of the current base relations — used by the
+    /// consistency checker to record source states `ss_i`. Free of I/O
+    /// charges.
+    pub fn snapshot(&self) -> BaseDb {
+        let mut db = BaseDb::new();
+        for schema in &self.catalog {
+            db.register(schema.relation());
+            if let Some(table) = self.engine.table(schema.relation()) {
+                for (t, c) in table.contents().iter() {
+                    for _ in 0..c.max(0) {
+                        db.insert(schema.relation(), t.clone());
+                    }
+                }
+            }
+        }
+        db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eca_core::basedb::BaseLookup;
+    use eca_core::ViewDef;
+    use eca_relational::{Predicate, Tuple};
+    use eca_wire::WireQuery;
+
+    fn example_source(scenario: Scenario) -> (Source, ViewDef) {
+        let mut s = Source::new(scenario);
+        s.add_relation(Schema::new("r1", &["W", "X"]), 20, Some("X"), &[])
+            .unwrap();
+        s.add_relation(Schema::new("r2", &["X", "Y"]), 20, Some("X"), &["Y"])
+            .unwrap();
+        s.load("r1", [Tuple::ints([1, 2])]).unwrap();
+        s.load("r2", [Tuple::ints([2, 4])]).unwrap();
+        let view = ViewDef::new(
+            "V",
+            vec![
+                Schema::new("r1", &["W", "X"]),
+                Schema::new("r2", &["X", "Y"]),
+            ],
+            Predicate::col_eq(1, 2),
+            vec![0],
+        )
+        .unwrap();
+        (s, view)
+    }
+
+    #[test]
+    fn answers_follow_current_state() {
+        let (mut s, view) = example_source(Scenario::Indexed);
+        let u = Update::insert("r2", Tuple::ints([2, 3]));
+        // Query built for U, but evaluated AFTER a further update — the
+        // decoupling at the heart of the paper.
+        let q = WireQuery::from_query(&view.substitute(&u).unwrap());
+        s.execute_update(&u);
+        s.execute_update(&Update::insert("r1", Tuple::ints([4, 2])));
+        let a = s.answer(&q).unwrap();
+        assert_eq!(
+            a,
+            SignedBag::from_tuples([Tuple::ints([1]), Tuple::ints([4])])
+        );
+        assert_eq!(s.updates_executed(), 2);
+        assert_eq!(s.queries_answered(), 1);
+    }
+
+    #[test]
+    fn snapshot_matches_applied_updates() {
+        let (mut s, view) = example_source(Scenario::nested_loop_default());
+        s.execute_update(&Update::insert("r1", Tuple::ints([4, 2])));
+        s.execute_update(&Update::delete("r2", Tuple::ints([2, 4])));
+        let snap = s.snapshot();
+        assert_eq!(snap.bag("r1").unwrap().pos_len(), 2);
+        assert!(snap.bag("r2").unwrap().is_empty());
+        assert!(view.eval(&snap).unwrap().is_empty());
+    }
+
+    #[test]
+    fn ineffective_delete_not_counted() {
+        let (mut s, _) = example_source(Scenario::Indexed);
+        assert!(!s.execute_update(&Update::delete("r1", Tuple::ints([9, 9]))));
+        assert_eq!(s.updates_executed(), 0);
+    }
+
+    #[test]
+    fn unknown_relation_in_query_rejected() {
+        let (mut s, _) = example_source(Scenario::Indexed);
+        let bad_view = ViewDef::new(
+            "V",
+            vec![Schema::new("zz", &["A"])],
+            Predicate::True,
+            vec![0],
+        )
+        .unwrap();
+        let q = WireQuery::from_query(&bad_view.as_query());
+        assert!(matches!(s.answer(&q), Err(SourceError::BadQuery(_))));
+    }
+
+    #[test]
+    fn load_rejects_unregistered() {
+        let mut s = Source::new(Scenario::Indexed);
+        assert!(matches!(
+            s.load("nope", [Tuple::ints([1])]),
+            Err(SourceError::UnknownRelation(_))
+        ));
+    }
+
+    #[test]
+    fn io_charged_for_answers_not_loads() {
+        let (mut s, view) = example_source(Scenario::Indexed);
+        assert_eq!(s.io_meter().query_reads(), 0);
+        let q = WireQuery::from_query(&view.as_query());
+        s.answer(&q).unwrap();
+        assert!(s.io_meter().query_reads() > 0);
+    }
+}

@@ -1,0 +1,220 @@
+//! Heap files: tuples packed `K` per block.
+//!
+//! A heap file stores tuple occurrences in a flat, ordered sequence that is
+//! conceptually chopped into blocks of `K` tuples (the paper's `K`,
+//! default 20). When the file is *clustered* on an attribute, the sequence
+//! is kept sorted by that attribute, so all tuples with a given value are
+//! contiguous and a clustered lookup touches `⌈matches/K⌉`-ish blocks
+//! (exactly: the distinct blocks the run spans).
+
+use eca_relational::{Tuple, Value};
+
+use crate::error::StorageError;
+
+/// A block-organized tuple store.
+#[derive(Clone, Debug)]
+pub struct HeapFile {
+    tuples: Vec<Tuple>,
+    tuples_per_block: usize,
+    /// When set, `tuples` is kept sorted by this attribute position.
+    cluster_attr: Option<usize>,
+}
+
+impl HeapFile {
+    /// An empty heap with blocks of `tuples_per_block` tuples, optionally
+    /// clustered on an attribute position.
+    ///
+    /// # Errors
+    /// [`StorageError::InvalidBlockSize`] when `tuples_per_block == 0`.
+    pub fn new(tuples_per_block: usize, cluster_attr: Option<usize>) -> Result<Self, StorageError> {
+        if tuples_per_block == 0 {
+            return Err(StorageError::InvalidBlockSize { tuples_per_block });
+        }
+        Ok(HeapFile {
+            tuples: Vec::new(),
+            tuples_per_block,
+            cluster_attr,
+        })
+    }
+
+    /// Number of tuple occurrences stored.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the heap is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Number of blocks occupied: `⌈len/K⌉` (the paper's `I` when the
+    /// relation has `C` tuples).
+    pub fn num_blocks(&self) -> u64 {
+        self.tuples.len().div_ceil(self.tuples_per_block) as u64
+    }
+
+    /// Tuples per block (`K`).
+    pub fn tuples_per_block(&self) -> usize {
+        self.tuples_per_block
+    }
+
+    /// The clustering attribute position, if any.
+    pub fn cluster_attr(&self) -> Option<usize> {
+        self.cluster_attr
+    }
+
+    /// All stored tuples in heap order.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Insert one tuple occurrence, preserving cluster order.
+    pub fn insert(&mut self, tuple: Tuple) {
+        match self.cluster_attr {
+            None => self.tuples.push(tuple),
+            Some(attr) => {
+                let key = tuple.get(attr).cloned();
+                let pos = self.tuples.partition_point(|t| t.get(attr).cloned() <= key);
+                self.tuples.insert(pos, tuple);
+            }
+        }
+    }
+
+    /// Remove one occurrence of `tuple`. Returns whether one was found.
+    pub fn delete(&mut self, tuple: &Tuple) -> bool {
+        if let Some(pos) = self.tuples.iter().position(|t| t == tuple) {
+            self.tuples.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The index range of tuples whose `cluster_attr` equals `value`.
+    /// Only meaningful when clustered.
+    pub fn clustered_range(&self, value: &Value) -> std::ops::Range<usize> {
+        let attr = self
+            .cluster_attr
+            .expect("clustered_range on unclustered heap");
+        let start = self
+            .tuples
+            .partition_point(|t| t.get(attr).is_some_and(|v| v < value));
+        let end = self
+            .tuples
+            .partition_point(|t| t.get(attr).is_some_and(|v| v <= value));
+        start..end
+    }
+
+    /// How many distinct blocks the tuple positions in `range` span.
+    pub fn blocks_spanned(&self, range: &std::ops::Range<usize>) -> u64 {
+        if range.is_empty() {
+            return 0;
+        }
+        let first = range.start / self.tuples_per_block;
+        let last = (range.end - 1) / self.tuples_per_block;
+        (last - first + 1) as u64
+    }
+
+    /// Iterate the heap block by block (for nested-loop processing).
+    pub fn blocks(&self) -> impl Iterator<Item = &[Tuple]> + '_ {
+        self.tuples.chunks(self.tuples_per_block)
+    }
+
+    /// Positions (heap offsets) of every occurrence with `attr == value` —
+    /// the access an unclustered index provides.
+    pub fn positions_with(&self, attr: usize, value: &Value) -> Vec<usize> {
+        self.tuples
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.get(attr) == Some(value))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(vals: &[i64]) -> Tuple {
+        Tuple::ints(vals.iter().copied())
+    }
+
+    #[test]
+    fn zero_block_size_rejected() {
+        assert!(HeapFile::new(0, None).is_err());
+    }
+
+    #[test]
+    fn block_count() {
+        let mut h = HeapFile::new(3, None).unwrap();
+        assert_eq!(h.num_blocks(), 0);
+        for i in 0..7 {
+            h.insert(t(&[i, 0]));
+        }
+        assert_eq!(h.len(), 7);
+        assert_eq!(h.num_blocks(), 3);
+    }
+
+    #[test]
+    fn clustered_insert_keeps_order() {
+        let mut h = HeapFile::new(2, Some(0)).unwrap();
+        for v in [5, 1, 3, 1, 9] {
+            h.insert(t(&[v, 0]));
+        }
+        let keys: Vec<i64> = h
+            .tuples()
+            .iter()
+            .map(|tp| tp.get(0).unwrap().as_int().unwrap())
+            .collect();
+        assert_eq!(keys, vec![1, 1, 3, 5, 9]);
+    }
+
+    #[test]
+    fn clustered_range_and_block_span() {
+        let mut h = HeapFile::new(2, Some(0)).unwrap();
+        // 6 tuples: keys 1,1,1,2,2,3 → blocks: [1,1][1,2][2,3]
+        for v in [1, 1, 1, 2, 2, 3] {
+            h.insert(t(&[v, 0]));
+        }
+        let r1 = h.clustered_range(&Value::Int(1));
+        assert_eq!(r1, 0..3);
+        assert_eq!(h.blocks_spanned(&r1), 2);
+        let r2 = h.clustered_range(&Value::Int(2));
+        assert_eq!(r2, 3..5);
+        assert_eq!(h.blocks_spanned(&r2), 2);
+        let r9 = h.clustered_range(&Value::Int(9));
+        assert!(r9.is_empty());
+        assert_eq!(h.blocks_spanned(&r9), 0);
+    }
+
+    #[test]
+    fn delete_removes_one_occurrence() {
+        let mut h = HeapFile::new(4, Some(0)).unwrap();
+        h.insert(t(&[1, 0]));
+        h.insert(t(&[1, 0]));
+        assert!(h.delete(&t(&[1, 0])));
+        assert_eq!(h.len(), 1);
+        assert!(!h.delete(&t(&[9, 9])));
+    }
+
+    #[test]
+    fn positions_with_finds_all() {
+        let mut h = HeapFile::new(2, None).unwrap();
+        h.insert(t(&[1, 7]));
+        h.insert(t(&[2, 8]));
+        h.insert(t(&[3, 7]));
+        assert_eq!(h.positions_with(1, &Value::Int(7)), vec![0, 2]);
+        assert!(h.positions_with(1, &Value::Int(99)).is_empty());
+    }
+
+    #[test]
+    fn blocks_iterator_chunks() {
+        let mut h = HeapFile::new(2, None).unwrap();
+        for i in 0..5 {
+            h.insert(t(&[i]));
+        }
+        let sizes: Vec<usize> = h.blocks().map(<[Tuple]>::len).collect();
+        assert_eq!(sizes, vec![2, 2, 1]);
+    }
+}

@@ -1,0 +1,307 @@
+//! Tables: a heap file plus index metadata and metered access paths.
+
+use eca_relational::{Schema, SignedBag, Tuple, Value};
+
+use crate::cache::BlockCache;
+use crate::error::StorageError;
+use crate::heap::HeapFile;
+use crate::io::IoMeter;
+
+/// The kind of index available on an attribute (paper §6.3 Scenario 1:
+/// clustered indexes on the join attributes plus one non-clustered index).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IndexKind {
+    /// Tuples with equal key are contiguous; a lookup reads the blocks the
+    /// run spans (`≈ ⌈matches/K⌉`).
+    Clustered,
+    /// Matches are scattered; a lookup reads one block per matching tuple
+    /// (the paper's no-caching assumption).
+    Unclustered,
+}
+
+/// A stored base relation with metered access paths.
+///
+/// Index *structures* are assumed memory-resident and free to traverse
+/// (Scenario 1's assumption); only data-block reads are charged to the
+/// [`IoMeter`].
+#[derive(Clone, Debug)]
+pub struct Table {
+    schema: Schema,
+    heap: HeapFile,
+    /// `(attribute position, kind)` of each available index.
+    indexes: Vec<(usize, IndexKind)>,
+    meter: IoMeter,
+    /// Optional shared LRU over data blocks (the paper's caching
+    /// ablation); `None` reproduces Appendix D's no-caching pessimism.
+    cache: Option<BlockCache>,
+}
+
+impl Table {
+    /// Create a table. `clustered_on` names the attribute the heap is
+    /// physically ordered by (also registered as a clustered index);
+    /// `unclustered_on` lists additional non-clustered indexes.
+    ///
+    /// # Errors
+    /// * [`StorageError::BadIndexAttribute`] for unknown attribute names.
+    /// * [`StorageError::InvalidBlockSize`] when `tuples_per_block == 0`.
+    pub fn new(
+        schema: Schema,
+        tuples_per_block: usize,
+        clustered_on: Option<&str>,
+        unclustered_on: &[&str],
+        meter: IoMeter,
+    ) -> Result<Self, StorageError> {
+        let resolve = |attr: &str| {
+            schema
+                .position_of(attr)
+                .map_err(|_| StorageError::BadIndexAttribute {
+                    table: schema.relation().to_owned(),
+                    attribute: attr.to_owned(),
+                })
+        };
+        let cluster_pos = clustered_on.map(resolve).transpose()?;
+        let mut indexes = Vec::new();
+        if let Some(p) = cluster_pos {
+            indexes.push((p, IndexKind::Clustered));
+        }
+        for attr in unclustered_on {
+            indexes.push((resolve(attr)?, IndexKind::Unclustered));
+        }
+        Ok(Table {
+            heap: HeapFile::new(tuples_per_block, cluster_pos)?,
+            schema,
+            indexes,
+            meter,
+            cache: None,
+        })
+    }
+
+    /// Attach a shared block cache; subsequent reads of cached blocks are
+    /// free. Updates invalidate the table's cached blocks.
+    pub fn set_cache(&mut self, cache: BlockCache) {
+        self.cache = Some(cache);
+    }
+
+    /// Charge a read of the given block, unless cached.
+    fn charge_block(&self, block: u64) {
+        let hit = self
+            .cache
+            .as_ref()
+            .map(|c| c.access(self.schema.relation(), block))
+            .unwrap_or(false);
+        if !hit {
+            self.meter.charge_read(1);
+        }
+    }
+
+    /// Charge reads of a contiguous block range.
+    fn charge_block_range(&self, first: u64, count: u64) {
+        for b in first..first + count {
+            self.charge_block(b);
+        }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of tuple occurrences (the paper's `C`).
+    pub fn cardinality(&self) -> u64 {
+        self.heap.len() as u64
+    }
+
+    /// Number of occupied blocks (the paper's `I = ⌈C/K⌉`).
+    pub fn num_blocks(&self) -> u64 {
+        self.heap.num_blocks()
+    }
+
+    /// The index available on `attr`, preferring clustered.
+    pub fn index_on(&self, attr: usize) -> Option<IndexKind> {
+        let mut found = None;
+        for (pos, kind) in &self.indexes {
+            if *pos == attr {
+                if *kind == IndexKind::Clustered {
+                    return Some(IndexKind::Clustered);
+                }
+                found = Some(*kind);
+            }
+        }
+        found
+    }
+
+    /// Insert one occurrence (charged as one update touch).
+    pub fn insert(&mut self, tuple: Tuple) {
+        self.heap.insert(tuple);
+        self.meter.charge_update(1);
+        if let Some(c) = &self.cache {
+            c.invalidate_table(self.schema.relation());
+        }
+    }
+
+    /// Delete one occurrence (charged as one update touch). Returns
+    /// whether a copy existed.
+    pub fn delete(&mut self, tuple: &Tuple) -> bool {
+        let found = self.heap.delete(tuple);
+        if found {
+            self.meter.charge_update(1);
+            if let Some(c) = &self.cache {
+                c.invalidate_table(self.schema.relation());
+            }
+        }
+        found
+    }
+
+    /// Full scan: reads every block, returns all tuples.
+    pub fn scan(&self) -> Vec<Tuple> {
+        self.charge_block_range(0, self.heap.num_blocks());
+        self.heap.tuples().to_vec()
+    }
+
+    /// Scan block by block without buffering the whole table — used by the
+    /// nested-loop executor. Each yielded chunk charges one block read
+    /// (the cache is deliberately bypassed: Scenario 2's premise is three
+    /// memory blocks and no more).
+    pub fn scan_blocks(&self) -> impl Iterator<Item = &[Tuple]> + '_ {
+        self.heap.blocks().inspect(|_| self.meter.charge_read(1))
+    }
+
+    /// Index lookup: all occurrences with `attr == value`, charged per the
+    /// index kind. Returns `None` when no index exists on `attr`.
+    pub fn index_lookup(&self, attr: usize, value: &Value) -> Option<Vec<Tuple>> {
+        match self.index_on(attr)? {
+            IndexKind::Clustered => {
+                let range = self.heap.clustered_range(value);
+                if !range.is_empty() {
+                    let first = (range.start / self.heap.tuples_per_block()) as u64;
+                    self.charge_block_range(first, self.heap.blocks_spanned(&range));
+                }
+                Some(self.heap.tuples()[range].to_vec())
+            }
+            IndexKind::Unclustered => {
+                let positions = self.heap.positions_with(attr, value);
+                for &p in &positions {
+                    self.charge_block((p / self.heap.tuples_per_block()) as u64);
+                }
+                Some(
+                    positions
+                        .iter()
+                        .map(|&i| self.heap.tuples()[i].clone())
+                        .collect(),
+                )
+            }
+        }
+    }
+
+    /// Predicted I/O cost of an index lookup for `value` without touching
+    /// the meter (used by the planner to compare access paths).
+    pub fn index_lookup_cost(&self, attr: usize, value: &Value) -> Option<u64> {
+        match self.index_on(attr)? {
+            IndexKind::Clustered => {
+                let range = self.heap.clustered_range(value);
+                Some(self.heap.blocks_spanned(&range))
+            }
+            IndexKind::Unclustered => Some(self.heap.positions_with(attr, value).len() as u64),
+        }
+    }
+
+    /// The logical contents as a signed bag (no I/O charged — used by
+    /// differential tests and snapshots, not by query plans).
+    pub fn contents(&self) -> SignedBag {
+        SignedBag::from_tuples(self.heap.tuples().iter().cloned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        let schema = Schema::new("r2", &["X", "Y"]);
+        let mut t = Table::new(schema, 2, Some("X"), &["Y"], IoMeter::new()).unwrap();
+        for (x, y) in [(1, 10), (1, 11), (2, 10), (3, 12), (1, 12)] {
+            t.insert(Tuple::ints([x, y]));
+        }
+        t.meter.reset(); // discard load charges
+        t
+    }
+
+    #[test]
+    fn bad_index_attribute_rejected() {
+        let schema = Schema::new("r", &["A"]);
+        assert!(Table::new(schema.clone(), 2, Some("Z"), &[], IoMeter::new()).is_err());
+        assert!(Table::new(schema, 2, None, &["Q"], IoMeter::new()).is_err());
+    }
+
+    #[test]
+    fn scan_charges_all_blocks() {
+        let t = table();
+        assert_eq!(t.cardinality(), 5);
+        assert_eq!(t.num_blocks(), 3);
+        let all = t.scan();
+        assert_eq!(all.len(), 5);
+        assert_eq!(t.meter.query_reads(), 3);
+    }
+
+    #[test]
+    fn clustered_lookup_charges_spanned_blocks() {
+        let t = table();
+        // X=1 has 3 contiguous tuples at positions 0..3 → spans blocks 0,1.
+        let hits = t.index_lookup(0, &Value::Int(1)).unwrap();
+        assert_eq!(hits.len(), 3);
+        assert_eq!(t.meter.query_reads(), 2);
+        assert_eq!(t.index_lookup_cost(0, &Value::Int(1)), Some(2));
+    }
+
+    #[test]
+    fn unclustered_lookup_charges_per_match() {
+        let t = table();
+        let hits = t.index_lookup(1, &Value::Int(10)).unwrap();
+        assert_eq!(hits.len(), 2);
+        assert_eq!(t.meter.query_reads(), 2);
+        assert_eq!(t.index_lookup_cost(1, &Value::Int(12)), Some(2));
+    }
+
+    #[test]
+    fn missing_index_returns_none() {
+        let schema = Schema::new("r", &["A", "B"]);
+        let t = Table::new(schema, 2, None, &[], IoMeter::new()).unwrap();
+        assert!(t.index_lookup(0, &Value::Int(1)).is_none());
+        assert!(t.index_lookup_cost(0, &Value::Int(1)).is_none());
+        assert!(t.index_on(0).is_none());
+    }
+
+    #[test]
+    fn clustered_preferred_over_unclustered() {
+        let schema = Schema::new("r", &["A"]);
+        let t = Table::new(schema, 2, Some("A"), &["A"], IoMeter::new()).unwrap();
+        assert_eq!(t.index_on(0), Some(IndexKind::Clustered));
+    }
+
+    #[test]
+    fn inserts_and_deletes_charge_updates_not_reads() {
+        let mut t = table();
+        t.insert(Tuple::ints([9, 9]));
+        assert!(t.delete(&Tuple::ints([9, 9])));
+        assert!(!t.delete(&Tuple::ints([9, 9])));
+        assert_eq!(t.meter.query_reads(), 0);
+        assert_eq!(t.meter.update_writes(), 2);
+    }
+
+    #[test]
+    fn scan_blocks_charges_lazily() {
+        let t = table();
+        let mut it = t.scan_blocks();
+        let _first = it.next().unwrap();
+        assert_eq!(t.meter.query_reads(), 1);
+        drop(it);
+    }
+
+    #[test]
+    fn contents_snapshot_free() {
+        let t = table();
+        let bag = t.contents();
+        assert_eq!(bag.pos_len(), 5);
+        assert_eq!(t.meter.query_reads(), 0);
+    }
+}

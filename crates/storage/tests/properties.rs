@@ -1,0 +1,108 @@
+//! Property tests for the physical layer: heap/index access paths must
+//! agree with brute-force filtering, and I/O charges must respect their
+//! structural bounds.
+
+use eca_relational::{Schema, Tuple, Value};
+use eca_storage::{HeapFile, IoMeter, Table};
+use proptest::prelude::*;
+
+fn tuples() -> impl Strategy<Value = Vec<Tuple>> {
+    prop::collection::vec((0i64..10, 0i64..10), 0..60)
+        .prop_map(|v| v.into_iter().map(|(a, b)| Tuple::ints([a, b])).collect())
+}
+
+proptest! {
+    #[test]
+    fn clustered_range_equals_brute_force(data in tuples(), probe in 0i64..10) {
+        let mut heap = HeapFile::new(4, Some(0)).unwrap();
+        for t in &data {
+            heap.insert(t.clone());
+        }
+        let range = heap.clustered_range(&Value::Int(probe));
+        let via_range: Vec<&Tuple> = heap.tuples()[range.clone()].iter().collect();
+        let brute: Vec<&Tuple> = heap
+            .tuples()
+            .iter()
+            .filter(|t| t.get(0) == Some(&Value::Int(probe)))
+            .collect();
+        prop_assert_eq!(via_range.len(), brute.len());
+        for t in &via_range {
+            prop_assert_eq!(t.get(0), Some(&Value::Int(probe)));
+        }
+        // Contiguity: blocks spanned never exceeds ⌈matches/K⌉ + 1.
+        let spanned = heap.blocks_spanned(&range);
+        prop_assert!(spanned <= (via_range.len() as u64).div_ceil(4) + 1);
+    }
+
+    #[test]
+    fn unclustered_positions_equal_brute_force(data in tuples(), probe in 0i64..10) {
+        let mut heap = HeapFile::new(4, None).unwrap();
+        for t in &data {
+            heap.insert(t.clone());
+        }
+        let positions = heap.positions_with(1, &Value::Int(probe));
+        let expected = data
+            .iter()
+            .filter(|t| t.get(1) == Some(&Value::Int(probe)))
+            .count();
+        prop_assert_eq!(positions.len(), expected);
+    }
+
+    #[test]
+    fn inserts_and_deletes_preserve_cluster_order(
+        data in tuples(),
+        deletions in prop::collection::vec(0i64..10, 0..10),
+    ) {
+        let mut heap = HeapFile::new(4, Some(0)).unwrap();
+        for t in &data {
+            heap.insert(t.clone());
+        }
+        for d in &deletions {
+            heap.delete(&Tuple::ints([*d, *d]));
+        }
+        let keys: Vec<&Value> = heap.tuples().iter().map(|t| t.get(0).unwrap()).collect();
+        prop_assert!(keys.windows(2).all(|w| w[0] <= w[1]), "heap out of order");
+    }
+
+    #[test]
+    fn table_lookup_costs_match_charges(data in tuples(), probe in 0i64..10) {
+        let meter = IoMeter::new();
+        let mut table = Table::new(
+            Schema::new("r", &["A", "B"]),
+            4,
+            Some("A"),
+            &["B"],
+            meter.clone(),
+        ).unwrap();
+        for t in &data {
+            table.insert(t.clone());
+        }
+        meter.reset();
+
+        // Predicted cost must equal the charge actually incurred.
+        let predicted = table.index_lookup_cost(0, &Value::Int(probe)).unwrap();
+        table.index_lookup(0, &Value::Int(probe)).unwrap();
+        prop_assert_eq!(meter.query_reads(), predicted);
+
+        meter.reset();
+        let predicted = table.index_lookup_cost(1, &Value::Int(probe)).unwrap();
+        let hits = table.index_lookup(1, &Value::Int(probe)).unwrap();
+        prop_assert_eq!(meter.query_reads(), predicted);
+        // Unclustered: one read per match, exactly.
+        prop_assert_eq!(predicted, hits.len() as u64);
+    }
+
+    #[test]
+    fn scan_cost_is_block_count(data in tuples()) {
+        let meter = IoMeter::new();
+        let mut table =
+            Table::new(Schema::new("r", &["A", "B"]), 4, None, &[], meter.clone()).unwrap();
+        for t in &data {
+            table.insert(t.clone());
+        }
+        meter.reset();
+        let all = table.scan();
+        prop_assert_eq!(all.len(), data.len());
+        prop_assert_eq!(meter.query_reads(), (data.len() as u64).div_ceil(4));
+    }
+}

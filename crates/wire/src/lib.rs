@@ -1,0 +1,25 @@
+//! Wire format between source and warehouse.
+//!
+//! The paper's §6.2 metric `B` counts bytes transferred from the source to
+//! the warehouse; §6.1's `M` counts messages in both directions. This
+//! crate provides:
+//!
+//! * [`Message`] — the three message kinds of Figure 1.1 (update
+//!   notification, query, answer),
+//! * a compact hand-rolled binary codec ([`codec`]) so byte counts are
+//!   measured on real encodings rather than estimated,
+//! * [`WireQuery`] — a *self-contained* query representation: the source
+//!   knows nothing about views (that is the premise of the paper), so
+//!   every query carries its own relation list, condition and projection,
+//! * [`TransferMeter`] — per-direction message/byte accounting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod message;
+pub mod meter;
+
+pub use codec::{DecodeError, Decoder, Encoder};
+pub use message::{Message, WireQuery, WireTerm};
+pub use meter::{Direction, TransferMeter};

@@ -1,0 +1,541 @@
+//! Message types exchanged between source and warehouse (paper Fig. 1.1).
+
+use bytes::Bytes;
+use eca_core::{Atom, CoreError, Query, QueryId, Term, ViewDef};
+use eca_relational::{
+    CmpOp, Operand, Predicate, Schema, Sign, SignedBag, SignedTuple, Update, UpdateKind,
+};
+
+use crate::codec::{DecodeError, Decoder, Encoder};
+
+/// A self-contained query as sent over the wire.
+///
+/// The source does not know the warehouse's view definitions — that is the
+/// founding assumption of the paper — so each query carries its own
+/// relation list, selection condition and projection. `WireQuery`
+/// round-trips with [`eca_core::Query`] via [`WireQuery::from_query`] and
+/// [`WireQuery::to_query`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireQuery {
+    /// Names of the base relations `r1..rn` in product order.
+    pub relations: Vec<String>,
+    /// Selection condition over product columns.
+    pub cond: Predicate,
+    /// Projection over product columns.
+    pub proj: Vec<usize>,
+    /// The sum of terms.
+    pub terms: Vec<WireTerm>,
+}
+
+/// One term of a wire query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireTerm {
+    /// The term coefficient (±1 in the paper's algorithms).
+    pub factor: i64,
+    /// Per relation: `None` = the base relation itself, `Some` = a bound
+    /// signed tuple.
+    pub atoms: Vec<Option<SignedTuple>>,
+}
+
+impl WireQuery {
+    /// Convert a core query for transmission.
+    pub fn from_query(query: &Query) -> Self {
+        WireQuery {
+            relations: query
+                .view()
+                .base()
+                .iter()
+                .map(|s| s.relation().to_owned())
+                .collect(),
+            cond: query.view().cond().clone(),
+            proj: query.view().proj().to_vec(),
+            terms: query
+                .terms()
+                .iter()
+                .map(|t| WireTerm {
+                    factor: t.factor(),
+                    atoms: t
+                        .atoms()
+                        .iter()
+                        .map(|a| match a {
+                            Atom::Rel(_) => None,
+                            Atom::Bound(st) => Some(st.clone()),
+                        })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuild an evaluatable core query by resolving relation names
+    /// against the receiver's catalog of schemas.
+    ///
+    /// # Errors
+    /// [`CoreError::UnknownRelation`] if a relation is not in the catalog.
+    pub fn to_query(&self, catalog: &[Schema]) -> Result<Query, CoreError> {
+        let mut base = Vec::with_capacity(self.relations.len());
+        for name in &self.relations {
+            let schema = catalog
+                .iter()
+                .find(|s| s.relation() == name)
+                .ok_or_else(|| CoreError::UnknownRelation {
+                    relation: name.clone(),
+                })?;
+            base.push(schema.clone());
+        }
+        let view = ViewDef::new("wire", base, self.cond.clone(), self.proj.clone())?;
+        let terms = self
+            .terms
+            .iter()
+            .map(|t| {
+                Term::new(
+                    t.factor,
+                    t.atoms
+                        .iter()
+                        .enumerate()
+                        .map(|(i, a)| match a {
+                            None => Atom::Rel(i),
+                            Some(st) => Atom::Bound(st.clone()),
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        Ok(Query::from_terms(view, terms))
+    }
+}
+
+/// A message on the source↔warehouse channel.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Message {
+    /// Source → warehouse: an update was executed (the `S_up` half).
+    UpdateNotification {
+        /// The executed update.
+        update: Update,
+    },
+    /// Warehouse → source: evaluate this query (triggers `S_qu`).
+    QueryRequest {
+        /// Correlation id.
+        id: QueryId,
+        /// The self-contained query.
+        query: WireQuery,
+    },
+    /// Source → warehouse: the answer relation for a query.
+    QueryAnswer {
+        /// Correlation id of the answered query.
+        id: QueryId,
+        /// The signed answer relation.
+        answer: SignedBag,
+    },
+}
+
+impl Message {
+    /// Encode to bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut e = Encoder::new();
+        match self {
+            Message::UpdateNotification { update } => {
+                e.put_u8(0);
+                put_update(&mut e, update);
+            }
+            Message::QueryRequest { id, query } => {
+                e.put_u8(1);
+                e.put_u64(id.0);
+                put_wire_query(&mut e, query);
+            }
+            Message::QueryAnswer { id, answer } => {
+                e.put_u8(2);
+                e.put_u64(id.0);
+                e.put_bag(answer);
+            }
+        }
+        e.finish()
+    }
+
+    /// Decode from bytes.
+    ///
+    /// # Errors
+    /// [`DecodeError`] on malformed input.
+    pub fn decode(bytes: Bytes) -> Result<Self, DecodeError> {
+        let mut d = Decoder::new(bytes);
+        let msg = match d.get_u8()? {
+            0 => Message::UpdateNotification {
+                update: get_update(&mut d)?,
+            },
+            1 => Message::QueryRequest {
+                id: QueryId(d.get_u64()?),
+                query: get_wire_query(&mut d)?,
+            },
+            2 => Message::QueryAnswer {
+                id: QueryId(d.get_u64()?),
+                answer: d.get_bag()?,
+            },
+            tag => {
+                return Err(DecodeError::BadTag {
+                    context: "Message",
+                    tag,
+                })
+            }
+        };
+        if d.remaining() != 0 {
+            return Err(DecodeError::BadTag {
+                context: "trailing bytes",
+                tag: 0xff,
+            });
+        }
+        Ok(msg)
+    }
+
+    /// Encoded size in bytes.
+    pub fn encoded_len(&self) -> usize {
+        self.encode().len()
+    }
+}
+
+fn put_update(e: &mut Encoder, u: &Update) {
+    e.put_u8(match u.kind {
+        UpdateKind::Insert => 0,
+        UpdateKind::Delete => 1,
+    });
+    e.put_str(&u.relation);
+    e.put_tuple(&u.tuple);
+}
+
+fn get_update(d: &mut Decoder) -> Result<Update, DecodeError> {
+    let kind = match d.get_u8()? {
+        0 => UpdateKind::Insert,
+        1 => UpdateKind::Delete,
+        tag => {
+            return Err(DecodeError::BadTag {
+                context: "UpdateKind",
+                tag,
+            })
+        }
+    };
+    let relation = d.get_str()?;
+    let tuple = d.get_tuple()?;
+    Ok(Update {
+        relation,
+        kind,
+        tuple,
+    })
+}
+
+fn put_predicate(e: &mut Encoder, p: &Predicate) {
+    match p {
+        Predicate::True => e.put_u8(0),
+        Predicate::False => e.put_u8(1),
+        Predicate::Cmp { lhs, op, rhs } => {
+            e.put_u8(2);
+            put_operand(e, lhs);
+            e.put_u8(match op {
+                CmpOp::Eq => 0,
+                CmpOp::Ne => 1,
+                CmpOp::Lt => 2,
+                CmpOp::Le => 3,
+                CmpOp::Gt => 4,
+                CmpOp::Ge => 5,
+            });
+            put_operand(e, rhs);
+        }
+        Predicate::And(a, b) => {
+            e.put_u8(3);
+            put_predicate(e, a);
+            put_predicate(e, b);
+        }
+        Predicate::Or(a, b) => {
+            e.put_u8(4);
+            put_predicate(e, a);
+            put_predicate(e, b);
+        }
+        Predicate::Not(a) => {
+            e.put_u8(5);
+            put_predicate(e, a);
+        }
+    }
+}
+
+fn get_predicate(d: &mut Decoder) -> Result<Predicate, DecodeError> {
+    Ok(match d.get_u8()? {
+        0 => Predicate::True,
+        1 => Predicate::False,
+        2 => {
+            let lhs = get_operand(d)?;
+            let op = match d.get_u8()? {
+                0 => CmpOp::Eq,
+                1 => CmpOp::Ne,
+                2 => CmpOp::Lt,
+                3 => CmpOp::Le,
+                4 => CmpOp::Gt,
+                5 => CmpOp::Ge,
+                tag => {
+                    return Err(DecodeError::BadTag {
+                        context: "CmpOp",
+                        tag,
+                    })
+                }
+            };
+            let rhs = get_operand(d)?;
+            Predicate::Cmp { lhs, op, rhs }
+        }
+        3 => Predicate::And(Box::new(get_predicate(d)?), Box::new(get_predicate(d)?)),
+        4 => Predicate::Or(Box::new(get_predicate(d)?), Box::new(get_predicate(d)?)),
+        5 => Predicate::Not(Box::new(get_predicate(d)?)),
+        tag => {
+            return Err(DecodeError::BadTag {
+                context: "Predicate",
+                tag,
+            })
+        }
+    })
+}
+
+fn put_operand(e: &mut Encoder, o: &Operand) {
+    match o {
+        Operand::Column(i) => {
+            e.put_u8(0);
+            e.put_u32(*i as u32);
+        }
+        Operand::Const(v) => {
+            e.put_u8(1);
+            e.put_value(v);
+        }
+    }
+}
+
+fn get_operand(d: &mut Decoder) -> Result<Operand, DecodeError> {
+    Ok(match d.get_u8()? {
+        0 => Operand::Column(d.get_u32()? as usize),
+        1 => Operand::Const(d.get_value()?),
+        tag => {
+            return Err(DecodeError::BadTag {
+                context: "Operand",
+                tag,
+            })
+        }
+    })
+}
+
+fn put_wire_query(e: &mut Encoder, q: &WireQuery) {
+    e.put_u16(q.relations.len() as u16);
+    for r in &q.relations {
+        e.put_str(r);
+    }
+    put_predicate(e, &q.cond);
+    e.put_u16(q.proj.len() as u16);
+    for &p in &q.proj {
+        e.put_u32(p as u32);
+    }
+    e.put_u16(q.terms.len() as u16);
+    for t in &q.terms {
+        e.put_i64(t.factor);
+        for atom in &t.atoms {
+            match atom {
+                None => e.put_u8(0),
+                Some(st) => {
+                    e.put_u8(1);
+                    e.put_u8(match st.sign {
+                        Sign::Plus => 0,
+                        Sign::Minus => 1,
+                    });
+                    e.put_tuple(&st.tuple);
+                }
+            }
+        }
+    }
+}
+
+fn get_wire_query(d: &mut Decoder) -> Result<WireQuery, DecodeError> {
+    let nrel = d.get_u16()? as usize;
+    let mut relations = Vec::with_capacity(nrel);
+    for _ in 0..nrel {
+        relations.push(d.get_str()?);
+    }
+    let cond = get_predicate(d)?;
+    let nproj = d.get_u16()? as usize;
+    let mut proj = Vec::with_capacity(nproj);
+    for _ in 0..nproj {
+        proj.push(d.get_u32()? as usize);
+    }
+    let nterms = d.get_u16()? as usize;
+    let mut terms = Vec::with_capacity(nterms);
+    for _ in 0..nterms {
+        let factor = d.get_i64()?;
+        let mut atoms = Vec::with_capacity(nrel);
+        for _ in 0..nrel {
+            match d.get_u8()? {
+                0 => atoms.push(None),
+                1 => {
+                    let sign = match d.get_u8()? {
+                        0 => Sign::Plus,
+                        1 => Sign::Minus,
+                        tag => {
+                            return Err(DecodeError::BadTag {
+                                context: "Sign",
+                                tag,
+                            })
+                        }
+                    };
+                    atoms.push(Some(SignedTuple {
+                        sign,
+                        tuple: d.get_tuple()?,
+                    }));
+                }
+                tag => {
+                    return Err(DecodeError::BadTag {
+                        context: "WireTerm atom",
+                        tag,
+                    })
+                }
+            }
+        }
+        terms.push(WireTerm { factor, atoms });
+    }
+    Ok(WireQuery {
+        relations,
+        cond,
+        proj,
+        terms,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eca_relational::Tuple;
+
+    fn example_view() -> ViewDef {
+        ViewDef::new(
+            "V",
+            vec![
+                Schema::new("r1", &["W", "X"]),
+                Schema::new("r2", &["X", "Y"]),
+            ],
+            Predicate::col_eq(1, 2),
+            vec![0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn update_notification_roundtrip() {
+        for m in [
+            Message::UpdateNotification {
+                update: Update::insert("r2", Tuple::ints([2, 3])),
+            },
+            Message::UpdateNotification {
+                update: Update::delete("r1", Tuple::ints([1, 2])),
+            },
+        ] {
+            assert_eq!(Message::decode(m.encode()).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn query_request_roundtrip_and_reeval() {
+        let view = example_view();
+        let u1 = Update::insert("r2", Tuple::ints([2, 3]));
+        let u2 = Update::insert("r1", Tuple::ints([4, 2]));
+        let q1 = view.substitute(&u1).unwrap();
+        let q2 = view.substitute(&u2).unwrap().minus(&q1.substitute(&u2));
+
+        let msg = Message::QueryRequest {
+            id: QueryId(7),
+            query: WireQuery::from_query(&q2),
+        };
+        let decoded = Message::decode(msg.encode()).unwrap();
+        assert_eq!(decoded, msg);
+
+        // The source can rebuild and evaluate the query from its catalog.
+        let Message::QueryRequest { query, .. } = decoded else {
+            unreachable!()
+        };
+        let catalog = vec![
+            Schema::new("r1", &["W", "X"]),
+            Schema::new("r2", &["X", "Y"]),
+        ];
+        let rebuilt = query.to_query(&catalog).unwrap();
+
+        let mut db = eca_core::BaseDb::new();
+        db.insert("r1", Tuple::ints([1, 2]));
+        db.insert("r1", Tuple::ints([4, 2]));
+        db.insert("r2", Tuple::ints([2, 3]));
+        assert_eq!(rebuilt.eval(&db).unwrap(), q2.eval(&db).unwrap());
+    }
+
+    #[test]
+    fn to_query_unknown_relation_errors() {
+        let view = example_view();
+        let wq = WireQuery::from_query(&view.as_query());
+        let catalog = vec![Schema::new("r1", &["W", "X"])];
+        assert!(matches!(
+            wq.to_query(&catalog),
+            Err(CoreError::UnknownRelation { .. })
+        ));
+    }
+
+    #[test]
+    fn answer_roundtrip_preserves_signs() {
+        let mut answer = SignedBag::new();
+        answer.add(Tuple::ints([1]), 2);
+        answer.add(Tuple::ints([4]), -1);
+        let m = Message::QueryAnswer {
+            id: QueryId(3),
+            answer: answer.clone(),
+        };
+        let decoded = Message::decode(m.encode()).unwrap();
+        let Message::QueryAnswer { id, answer: got } = decoded else {
+            unreachable!()
+        };
+        assert_eq!(id, QueryId(3));
+        assert_eq!(got, answer);
+    }
+
+    #[test]
+    fn answer_bytes_scale_with_occurrences() {
+        let small = Message::QueryAnswer {
+            id: QueryId(1),
+            answer: SignedBag::new(),
+        };
+        let mut bag = SignedBag::new();
+        bag.add(Tuple::ints([1, 2]), 10);
+        let large = Message::QueryAnswer {
+            id: QueryId(1),
+            answer: bag,
+        };
+        assert!(large.encoded_len() > small.encoded_len() + 9 * 20);
+    }
+
+    #[test]
+    fn complex_predicate_roundtrip() {
+        let p = Predicate::col_eq(0, 2)
+            .and(Predicate::col_const(1, CmpOp::Gt, 5))
+            .or(Predicate::col_cmp(3, CmpOp::Le, 0).not());
+        let view = ViewDef::new(
+            "V",
+            vec![Schema::new("a", &["P", "Q"]), Schema::new("b", &["R", "S"])],
+            p,
+            vec![0, 3],
+        )
+        .unwrap();
+        let m = Message::QueryRequest {
+            id: QueryId(1),
+            query: WireQuery::from_query(&view.as_query()),
+        };
+        assert_eq!(Message::decode(m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(Message::decode(Bytes::from_static(&[9, 9, 9])).is_err());
+        assert!(Message::decode(Bytes::new()).is_err());
+        // Trailing bytes are rejected.
+        let mut bytes = Message::UpdateNotification {
+            update: Update::insert("r", Tuple::ints([1])),
+        }
+        .encode()
+        .to_vec();
+        bytes.push(0);
+        assert!(Message::decode(Bytes::from(bytes)).is_err());
+    }
+}

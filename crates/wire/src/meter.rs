@@ -1,0 +1,155 @@
+//! Per-direction transfer accounting (paper §6.1–6.2's `M` and `B`).
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// Transfer direction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Direction {
+    /// Source → warehouse (update notifications, answers). The paper's
+    /// `B` metric counts bytes in this direction only.
+    SourceToWarehouse,
+    /// Warehouse → source (queries).
+    WarehouseToSource,
+}
+
+#[derive(Default, Debug)]
+struct Counters {
+    messages_s2w: Cell<u64>,
+    bytes_s2w: Cell<u64>,
+    messages_w2s: Cell<u64>,
+    bytes_w2s: Cell<u64>,
+    /// Answer payload bytes only — the paper excludes update-notification
+    /// traffic from `B` because it is identical across algorithms (§6).
+    answer_bytes: Cell<u64>,
+    answer_payload_tuples: Cell<u64>,
+}
+
+/// Shared message/byte counters. Clones observe the same totals.
+#[derive(Clone, Default, Debug)]
+pub struct TransferMeter {
+    counters: Rc<Counters>,
+}
+
+impl TransferMeter {
+    /// A fresh meter at zero.
+    pub fn new() -> Self {
+        TransferMeter::default()
+    }
+
+    /// Record a message of `bytes` length in `direction`.
+    pub fn record(&self, direction: Direction, bytes: u64) {
+        match direction {
+            Direction::SourceToWarehouse => {
+                self.counters
+                    .messages_s2w
+                    .set(self.counters.messages_s2w.get() + 1);
+                self.counters
+                    .bytes_s2w
+                    .set(self.counters.bytes_s2w.get() + bytes);
+            }
+            Direction::WarehouseToSource => {
+                self.counters
+                    .messages_w2s
+                    .set(self.counters.messages_w2s.get() + 1);
+                self.counters
+                    .bytes_w2s
+                    .set(self.counters.bytes_w2s.get() + bytes);
+            }
+        }
+    }
+
+    /// Record an answer's payload separately (the paper's `B`), with the
+    /// number of result tuples for the `S·tuples` accounting.
+    pub fn record_answer_payload(&self, bytes: u64, tuples: u64) {
+        self.counters
+            .answer_bytes
+            .set(self.counters.answer_bytes.get() + bytes);
+        self.counters
+            .answer_payload_tuples
+            .set(self.counters.answer_payload_tuples.get() + tuples);
+    }
+
+    /// Messages sent source → warehouse.
+    pub fn messages_s2w(&self) -> u64 {
+        self.counters.messages_s2w.get()
+    }
+
+    /// Messages sent warehouse → source.
+    pub fn messages_w2s(&self) -> u64 {
+        self.counters.messages_w2s.get()
+    }
+
+    /// Total messages both directions, excluding update notifications if
+    /// `notifications` is supplied (the paper's `M` excludes them since
+    /// they are identical across algorithms).
+    pub fn total_messages_excluding(&self, notifications: u64) -> u64 {
+        self.messages_s2w() + self.messages_w2s() - notifications
+    }
+
+    /// Bytes sent source → warehouse.
+    pub fn bytes_s2w(&self) -> u64 {
+        self.counters.bytes_s2w.get()
+    }
+
+    /// Bytes sent warehouse → source.
+    pub fn bytes_w2s(&self) -> u64 {
+        self.counters.bytes_w2s.get()
+    }
+
+    /// Answer payload bytes (the paper's `B`).
+    pub fn answer_bytes(&self) -> u64 {
+        self.counters.answer_bytes.get()
+    }
+
+    /// Answer payload tuples (for `B = S × tuples` comparisons).
+    pub fn answer_tuples(&self) -> u64 {
+        self.counters.answer_payload_tuples.get()
+    }
+
+    /// Reset all counters.
+    pub fn reset(&self) {
+        self.counters.messages_s2w.set(0);
+        self.counters.bytes_s2w.set(0);
+        self.counters.messages_w2s.set(0);
+        self.counters.bytes_w2s.set(0);
+        self.counters.answer_bytes.set(0);
+        self.counters.answer_payload_tuples.set(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directions_tracked_independently() {
+        let m = TransferMeter::new();
+        m.record(Direction::SourceToWarehouse, 10);
+        m.record(Direction::SourceToWarehouse, 5);
+        m.record(Direction::WarehouseToSource, 100);
+        assert_eq!(m.messages_s2w(), 2);
+        assert_eq!(m.bytes_s2w(), 15);
+        assert_eq!(m.messages_w2s(), 1);
+        assert_eq!(m.bytes_w2s(), 100);
+    }
+
+    #[test]
+    fn answer_payload_accounting() {
+        let m = TransferMeter::new();
+        m.record_answer_payload(40, 10);
+        assert_eq!(m.answer_bytes(), 40);
+        assert_eq!(m.answer_tuples(), 10);
+    }
+
+    #[test]
+    fn clones_share_and_reset_clears() {
+        let a = TransferMeter::new();
+        let b = a.clone();
+        a.record(Direction::SourceToWarehouse, 1);
+        assert_eq!(b.messages_s2w(), 1);
+        assert_eq!(b.total_messages_excluding(1), 0);
+        b.reset();
+        assert_eq!(a.messages_s2w(), 0);
+    }
+}

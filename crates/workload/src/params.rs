@@ -1,0 +1,122 @@
+//! The paper's Table 1: variables of the performance analysis.
+
+/// Parameters of the evaluation scenario (paper Table 1).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Params {
+    /// `C` — cardinality of each base relation. Default 100.
+    pub cardinality: u64,
+    /// `S` — size in bytes of the projected attributes of one view tuple.
+    /// Default 4.
+    pub projected_bytes: u64,
+    /// `σ` — selectivity of the selection condition. Default ½.
+    pub selectivity: f64,
+    /// `J` — join factor: expected matches per join-attribute value.
+    /// Default 4.
+    pub join_factor: u64,
+    /// `K` — tuples per physical block. Default 20.
+    pub tuples_per_block: usize,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            cardinality: 100,
+            projected_bytes: 4,
+            selectivity: 0.5,
+            join_factor: 4,
+            tuples_per_block: 20,
+        }
+    }
+}
+
+impl Params {
+    /// `I = ⌈C/K⌉` — blocks per base relation (Appendix D).
+    pub fn blocks_per_relation(&self) -> u64 {
+        self.cardinality.div_ceil(self.tuples_per_block as u64)
+    }
+
+    /// `I′ = ⌈C/2K⌉` — double-block buffers per relation (Appendix D,
+    /// Scenario 2).
+    pub fn double_blocks_per_relation(&self) -> u64 {
+        self.cardinality.div_ceil(2 * self.tuples_per_block as u64)
+    }
+
+    /// Number of distinct values per join attribute so that each value
+    /// matches exactly `J` tuples: `C / J` (rounded up; the generator pads
+    /// the last group).
+    pub fn distinct_join_values(&self) -> u64 {
+        (self.cardinality / self.join_factor).max(1)
+    }
+
+    /// Render Table 1 as aligned text (the `--table1` report).
+    pub fn table1(&self) -> String {
+        let mut s = String::new();
+        s.push_str("Name  Meaning                                   Value\n");
+        s.push_str(&format!(
+            "C     Cardinality of a relation                 {}\n",
+            self.cardinality
+        ));
+        s.push_str(&format!(
+            "S     Size of projected attributes (bytes)      {}\n",
+            self.projected_bytes
+        ));
+        s.push_str(&format!(
+            "sigma Selection factor                          {}\n",
+            self.selectivity
+        ));
+        s.push_str(&format!(
+            "J     Join factor                               {}\n",
+            self.join_factor
+        ));
+        s.push_str(&format!(
+            "K     Tuples per physical block                 {}\n",
+            self.tuples_per_block
+        ));
+        s.push_str(&format!(
+            "I     Blocks per relation (C/K)                 {}\n",
+            self.blocks_per_relation()
+        ));
+        s.push_str(&format!(
+            "I'    Double-block buffers (C/2K)               {}\n",
+            self.double_blocks_per_relation()
+        ));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_1() {
+        let p = Params::default();
+        assert_eq!(p.cardinality, 100);
+        assert_eq!(p.projected_bytes, 4);
+        assert!((p.selectivity - 0.5).abs() < 1e-12);
+        assert_eq!(p.join_factor, 4);
+        assert_eq!(p.tuples_per_block, 20);
+        // Appendix D: I = 5, I' = 3 for the defaults.
+        assert_eq!(p.blocks_per_relation(), 5);
+        assert_eq!(p.double_blocks_per_relation(), 3);
+        assert_eq!(p.distinct_join_values(), 25);
+    }
+
+    #[test]
+    fn ceil_divisions() {
+        let p = Params {
+            cardinality: 101,
+            ..Params::default()
+        };
+        assert_eq!(p.blocks_per_relation(), 6);
+        assert_eq!(p.double_blocks_per_relation(), 3);
+    }
+
+    #[test]
+    fn table1_mentions_every_variable() {
+        let t = Params::default().table1();
+        for name in ["C ", "S ", "sigma", "J ", "K "] {
+            assert!(t.contains(name), "missing {name}");
+        }
+    }
+}

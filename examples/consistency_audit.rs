@@ -1,0 +1,80 @@
+//! Audit every algorithm against the paper's §3.1 correctness hierarchy.
+//!
+//! ```text
+//! cargo run --release --example consistency_audit
+//! ```
+//!
+//! Runs each maintenance algorithm over randomized update streams and
+//! randomized event interleavings, records the source/warehouse state
+//! histories, and classifies each run with the consistency checker. The
+//! output reproduces the paper's claims:
+//!
+//! * Basic (Alg. 5.1) — not even weakly consistent on adversarial runs,
+//! * ECA / ECA-Key / RV — strongly consistent on every run,
+//! * LCA / SC — complete on every run.
+
+use eca_consistency::Level;
+use eca_core::algorithms::AlgorithmKind;
+use eca_sim::{Policy, Simulation};
+use eca_storage::Scenario;
+use eca_workload::{Example6, Params, UpdateMix};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = Params {
+        cardinality: 40,
+        ..Params::default()
+    };
+    let algorithms = [
+        AlgorithmKind::Basic,
+        AlgorithmKind::Eca,
+        AlgorithmKind::EcaOptimized,
+        AlgorithmKind::Lca,
+        AlgorithmKind::RecomputeView { period: 4 },
+        AlgorithmKind::StoreCopies,
+    ];
+
+    println!(
+        "{:<10} {:>8} {:>22} {:>10}",
+        "algorithm", "runs", "worst level observed", "correct"
+    );
+    for kind in algorithms {
+        let mut worst = Level::Complete;
+        let mut correct = 0usize;
+        let mut runs = 0usize;
+        for seed in 0..12u64 {
+            let workload = Example6::new(params, seed);
+            let updates = workload.updates(16, UpdateMix::Mixed);
+            let source = workload.build_source(Scenario::Indexed)?;
+            let view = Example6::view()?;
+            let snapshot = source.snapshot();
+            let initial = view.eval(&snapshot)?;
+            let warehouse = kind.instantiate_with_base(&view, initial, Some(snapshot))?;
+            let policy = match seed % 3 {
+                0 => Policy::Serial,
+                1 => Policy::AllUpdatesFirst,
+                _ => Policy::Random { seed },
+            };
+            let report = Simulation::new(source, warehouse, updates)?.run(policy)?;
+            let check =
+                eca_consistency::check(&report.source_view_states, &report.warehouse_view_states);
+            worst = worst.min(check.level());
+            if report.converged() {
+                correct += 1;
+            }
+            runs += 1;
+        }
+        println!(
+            "{:<10} {:>8} {:>22} {:>7}/{}",
+            kind.label(),
+            runs,
+            format!("{worst:?}"),
+            correct,
+            runs
+        );
+    }
+
+    println!();
+    println!("Basic fails exactly as Examples 2-3 predict; every compensating");
+    println!("algorithm is at least strongly consistent; LCA and SC are complete.");
+    Ok(())
+}

@@ -1,0 +1,101 @@
+//! Integration: Batch-ECA (§7 future work) through the full simulator —
+//! correctness preserved, message count cut from `2k` to `2⌈k/n⌉`.
+
+use eca_core::algorithms::AlgorithmKind;
+use eca_sim::{Policy, RunReport, Simulation};
+use eca_storage::Scenario;
+use eca_workload::{Example6, Params, UpdateMix};
+
+fn run(kind: AlgorithmKind, k: usize, policy: Policy, seed: u64) -> RunReport {
+    let params = Params {
+        cardinality: 40,
+        ..Params::default()
+    };
+    let workload = Example6::new(params, seed);
+    let source = workload.build_source(Scenario::Indexed).unwrap();
+    let view = Example6::view().unwrap();
+    let snapshot = source.snapshot();
+    let initial = view.eval(&snapshot).unwrap();
+    let warehouse = kind
+        .instantiate_with_base(&view, initial, Some(snapshot))
+        .unwrap();
+    Simulation::new(source, warehouse, workload.updates(k, UpdateMix::Mixed))
+        .unwrap()
+        .run(policy)
+        .unwrap()
+}
+
+#[test]
+fn batch_eca_converges_under_all_policies() {
+    for n in [2usize, 3, 4, 6] {
+        for policy in [
+            Policy::Serial,
+            Policy::AllUpdatesFirst,
+            Policy::Random { seed: 17 },
+        ] {
+            // k divisible by n so the last batch flushes.
+            let k = n * 4;
+            let report = run(AlgorithmKind::BatchEca { batch_size: n }, k, policy, 5);
+            assert!(report.converged(), "n={n} {policy:?}");
+            let check =
+                eca_consistency::check(&report.source_view_states, &report.warehouse_view_states);
+            assert!(
+                check.strongly_consistent,
+                "n={n} {policy:?}: {:?}",
+                check.violation
+            );
+        }
+    }
+}
+
+#[test]
+fn batching_cuts_messages_to_2k_over_n() {
+    let k = 12;
+    for n in [1usize, 2, 3, 4, 6, 12] {
+        let report = run(
+            AlgorithmKind::BatchEca { batch_size: n },
+            k,
+            Policy::AllUpdatesFirst,
+            7,
+        );
+        assert_eq!(
+            report.maintenance_messages(),
+            2 * (k as u64) / n as u64,
+            "batch size {n}"
+        );
+        assert!(report.converged(), "batch size {n}");
+    }
+}
+
+#[test]
+fn batch_final_view_matches_plain_eca() {
+    let k = 12;
+    let eca = run(AlgorithmKind::EcaOptimized, k, Policy::AllUpdatesFirst, 9);
+    let batch = run(
+        AlgorithmKind::BatchEca { batch_size: 4 },
+        k,
+        Policy::AllUpdatesFirst,
+        9,
+    );
+    assert_eq!(eca.final_mv, batch.final_mv);
+}
+
+#[test]
+fn batching_does_not_increase_answer_bytes() {
+    // Coalescing queries can only merge (and cancel) answer tuples, never
+    // add: the batched transfer is at most the per-update transfer.
+    let k = 12;
+    let eca = run(AlgorithmKind::EcaOptimized, k, Policy::AllUpdatesFirst, 11);
+    let batch = run(
+        AlgorithmKind::BatchEca { batch_size: 4 },
+        k,
+        Policy::AllUpdatesFirst,
+        11,
+    );
+    assert!(
+        batch.answer_tuples <= eca.answer_tuples,
+        "batch {} vs eca {}",
+        batch.answer_tuples,
+        eca.answer_tuples
+    );
+}

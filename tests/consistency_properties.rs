@@ -1,0 +1,296 @@
+//! Randomized correctness properties over the full stack: many seeds,
+//! mixed insert/delete streams, random event interleavings.
+//!
+//! These are the paper's Appendix B/C claims exercised as executable
+//! properties:
+//!
+//! * ECA (both variants), ECA-Key, ECA-Local and RV are strongly
+//!   consistent on *every* interleaving;
+//! * LCA and SC are complete;
+//! * the Basic algorithm converges when updates are serialized but
+//!   produces anomalies under adversarial interleavings.
+
+use eca_core::algorithms::AlgorithmKind;
+use eca_core::ViewDef;
+use eca_relational::{Predicate, Schema, Tuple, Update, UpdateKind};
+use eca_sim::{Policy, RunReport, Simulation};
+use eca_source::Source;
+use eca_storage::Scenario;
+use eca_workload::{Example6, Params, UpdateMix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn small_params() -> Params {
+    Params {
+        cardinality: 24,
+        ..Params::default()
+    }
+}
+
+fn run_example6(kind: AlgorithmKind, seed: u64, k: usize, policy: Policy) -> RunReport {
+    let workload = Example6::new(small_params(), seed);
+    let source = workload.build_source(Scenario::Indexed).unwrap();
+    let view = Example6::view().unwrap();
+    let snapshot = source.snapshot();
+    let initial = view.eval(&snapshot).unwrap();
+    let warehouse = kind
+        .instantiate_with_base(&view, initial, Some(snapshot))
+        .unwrap();
+    Simulation::new(source, warehouse, workload.updates(k, UpdateMix::Mixed))
+        .unwrap()
+        .run(policy)
+        .unwrap()
+}
+
+#[test]
+fn eca_strongly_consistent_on_random_interleavings() {
+    for seed in 0..30u64 {
+        for kind in [AlgorithmKind::Eca, AlgorithmKind::EcaOptimized] {
+            let report = run_example6(
+                kind,
+                seed,
+                12,
+                Policy::Random {
+                    seed: seed * 31 + 5,
+                },
+            );
+            assert!(report.converged(), "seed {seed}");
+            let check =
+                eca_consistency::check(&report.source_view_states, &report.warehouse_view_states);
+            assert!(
+                check.strongly_consistent,
+                "seed {seed} {}: {:?}",
+                kind.label(),
+                check.violation
+            );
+        }
+    }
+}
+
+#[test]
+fn lca_complete_on_random_interleavings() {
+    for seed in 0..20u64 {
+        let report = run_example6(
+            AlgorithmKind::Lca,
+            seed,
+            10,
+            Policy::Random { seed: seed + 99 },
+        );
+        let check =
+            eca_consistency::check(&report.source_view_states, &report.warehouse_view_states);
+        assert!(check.complete, "seed {seed}: {:?}", check.violation);
+    }
+}
+
+#[test]
+fn sc_complete_on_random_interleavings() {
+    for seed in 0..20u64 {
+        let report = run_example6(
+            AlgorithmKind::StoreCopies,
+            seed,
+            12,
+            Policy::Random { seed: seed + 7 },
+        );
+        let check =
+            eca_consistency::check(&report.source_view_states, &report.warehouse_view_states);
+        assert!(check.complete, "seed {seed}: {:?}", check.violation);
+    }
+}
+
+#[test]
+fn rv_strongly_consistent_when_period_divides_k() {
+    // RV only converges if a recompute fires after the last update, i.e.
+    // when s divides k; otherwise the view legitimately lags (it is still
+    // consistent — every installed state is a valid source state).
+    for period in [1u64, 2, 3, 4, 6, 12] {
+        for seed in 0..8u64 {
+            let report = run_example6(
+                AlgorithmKind::RecomputeView { period },
+                seed,
+                12,
+                Policy::Random { seed },
+            );
+            let check =
+                eca_consistency::check(&report.source_view_states, &report.warehouse_view_states);
+            assert!(
+                check.strongly_consistent,
+                "period {period} seed {seed}: {:?}",
+                check.violation
+            );
+        }
+    }
+}
+
+#[test]
+fn rv_with_non_dividing_period_is_consistent_but_lags() {
+    let mut lagged = 0usize;
+    for seed in 0..8u64 {
+        let report = run_example6(
+            AlgorithmKind::RecomputeView { period: 5 },
+            seed,
+            12,
+            Policy::Random { seed },
+        );
+        let check =
+            eca_consistency::check(&report.source_view_states, &report.warehouse_view_states);
+        assert!(check.consistent, "seed {seed}: {:?}", check.violation);
+        if !check.convergent {
+            lagged += 1;
+        }
+    }
+    assert!(
+        lagged > 0,
+        "with s = 5 and k = 12 the view should lag behind"
+    );
+}
+
+#[test]
+fn basic_converges_when_serialized() {
+    for seed in 0..10u64 {
+        let report = run_example6(AlgorithmKind::Basic, seed, 10, Policy::Serial);
+        assert!(report.converged(), "seed {seed}");
+    }
+}
+
+#[test]
+fn basic_exhibits_anomalies_somewhere() {
+    // Over a spread of adversarial runs the basic algorithm must fail at
+    // least once (it fails on most of them); this guards against the
+    // simulator accidentally serializing everything.
+    let failures = (0..10u64)
+        .filter(|&seed| {
+            !run_example6(AlgorithmKind::Basic, seed, 12, Policy::AllUpdatesFirst).converged()
+        })
+        .count();
+    assert!(
+        failures > 0,
+        "expected at least one anomaly in 10 adversarial runs"
+    );
+}
+
+/// A fully keyed view under ECA-Key across random interleavings,
+/// including deletions handled locally.
+#[test]
+fn eca_key_strongly_consistent_on_keyed_views() {
+    // V = π_{A,C}(r1(A,B) ⋈ r2(B,C)) with A key of r1 and C key of r2.
+    let view = ViewDef::new(
+        "V",
+        vec![
+            Schema::with_key("r1", &["A", "B"], &["A"]).unwrap(),
+            Schema::with_key("r2", &["B", "C"], &["C"]).unwrap(),
+        ],
+        Predicate::col_eq(1, 2),
+        vec![0, 3],
+    )
+    .unwrap();
+
+    for seed in 0..20u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut source = Source::new(Scenario::Indexed);
+        for schema in view.base() {
+            source.add_relation(schema.clone(), 8, None, &[]).unwrap();
+        }
+        // Unique keys: A values 0.., C values 1000..; B joins on 0..4.
+        let mut next_a = 0i64;
+        let mut next_c = 1000i64;
+        let mut r1_live = Vec::new();
+        let mut r2_live = Vec::new();
+        for _ in 0..6 {
+            let t = Tuple::ints([next_a, rng.gen_range(0..4)]);
+            next_a += 1;
+            r1_live.push(t.clone());
+        }
+        for _ in 0..6 {
+            let t = Tuple::ints([rng.gen_range(0..4), next_c]);
+            next_c += 1;
+            r2_live.push(t.clone());
+        }
+        source.load("r1", r1_live.iter().cloned()).unwrap();
+        source.load("r2", r2_live.iter().cloned()).unwrap();
+
+        let mut updates = Vec::new();
+        for _ in 0..10 {
+            let on_r1 = rng.gen_bool(0.5);
+            let (name, live, key) = if on_r1 {
+                ("r1", &mut r1_live, &mut next_a)
+            } else {
+                ("r2", &mut r2_live, &mut next_c)
+            };
+            let delete = rng.gen_bool(0.4) && !live.is_empty();
+            if delete {
+                let idx = rng.gen_range(0..live.len());
+                let t = live.swap_remove(idx);
+                updates.push(Update {
+                    relation: name.into(),
+                    kind: UpdateKind::Delete,
+                    tuple: t,
+                });
+            } else {
+                let t = if on_r1 {
+                    Tuple::ints([*key, rng.gen_range(0..4)])
+                } else {
+                    Tuple::ints([rng.gen_range(0..4), *key])
+                };
+                *key += 1;
+                live.push(t.clone());
+                updates.push(Update {
+                    relation: name.into(),
+                    kind: UpdateKind::Insert,
+                    tuple: t,
+                });
+            }
+        }
+
+        let snapshot = source.snapshot();
+        let initial = view.eval(&snapshot).unwrap();
+        let warehouse = AlgorithmKind::EcaKey.instantiate(&view, initial).unwrap();
+        let report = Simulation::new(source, warehouse, updates)
+            .unwrap()
+            .run(Policy::Random { seed: seed + 500 })
+            .unwrap();
+        assert!(report.converged(), "seed {seed}");
+        let check =
+            eca_consistency::check(&report.source_view_states, &report.warehouse_view_states);
+        assert!(
+            check.strongly_consistent,
+            "seed {seed}: {:?}",
+            check.violation
+        );
+    }
+}
+
+/// ECA handles duplicate tuples in base relations correctly: inserting the
+/// same tuple twice then deleting one copy leaves exactly one derivation.
+#[test]
+fn duplicate_tuples_across_the_stack() {
+    let view = ViewDef::new(
+        "V",
+        vec![
+            Schema::new("r1", &["W", "X"]),
+            Schema::new("r2", &["X", "Y"]),
+        ],
+        Predicate::col_eq(1, 2),
+        vec![0],
+    )
+    .unwrap();
+    let mut source = Source::new(Scenario::Indexed);
+    for schema in view.base() {
+        source.add_relation(schema.clone(), 20, None, &[]).unwrap();
+    }
+    source.load("r2", [Tuple::ints([2, 9])]).unwrap();
+
+    let updates = vec![
+        Update::insert("r1", Tuple::ints([1, 2])),
+        Update::insert("r1", Tuple::ints([1, 2])),
+        Update::delete("r1", Tuple::ints([1, 2])),
+    ];
+    let snapshot = source.snapshot();
+    let initial = view.eval(&snapshot).unwrap();
+    let warehouse = AlgorithmKind::Eca.instantiate(&view, initial).unwrap();
+    let report = Simulation::new(source, warehouse, updates)
+        .unwrap()
+        .run(Policy::AllUpdatesFirst)
+        .unwrap();
+    assert!(report.converged());
+    assert_eq!(report.final_mv.count(&Tuple::ints([1])), 1);
+}
