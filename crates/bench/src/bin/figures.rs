@@ -11,6 +11,7 @@
 
 use std::path::PathBuf;
 
+use eca_bench::json::ToJson;
 use eca_bench::{
     batch_series, crossover_report, fig62_series, fig63_series, fig64_series, fig65_series,
     messages_series, render_rows, FigureRow,
@@ -122,7 +123,7 @@ fn dump_json(dir: &Option<PathBuf>, name: &str, rows: &[FigureRow]) {
     let Some(dir) = dir else { return };
     std::fs::create_dir_all(dir).expect("create json dir");
     let path = dir.join(format!("{name}.json"));
-    let body = serde_json::to_string_pretty(rows).expect("serialize");
+    let body = rows.to_json().pretty();
     std::fs::write(&path, body).expect("write json");
     println!("(wrote {})", path.display());
 }

@@ -18,16 +18,17 @@
 
 #![forbid(unsafe_code)]
 
+pub mod json;
 pub mod scenario_file;
 
 use eca_core::algorithms::AlgorithmKind;
 use eca_sim::{Policy, RunReport, Simulation};
 use eca_storage::Scenario;
 use eca_workload::{Example6, Params, UpdateMix};
-use serde::Serialize;
+use json::{Json, ToJson};
 
 /// Which corner of the paper's best/worst envelope a run exercises.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Corner {
     /// RV recomputing once after all `k` updates (`s = k`).
     RvBest,
@@ -77,7 +78,7 @@ impl Corner {
 }
 
 /// One measured experiment point.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Measurement {
     /// Algorithm label.
     pub algorithm: String,
@@ -218,7 +219,7 @@ fn scenario_label(s: Scenario) -> &'static str {
 
 /// One row of a figure: an x value plus `(label, analytic, measured)`
 /// series values.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct FigureRow {
     /// The x-axis value (`C` for Fig 6.2, `k` elsewhere).
     pub x: u64,
@@ -227,7 +228,7 @@ pub struct FigureRow {
 }
 
 /// One curve's value at one x.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct SeriesPoint {
     /// Curve label.
     pub label: &'static str,
@@ -235,6 +236,56 @@ pub struct SeriesPoint {
     pub analytic: f64,
     /// The measured value from the full-stack run.
     pub measured: f64,
+}
+
+impl ToJson for SeriesPoint {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("label", Json::str(self.label)),
+            ("analytic", Json::Num(self.analytic)),
+            ("measured", Json::Num(self.measured)),
+        ])
+    }
+}
+
+impl ToJson for FigureRow {
+    fn to_json(&self) -> Json {
+        Json::obj([("x", Json::from(self.x)), ("series", self.series.to_json())])
+    }
+}
+
+impl ToJson for Measurement {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("algorithm", Json::str(self.algorithm.clone())),
+            ("corner", Json::str(self.corner.clone())),
+            ("scenario", Json::str(self.scenario.clone())),
+            ("k", Json::from(self.k)),
+            ("cardinality", Json::from(self.cardinality)),
+            (
+                "maintenance_messages",
+                Json::from(self.maintenance_messages),
+            ),
+            ("answer_tuples", Json::from(self.answer_tuples)),
+            ("paper_bytes", Json::Num(self.paper_bytes)),
+            ("wire_answer_bytes", Json::from(self.wire_answer_bytes)),
+            ("io_reads", Json::from(self.io_reads)),
+            ("converged", Json::Bool(self.converged)),
+            ("consistency", Json::str(self.consistency.clone())),
+        ])
+    }
+}
+
+impl ToJson for CrossoverLine {
+    fn to_json(&self) -> Json {
+        let opt = |k: Option<u64>| k.map_or(Json::Null, Json::from);
+        Json::obj([
+            ("comparison", Json::str(self.comparison)),
+            ("paper", Json::str(self.paper)),
+            ("analytic_k", opt(self.analytic_k)),
+            ("measured_k", opt(self.measured_k)),
+        ])
+    }
 }
 
 /// Figure 6.2: bytes transferred vs cardinality `C` (k = 3 updates).
@@ -417,7 +468,7 @@ pub fn batch_series(k: u64, batch_sizes: &[usize], seed: u64) -> Vec<FigureRow> 
 }
 
 /// One line of the crossover report.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct CrossoverLine {
     /// What crosses what.
     pub comparison: &'static str,

@@ -28,19 +28,21 @@ pub fn select(input: &SignedBag, pred: &Predicate) -> Result<SignedBag, Relation
 /// `π_positions(input)` — project onto positions, retaining duplicates:
 /// counts of tuples that collapse to the same projection accumulate.
 ///
+/// Positions are validated once against the bag's arity (all tuples in a
+/// bag share one schema), not per tuple.
+///
 /// # Errors
 /// Returns [`RelationalError::PositionOutOfRange`] on an invalid position.
 pub fn project(input: &SignedBag, positions: &[usize]) -> Result<SignedBag, RelationalError> {
+    let Some((first, _)) = input.iter().next() else {
+        return Ok(SignedBag::new());
+    };
+    let arity = first.arity();
+    if let Some(&position) = positions.iter().find(|&&p| p >= arity) {
+        return Err(RelationalError::PositionOutOfRange { position, arity });
+    }
     let mut out = SignedBag::new();
     for (tuple, count) in input.iter() {
-        for &p in positions {
-            if p >= tuple.arity() {
-                return Err(RelationalError::PositionOutOfRange {
-                    position: p,
-                    arity: tuple.arity(),
-                });
-            }
-        }
         out.add(tuple.project(positions), count);
     }
     Ok(out)
@@ -68,24 +70,59 @@ pub fn equijoin(
     left_col: usize,
     right_col: usize,
 ) -> SignedBag {
+    equijoin_multi(left, right, &[(left_col, right_col)])
+}
+
+/// Total number of tuple occurrences in a bag, counting duplicates and
+/// pending deletions alike — the real cost of hashing or probing it.
+fn total_occurrences(bag: &SignedBag) -> u64 {
+    bag.pos_len() + bag.neg_len()
+}
+
+/// Hash equi-join on a composite key: `left ⋈ right` on
+/// `∧ left[l_i] = right[r_i]` for every `(l_i, r_i)` in `keys`.
+///
+/// Output tuples are left-right concatenations regardless of which side
+/// builds the hash table. The build side is the one with fewer total
+/// tuple *occurrences* (duplicates included): `distinct_len` undercounts
+/// skewed bags where one distinct tuple carries a large replication count,
+/// and the hash table stores every occurrence.
+///
+/// Tuples missing any key column (arity too small) join nothing, matching
+/// `σ(left × right)` semantics where the equality cannot hold.
+#[must_use]
+pub fn equijoin_multi(left: &SignedBag, right: &SignedBag, keys: &[(usize, usize)]) -> SignedBag {
     use std::collections::HashMap;
-    // Build on the smaller side.
-    let (build, probe, build_col, probe_col, build_is_left) =
-        if left.distinct_len() <= right.distinct_len() {
-            (left, right, left_col, right_col, true)
-        } else {
-            (right, left, right_col, left_col, false)
-        };
-    let mut table: HashMap<&crate::value::Value, Vec<(&Tuple, i64)>> = HashMap::new();
+    if keys.is_empty() {
+        return cross(left, right);
+    }
+    let build_is_left = total_occurrences(left) <= total_occurrences(right);
+    let (build, probe) = if build_is_left {
+        (left, right)
+    } else {
+        (right, left)
+    };
+    fn key_of<'a>(
+        t: &'a Tuple,
+        keys: &[(usize, usize)],
+        left_side: bool,
+    ) -> Option<Vec<&'a crate::value::Value>> {
+        keys.iter()
+            .map(|&(l, r)| t.get(if left_side { l } else { r }))
+            .collect()
+    }
+    let mut table: HashMap<Vec<&crate::value::Value>, Vec<(&Tuple, i64)>> = HashMap::new();
     for (t, c) in build.iter() {
-        if let Some(v) = t.get(build_col) {
-            table.entry(v).or_default().push((t, c));
+        if let Some(key) = key_of(t, keys, build_is_left) {
+            table.entry(key).or_default().push((t, c));
         }
     }
     let mut out = SignedBag::new();
     for (pt, pc) in probe.iter() {
-        let Some(v) = pt.get(probe_col) else { continue };
-        if let Some(matches) = table.get(v) {
+        let Some(key) = key_of(pt, keys, !build_is_left) else {
+            continue;
+        };
+        if let Some(matches) = table.get(&key) {
             for (bt, bc) in matches {
                 let joined = if build_is_left {
                     bt.concat(pt)
@@ -101,11 +138,12 @@ pub fn equijoin(
 
 /// Evaluate a full SPJ term `π_proj(σ_cond(r1 × r2 × … × rn))`.
 ///
-/// Conjunctive equality conditions are exploited as hash equi-joins while
-/// accumulating the product left to right (column positions are preserved,
-/// so `cond`/`proj` keep their product-relative meaning); the full `cond`
-/// is re-applied at the end, which is idempotent on the equalities already
-/// used and handles every residual conjunct/disjunct.
+/// This is the *planned* path (see [`crate::planner`]): single-relation
+/// conjuncts of `cond` are pushed down into pre-selections on each input,
+/// cross-input equalities become (composite) hash-join keys, the join
+/// order is chosen greedily by estimated cardinality, and only the
+/// residual conjuncts not consumed by pushdown or joins are re-applied
+/// at the end. Answers are identical to [`spj_naive`].
 ///
 /// # Errors
 /// Propagates predicate and projection errors.
@@ -114,48 +152,27 @@ pub fn spj(
     cond: &Predicate,
     proj: &[usize],
 ) -> Result<SignedBag, RelationalError> {
+    crate::planner::spj_planned(inputs, cond, proj)
+}
+
+/// Naive oracle for [`spj`]: materialize the full cross product, then
+/// select, then project. Exponential in the number of inputs — kept only
+/// as the reference semantics for differential tests and benchmarks.
+///
+/// # Errors
+/// Propagates predicate and projection errors.
+pub fn spj_naive(
+    inputs: &[&SignedBag],
+    cond: &Predicate,
+    proj: &[usize],
+) -> Result<SignedBag, RelationalError> {
     let Some(first) = inputs.first() else {
         let selected = select(&SignedBag::singleton(Tuple::ints([])), cond)?;
         return project(&selected, proj);
     };
-    // The cross product with an empty relation is empty.
-    if inputs.iter().any(|b| b.is_empty()) {
-        return Ok(SignedBag::new());
-    }
-    // Arity of each input, inferred from any tuple (all inputs non-empty).
-    let arities: Vec<usize> = inputs
-        .iter()
-        .map(|b| b.iter().next().map(|(t, _)| t.arity()).unwrap_or(0))
-        .collect();
-    let mut offsets = Vec::with_capacity(inputs.len());
-    let mut total = 0usize;
-    for &a in &arities {
-        offsets.push(total);
-        total += a;
-    }
-
-    let pairs = cond.equijoin_pairs();
     let mut acc = (*first).clone();
-    for (i, input) in inputs.iter().enumerate().skip(1) {
-        let lo = offsets[i];
-        let hi = lo + arities[i];
-        // Find an equality linking the accumulated columns to this input.
-        let link = pairs.iter().find_map(|&(a, b)| {
-            if a < lo && (lo..hi).contains(&b) {
-                Some((a, b - lo))
-            } else if b < lo && (lo..hi).contains(&a) {
-                Some((b, a - lo))
-            } else {
-                None
-            }
-        });
-        acc = match link {
-            Some((acc_col, input_col)) => equijoin(&acc, input, acc_col, input_col),
-            None => cross(&acc, input),
-        };
-        if acc.is_empty() {
-            return Ok(SignedBag::new());
-        }
+    for input in &inputs[1..] {
+        acc = cross(&acc, input);
     }
     let selected = select(&acc, cond)?;
     project(&selected, proj)
@@ -254,6 +271,72 @@ mod tests {
         let a = equijoin(&large, &small, 1, 0);
         let b = select(&cross(&large, &small), &Predicate::col_eq(1, 2)).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn equijoin_skewed_duplicates_match_cross_select() {
+        // One distinct tuple with a huge replication count on the left:
+        // `distinct_len` would call the left side "smaller" (1 distinct vs
+        // 3), but by total occurrences it is far larger. Whichever side
+        // builds, the answer must equal σ(×) with multiplied counts.
+        let mut skewed = SignedBag::new();
+        skewed.add(t(&[7, 2]), 1000);
+        skewed.add(t(&[8, 9]), -500);
+        let flat = SignedBag::from_tuples([t(&[2, 1]), t(&[2, 2]), t(&[3, 3])]);
+        let joined = equijoin(&skewed, &flat, 1, 0);
+        let expected = select(&cross(&skewed, &flat), &Predicate::col_eq(1, 2)).unwrap();
+        assert_eq!(joined, expected);
+        assert_eq!(joined.count(&t(&[7, 2, 2, 1])), 1000);
+        // And flipped operand order as well.
+        let joined_rev = equijoin(&flat, &skewed, 0, 1);
+        let expected_rev = select(&cross(&flat, &skewed), &Predicate::col_eq(0, 3)).unwrap();
+        assert_eq!(joined_rev, expected_rev);
+    }
+
+    #[test]
+    fn equijoin_multi_composite_key_matches_cross_select() {
+        let r1 = SignedBag::from_tuples([t(&[1, 2, 3]), t(&[1, 2, 4]), t(&[9, 9, 9])]);
+        let mut r2 = SignedBag::new();
+        r2.add(t(&[1, 2, 7]), 2);
+        r2.add(t(&[1, 5, 7]), 1);
+        r2.add(t(&[9, 9, 0]), -1);
+        let joined = equijoin_multi(&r1, &r2, &[(0, 0), (1, 1)]);
+        let cond = Predicate::col_eq(0, 3).and(Predicate::col_eq(1, 4));
+        let expected = select(&cross(&r1, &r2), &cond).unwrap();
+        assert_eq!(joined, expected);
+        assert_eq!(joined.count(&t(&[1, 2, 3, 1, 2, 7])), 2);
+        assert_eq!(joined.count(&t(&[9, 9, 9, 9, 9, 0])), -1);
+    }
+
+    #[test]
+    fn equijoin_multi_empty_key_is_cross() {
+        let l = SignedBag::from_tuples([t(&[1])]);
+        let r = SignedBag::from_tuples([t(&[2]), t(&[3])]);
+        assert_eq!(equijoin_multi(&l, &r, &[]), cross(&l, &r));
+    }
+
+    #[test]
+    fn equijoin_multi_short_tuples_join_nothing() {
+        // A key column beyond a tuple's arity can never satisfy the
+        // equality, so that tuple silently joins nothing.
+        let l = SignedBag::from_tuples([t(&[1])]);
+        let r = SignedBag::from_tuples([t(&[1, 5])]);
+        assert!(equijoin_multi(&l, &r, &[(1, 0)]).is_empty());
+    }
+
+    #[test]
+    fn project_rejects_out_of_range_once() {
+        let b = SignedBag::from_tuples([t(&[1, 2]), t(&[3, 4])]);
+        let err = project(&b, &[0, 2]).unwrap_err();
+        assert!(matches!(
+            err,
+            RelationalError::PositionOutOfRange {
+                position: 2,
+                arity: 2
+            }
+        ));
+        // Empty bag: nothing to validate against, projection is empty.
+        assert!(project(&SignedBag::new(), &[17]).unwrap().is_empty());
     }
 
     #[test]

@@ -25,6 +25,7 @@ pub mod algebra;
 pub mod bag;
 pub mod error;
 pub mod modify;
+pub mod planner;
 pub mod predicate;
 pub mod relation;
 pub mod schema;

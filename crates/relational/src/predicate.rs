@@ -220,6 +220,77 @@ impl Predicate {
         pairs
     }
 
+    /// The conjuncts of the AND-skeleton, left to right. `Or`/`Not`
+    /// subtrees are atomic conjuncts; `True` contributes nothing.
+    pub fn conjuncts(&self) -> Vec<&Predicate> {
+        let mut out = Vec::new();
+        self.collect_conjuncts(&mut out);
+        out
+    }
+
+    fn collect_conjuncts<'a>(&'a self, out: &mut Vec<&'a Predicate>) {
+        match self {
+            Predicate::True => {}
+            Predicate::And(a, b) => {
+                a.collect_conjuncts(out);
+                b.collect_conjuncts(out);
+            }
+            p => out.push(p),
+        }
+    }
+
+    /// All column positions referenced, deduplicated and ascending.
+    pub fn columns(&self) -> Vec<usize> {
+        let mut cols = std::collections::BTreeSet::new();
+        self.collect_columns(&mut cols);
+        cols.into_iter().collect()
+    }
+
+    fn collect_columns(&self, cols: &mut std::collections::BTreeSet<usize>) {
+        match self {
+            Predicate::True | Predicate::False => {}
+            Predicate::Cmp { lhs, rhs, .. } => {
+                for operand in [lhs, rhs] {
+                    if let Operand::Column(i) = operand {
+                        cols.insert(*i);
+                    }
+                }
+            }
+            Predicate::And(a, b) | Predicate::Or(a, b) => {
+                a.collect_columns(cols);
+                b.collect_columns(cols);
+            }
+            Predicate::Not(p) => p.collect_columns(cols),
+        }
+    }
+
+    /// Rewrite every column reference through `f`. Used by the planner
+    /// to move a predicate between coordinate systems (product-relative
+    /// vs. input-local vs. join-accumulator layouts).
+    #[must_use]
+    pub fn map_columns(&self, f: &impl Fn(usize) -> usize) -> Predicate {
+        let map_operand = |o: &Operand| match o {
+            Operand::Column(i) => Operand::Column(f(*i)),
+            Operand::Const(v) => Operand::Const(v.clone()),
+        };
+        match self {
+            Predicate::True => Predicate::True,
+            Predicate::False => Predicate::False,
+            Predicate::Cmp { lhs, op, rhs } => Predicate::Cmp {
+                lhs: map_operand(lhs),
+                op: *op,
+                rhs: map_operand(rhs),
+            },
+            Predicate::And(a, b) => {
+                Predicate::And(Box::new(a.map_columns(f)), Box::new(b.map_columns(f)))
+            }
+            Predicate::Or(a, b) => {
+                Predicate::Or(Box::new(a.map_columns(f)), Box::new(b.map_columns(f)))
+            }
+            Predicate::Not(p) => Predicate::Not(Box::new(p.map_columns(f))),
+        }
+    }
+
     fn collect_equijoins(&self, pairs: &mut Vec<(usize, usize)>) {
         match self {
             Predicate::Cmp {

@@ -127,6 +127,14 @@ impl Source {
         self.engine.enable_cache(capacity)
     }
 
+    /// Enable multi-term batching: the terms of one incoming query share
+    /// scans and index-probe results, so a k-term compensating query reads
+    /// each base relation roughly once instead of k times. Off by default
+    /// to preserve the paper's pessimistic per-term cost accounting.
+    pub fn enable_term_batching(&mut self) {
+        self.engine.enable_term_batching();
+    }
+
     /// Updates executed so far.
     pub fn updates_executed(&self) -> u64 {
         self.updates_executed
@@ -158,6 +166,22 @@ impl Source {
             .to_query(&self.catalog)
             .map_err(SourceError::BadQuery)?;
         let answer = self.engine.eval_query(&rebuilt)?;
+        self.queries_answered += 1;
+        Ok(answer)
+    }
+
+    /// Like [`Source::answer`] but evaluates the query's terms on worker
+    /// threads. Answers are identical; block-read totals can differ only
+    /// when term batching is enabled (racing threads may both pay for a
+    /// scan before either memoizes it).
+    ///
+    /// # Errors
+    /// As [`Source::answer`].
+    pub fn answer_parallel(&mut self, query: &WireQuery) -> Result<SignedBag, SourceError> {
+        let rebuilt = query
+            .to_query(&self.catalog)
+            .map_err(SourceError::BadQuery)?;
+        let answer = self.engine.eval_query_parallel(&rebuilt)?;
         self.queries_answered += 1;
         Ok(answer)
     }

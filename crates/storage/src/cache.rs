@@ -12,9 +12,8 @@
 //! whole premise is three memory blocks, so the nested-loop executor does
 //! not consult it.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// One cached block's identity.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
@@ -32,17 +31,18 @@ struct CacheInner {
     misses: u64,
 }
 
-/// A shared LRU block cache. Clones reference the same cache.
+/// A shared LRU block cache. Clones reference the same cache; access is
+/// serialized by a mutex so parallel term evaluation can share it.
 #[derive(Clone)]
 pub struct BlockCache {
-    inner: Rc<RefCell<CacheInner>>,
+    inner: Arc<Mutex<CacheInner>>,
 }
 
 impl BlockCache {
     /// A cache holding at most `capacity` blocks.
     pub fn new(capacity: usize) -> Self {
         BlockCache {
-            inner: Rc::new(RefCell::new(CacheInner {
+            inner: Arc::new(Mutex::new(CacheInner {
                 entries: HashMap::with_capacity(capacity),
                 clock: 0,
                 capacity,
@@ -56,7 +56,7 @@ impl BlockCache {
     /// block read is free); on a miss the block is admitted, evicting the
     /// least recently used entry if full.
     pub fn access(&self, table: &str, block: u64) -> bool {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.inner.lock().expect("cache mutex poisoned");
         inner.clock += 1;
         let clock = inner.clock;
         let id = BlockId {
@@ -89,35 +89,44 @@ impl BlockCache {
     /// Drop every cached block (e.g. after updates invalidate contents).
     pub fn invalidate_table(&self, table: &str) {
         self.inner
-            .borrow_mut()
+            .lock()
+            .expect("cache mutex poisoned")
             .entries
             .retain(|id, _| id.table != table);
     }
 
     /// Cache hits so far.
     pub fn hits(&self) -> u64 {
-        self.inner.borrow().hits
+        self.inner.lock().expect("cache mutex poisoned").hits
     }
 
     /// Cache misses so far.
     pub fn misses(&self) -> u64 {
-        self.inner.borrow().misses
+        self.inner.lock().expect("cache mutex poisoned").misses
     }
 
     /// Blocks currently resident.
     pub fn len(&self) -> usize {
-        self.inner.borrow().entries.len()
+        self.inner
+            .lock()
+            .expect("cache mutex poisoned")
+            .entries
+            .len()
     }
 
     /// Whether nothing is cached.
     pub fn is_empty(&self) -> bool {
-        self.inner.borrow().entries.is_empty()
+        self.inner
+            .lock()
+            .expect("cache mutex poisoned")
+            .entries
+            .is_empty()
     }
 }
 
 impl std::fmt::Debug for BlockCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let inner = self.inner.borrow();
+        let inner = self.inner.lock().expect("cache mutex poisoned");
         write!(
             f,
             "BlockCache(cap={}, resident={}, hits={}, misses={})",

@@ -1,7 +1,7 @@
 //! The I/O meter: counts block reads performed at the source.
 
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// A shared counter of block reads.
 ///
@@ -10,10 +10,13 @@ use std::rc::Rc;
 /// counts only reads performed while evaluating warehouse queries; update
 /// application is metered separately via [`IoMeter::charge_update`] and
 /// excluded from [`IoMeter::query_reads`].
+///
+/// Counters are atomic so parallel term evaluation (worker threads sharing
+/// one engine) still produces one coherent total.
 #[derive(Clone, Debug, Default)]
 pub struct IoMeter {
-    query_reads: Rc<Cell<u64>>,
-    update_writes: Rc<Cell<u64>>,
+    query_reads: Arc<AtomicU64>,
+    update_writes: Arc<AtomicU64>,
 }
 
 impl IoMeter {
@@ -24,28 +27,28 @@ impl IoMeter {
 
     /// Record `n` block reads attributable to query evaluation.
     pub fn charge_read(&self, n: u64) {
-        self.query_reads.set(self.query_reads.get() + n);
+        self.query_reads.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Record `n` block touches attributable to update application.
     pub fn charge_update(&self, n: u64) {
-        self.update_writes.set(self.update_writes.get() + n);
+        self.update_writes.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Total query-evaluation block reads so far.
     pub fn query_reads(&self) -> u64 {
-        self.query_reads.get()
+        self.query_reads.load(Ordering::Relaxed)
     }
 
     /// Total update-application block touches so far.
     pub fn update_writes(&self) -> u64 {
-        self.update_writes.get()
+        self.update_writes.load(Ordering::Relaxed)
     }
 
     /// Reset both counters to zero.
     pub fn reset(&self) {
-        self.query_reads.set(0);
-        self.update_writes.set(0);
+        self.query_reads.store(0, Ordering::Relaxed);
+        self.update_writes.store(0, Ordering::Relaxed);
     }
 }
 
@@ -73,5 +76,21 @@ mod tests {
         m.reset();
         assert_eq!(m.query_reads(), 0);
         assert_eq!(m.update_writes(), 0);
+    }
+
+    #[test]
+    fn charges_from_threads_accumulate() {
+        let m = IoMeter::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let handle = m.clone();
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        handle.charge_read(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.query_reads(), 400);
     }
 }

@@ -39,7 +39,7 @@ fn random_setup(seed: u64) -> (ViewDef, BaseDb, Vec<Update>) {
 
     let updates = (0..8)
         .map(|_| {
-            let rel = ["r1", "r2", "r3"][rng.gen_range(0..3)];
+            let rel = ["r1", "r2", "r3"][rng.gen_range(0..3usize)];
             let t = Tuple::ints([rng.gen_range(0..8), rng.gen_range(0..8)]);
             if rng.gen_bool(0.3) {
                 Update::delete(rel, t)
@@ -148,6 +148,118 @@ fn answers_match_after_update_replay() {
                 view.eval(&db).unwrap(),
                 "seed {seed}"
             );
+        }
+    }
+}
+
+mod planner_properties {
+    //! Property-based differentials for the SPJ planner and the
+    //! multi-term evaluation modes: whatever the data, condition, and
+    //! projection, the planned pipeline must agree with the
+    //! cross-select-project oracle, and batched / parallel evaluation
+    //! must agree with plain sequential evaluation.
+
+    use super::*;
+    use eca_relational::algebra::{spj, spj_naive};
+    use eca_relational::SignedBag;
+    use proptest::prelude::*;
+
+    /// A signed bag of binary tuples — negative counts included, since
+    /// compensating terms evaluate over signed intermediates.
+    fn signed_bag() -> impl Strategy<Value = SignedBag> {
+        prop::collection::vec((0i64..6, 0i64..6, -3i64..4), 0..12).prop_map(|rows| {
+            let mut bag = SignedBag::new();
+            for (a, b, c) in rows {
+                bag.add(Tuple::ints([a, b]), c);
+            }
+            bag
+        })
+    }
+
+    /// A condition over three binary relations (six columns) mixing the
+    /// planner's three conjunct classes: join edges (cross-input
+    /// equalities), pushable single-input comparisons, and a residual
+    /// cross-input inequality the hash joins cannot absorb.
+    fn condition() -> impl Strategy<Value = Predicate> {
+        (
+            any::<bool>(),
+            any::<bool>(),
+            any::<bool>(),
+            (0usize..6, -1i64..7),
+            any::<bool>(),
+        )
+            .prop_map(|(edge12, edge23, pushed, (col, threshold), residual)| {
+                let mut cond = Predicate::True;
+                if edge12 {
+                    cond = cond.and(Predicate::col_eq(1, 2));
+                }
+                if edge23 {
+                    cond = cond.and(Predicate::col_eq(3, 4));
+                }
+                if pushed {
+                    cond = cond.and(Predicate::col_const(col, CmpOp::Gt, threshold));
+                }
+                if residual {
+                    cond = cond.and(Predicate::col_cmp(0, CmpOp::Ge, 5));
+                }
+                cond
+            })
+    }
+
+    proptest! {
+        #[test]
+        fn planned_spj_matches_oracle(
+            r1 in signed_bag(),
+            r2 in signed_bag(),
+            r3 in signed_bag(),
+            cond in condition(),
+            proj in prop::collection::vec(0usize..6, 1..4),
+        ) {
+            let inputs = [&r1, &r2, &r3];
+            let planned = spj(&inputs, &cond, &proj).unwrap();
+            let naive = spj_naive(&inputs, &cond, &proj).unwrap();
+            prop_assert_eq!(planned, naive);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn batched_and_parallel_match_plain_source(seed in 0u64..1000) {
+            let (view, db, updates) = random_setup(seed);
+            // The compensated 3-update query: up to four SPJ terms
+            // sharing probe values — the shape term batching targets.
+            let q1 = view.substitute(&updates[0]).unwrap();
+            let q2 = view
+                .substitute(&updates[1])
+                .unwrap()
+                .minus(&q1.substitute(&updates[1]));
+            let q3 = view
+                .substitute(&updates[2])
+                .unwrap()
+                .minus(&q1.substitute(&updates[2]))
+                .minus(&q2.substitute(&updates[2]));
+            for q in [&view.as_query(), &q3] {
+                let wq = WireQuery::from_query(q);
+                let logical = q.eval(&db).unwrap();
+
+                let mut plain = build_source(&view, &db, Scenario::Indexed);
+                let sequential = plain.answer(&wq).unwrap();
+                let io_plain = plain.io_meter().query_reads();
+
+                let mut batched = build_source(&view, &db, Scenario::Indexed);
+                batched.enable_term_batching();
+                prop_assert_eq!(batched.answer(&wq).unwrap(), sequential.clone());
+                let io_batched = batched.io_meter().query_reads();
+
+                let mut parallel = build_source(&view, &db, Scenario::Indexed);
+                prop_assert_eq!(parallel.answer_parallel(&wq).unwrap(), sequential.clone());
+
+                prop_assert_eq!(sequential, logical);
+                // Sharing scans and probes can only reduce block reads.
+                prop_assert!(io_batched <= io_plain);
+            }
         }
     }
 }

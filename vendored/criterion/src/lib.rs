@@ -1,0 +1,280 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the benchmarking API surface this workspace uses —
+//! groups, [`BenchmarkId`], [`Bencher::iter`], the `criterion_group!` /
+//! `criterion_main!` macros — with a simple wall-clock sampler instead
+//! of criterion's full statistical machinery. `--test` runs every
+//! closure once (the CI smoke mode); a positional argument filters
+//! benchmarks by substring, as with the real crate.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver and configuration.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                // Flags cargo or the real criterion CLI may pass; the
+                // sampler has no use for them.
+                "--bench" | "--list" | "--quiet" | "--verbose" | "--noplot" => {}
+                other if other.starts_with("--") => {}
+                other => filter = Some(other.to_owned()),
+            }
+        }
+        Criterion {
+            sample_size: 20,
+            test_mode,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set how many timed samples each benchmark collects.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(self, &id.label, f);
+    }
+}
+
+/// A named benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter as the label.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId {
+            label: label.to_owned(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmark one closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().label);
+        run_benchmark(self.criterion, &full, f);
+    }
+
+    /// Benchmark one closure against a borrowed input.
+    pub fn bench_with_input<I, F>(&mut self, id: impl Into<BenchmarkId>, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Close the group. (The real crate emits summary plots here; the
+    /// sampler prints per-benchmark lines as it goes.)
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure to drive timing.
+pub struct Bencher {
+    mode: BenchMode,
+    samples: Vec<Duration>,
+}
+
+enum BenchMode {
+    /// Run the routine once, untimed — the `--test` smoke mode.
+    Smoke,
+    /// Collect `samples` timed samples of `iters_per_sample` iterations.
+    Timed {
+        samples: usize,
+        iters_per_sample: u64,
+    },
+}
+
+impl Bencher {
+    /// Time the routine (or run it once in `--test` mode).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        match self.mode {
+            BenchMode::Smoke => {
+                black_box(routine());
+            }
+            BenchMode::Timed {
+                samples,
+                iters_per_sample,
+            } => {
+                for _ in 0..samples {
+                    let start = Instant::now();
+                    for _ in 0..iters_per_sample {
+                        black_box(routine());
+                    }
+                    let elapsed = start.elapsed();
+                    self.samples.push(elapsed / iters_per_sample as u32);
+                }
+            }
+        }
+    }
+}
+
+/// Budget for one timed sample; keeps whole suites fast while still
+/// averaging over enough iterations to be stable.
+const TARGET_SAMPLE: Duration = Duration::from_millis(5);
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(criterion: &Criterion, label: &str, mut f: F) {
+    if let Some(filter) = &criterion.filter {
+        if !label.contains(filter.as_str()) {
+            return;
+        }
+    }
+    if criterion.test_mode {
+        let mut b = Bencher {
+            mode: BenchMode::Smoke,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        println!("Testing {label} ... ok");
+        return;
+    }
+
+    // Calibrate: one untimed warm-up pass, then size samples so each
+    // takes roughly TARGET_SAMPLE.
+    let mut calib = Bencher {
+        mode: BenchMode::Timed {
+            samples: 1,
+            iters_per_sample: 1,
+        },
+        samples: Vec::new(),
+    };
+    f(&mut calib);
+    let per_iter = calib.samples.first().copied().unwrap_or(Duration::ZERO);
+    let iters_per_sample = if per_iter.is_zero() {
+        1000
+    } else {
+        (TARGET_SAMPLE.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+    };
+
+    let mut b = Bencher {
+        mode: BenchMode::Timed {
+            samples: criterion.sample_size,
+            iters_per_sample,
+        },
+        samples: Vec::new(),
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{label:<50} (no iterations recorded)");
+        return;
+    }
+    b.samples.sort();
+    let min = b.samples[0];
+    let median = b.samples[b.samples.len() / 2];
+    let max = b.samples[b.samples.len() - 1];
+    println!(
+        "{label:<50} time: [{} {} {}]",
+        fmt_duration(min),
+        fmt_duration(median),
+        fmt_duration(max)
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.3} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Declare a benchmark group function, mirroring the real crate's two
+/// accepted forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declare the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
