@@ -34,7 +34,6 @@ pub mod composite;
 pub mod error;
 pub mod expr;
 pub mod maintainer;
-pub mod multiview;
 pub mod parse;
 pub mod view;
 
@@ -43,7 +42,6 @@ pub use composite::CompositeView;
 pub use error::CoreError;
 pub use expr::{Atom, Query, QueryId, Term};
 pub use maintainer::{OutboundQuery, ViewMaintainer};
-pub use multiview::MultiView;
 pub use parse::{parse_view, ParseError};
 pub use view::ViewDef;
 

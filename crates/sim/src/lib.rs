@@ -8,10 +8,12 @@
 //! * `S_qu` — the source evaluates a query on its *current* state,
 //! * `W_ans` — the warehouse receives the answer and updates the view.
 //!
-//! [`Simulation`] wires an [`eca_source::Source`] to any
-//! [`eca_core::ViewMaintainer`] through FIFO channels carrying encoded
-//! [`eca_wire::Message`]s (so byte counts are real), and drives them under
-//! a [`Policy`]:
+//! Since the transport re-layering, the simulator is a pure *scheduler*:
+//! messages move through an [`eca_wire::InMemoryFifo`] pair (encoded on
+//! send, decoded on delivery, so byte counts are real and codec faults
+//! surface as [`SimError::Transport`]), maintenance state lives in an
+//! [`eca_warehouse::Warehouse`] runtime, and the simulator only decides
+//! *when* each enabled transport event fires, under a [`Policy`]:
 //!
 //! * [`Policy::Serial`] — each update fully settles before the next: the
 //!   favorable case where ECA degenerates to the basic algorithm,
@@ -23,11 +25,13 @@
 //!
 //! Every run records the source's view states `V[ss_0..ss_p]` and each
 //! warehouse state, which `eca-consistency` checks against the §3
-//! correctness hierarchy.
+//! correctness hierarchy. [`MultiSimulation`] drives one warehouse over
+//! *several* autonomous sources, each with its own channel and script.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod multi;
 pub mod report;
 pub mod trace;
 
@@ -37,10 +41,12 @@ use eca_core::maintainer::ViewMaintainer;
 use eca_core::ViewDef;
 use eca_relational::{SignedBag, Update};
 use eca_source::Source;
-use eca_wire::{Direction, Message, TransferMeter, WireQuery};
+use eca_warehouse::{SourceId, ViewId, Warehouse, WarehouseError};
+use eca_wire::{InMemoryFifo, Message, TransferMeter, Transport, TransportError, WireQuery};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+pub use multi::{MultiRunReport, MultiSimulation, SiteId, SiteReport, ViewRunReport};
 pub use report::RunReport;
 pub use trace::TraceEvent;
 
@@ -69,6 +75,14 @@ pub enum SimError {
     Source(eca_source::SourceError),
     /// A message failed to decode (indicates a codec bug).
     Decode(eca_wire::DecodeError),
+    /// The transport failed to move a message.
+    Transport(TransportError),
+    /// The warehouse runtime failed.
+    Warehouse(WarehouseError),
+    /// A message kind arrived on a channel that never carries it, or an
+    /// expected message was missing — a scheduler bug, reported instead
+    /// of panicking.
+    Protocol(&'static str),
 }
 
 impl std::fmt::Display for SimError {
@@ -77,6 +91,9 @@ impl std::fmt::Display for SimError {
             SimError::Core(e) => write!(f, "warehouse error: {e}"),
             SimError::Source(e) => write!(f, "source error: {e}"),
             SimError::Decode(e) => write!(f, "decode error: {e}"),
+            SimError::Transport(e) => write!(f, "transport error: {e}"),
+            SimError::Warehouse(e) => write!(f, "warehouse runtime error: {e}"),
+            SimError::Protocol(what) => write!(f, "protocol violation: {what}"),
         }
     }
 }
@@ -101,7 +118,27 @@ impl From<eca_wire::DecodeError> for SimError {
     }
 }
 
-/// The wired-up system: source, warehouse, channels, meters, script.
+impl From<TransportError> for SimError {
+    fn from(e: TransportError) -> Self {
+        // Preserve the historical Decode variant for codec faults so
+        // callers matching on it keep working.
+        match e {
+            TransportError::Decode(d) => SimError::Decode(d),
+            other => SimError::Transport(other),
+        }
+    }
+}
+
+impl From<WarehouseError> for SimError {
+    fn from(e: WarehouseError) -> Self {
+        match e {
+            WarehouseError::Core(c) => SimError::Core(c),
+            other => SimError::Warehouse(other),
+        }
+    }
+}
+
+/// The wired-up system: source, warehouse runtime, transport, script.
 ///
 /// ```
 /// use eca_core::{algorithms::AlgorithmKind, ViewDef};
@@ -135,16 +172,17 @@ impl From<eca_wire::DecodeError> for SimError {
 /// ```
 pub struct Simulation {
     source: Source,
-    warehouse: Box<dyn ViewMaintainer>,
+    warehouse: Warehouse,
+    source_id: SourceId,
+    view_id: ViewId,
     view: ViewDef,
-    /// Source → warehouse FIFO (notifications and answers).
-    s2w: VecDeque<Message>,
-    /// Warehouse → source FIFO (queries).
-    w2s: VecDeque<Message>,
+    /// The source's endpoint of the in-memory channel pair.
+    src_end: InMemoryFifo,
+    /// The warehouse's endpoint.
+    wh_end: InMemoryFifo,
     script: VecDeque<Update>,
     meter: TransferMeter,
     source_view_states: Vec<SignedBag>,
-    warehouse_view_states: Vec<SignedBag>,
     notifications_sent: u64,
     trace: Vec<TraceEvent>,
 }
@@ -155,24 +193,32 @@ impl Simulation {
     /// The warehouse's initial `MV` must equal the view evaluated on the
     /// source's initial state (`V[ss_0]`) — the standard starting
     /// condition of the paper's proofs.
+    ///
+    /// # Errors
+    /// Propagates view-evaluation failures on the initial snapshot.
     pub fn new(
         source: Source,
-        warehouse: Box<dyn ViewMaintainer>,
+        maintainer: Box<dyn ViewMaintainer>,
         script: Vec<Update>,
     ) -> Result<Self, SimError> {
-        let view = warehouse.view().clone();
+        let view = maintainer.view().clone();
         let initial_source_view = view.eval(&source.snapshot())?;
-        let initial_mv = warehouse.materialized().clone();
+        let mut warehouse = Warehouse::new();
+        let source_id = warehouse.add_source("source");
+        let view_id = warehouse.add_view(source_id, maintainer)?;
+        let meter = TransferMeter::new();
+        let (src_end, wh_end) = InMemoryFifo::pair(meter.clone());
         Ok(Simulation {
             source,
             warehouse,
+            source_id,
+            view_id,
             view,
-            s2w: VecDeque::new(),
-            w2s: VecDeque::new(),
+            src_end,
+            wh_end,
             script: script.into(),
-            meter: TransferMeter::new(),
+            meter,
             source_view_states: vec![initial_source_view],
-            warehouse_view_states: vec![initial_mv],
             notifications_sent: 0,
             trace: Vec::new(),
         })
@@ -181,7 +227,7 @@ impl Simulation {
     /// Run to quiescence under `policy` and report.
     ///
     /// # Errors
-    /// Propagates warehouse, source and codec errors.
+    /// Propagates warehouse, source, transport and codec errors.
     pub fn run(mut self, policy: Policy) -> Result<RunReport, SimError> {
         match policy {
             Policy::Serial => {
@@ -234,12 +280,12 @@ impl Simulation {
         !self.script.is_empty()
     }
 
-    fn source_has_query(&self) -> bool {
-        !self.w2s.is_empty()
+    fn source_has_query(&mut self) -> bool {
+        self.src_end.has_inbound()
     }
 
-    fn warehouse_has_message(&self) -> bool {
-        !self.s2w.is_empty()
+    fn warehouse_has_message(&mut self) -> bool {
+        self.wh_end.has_inbound()
     }
 
     /// Settle all in-flight work (no further updates).
@@ -257,7 +303,9 @@ impl Simulation {
 
     /// `S_up`: execute the next scripted update, notify the warehouse.
     fn step_source_update(&mut self) -> Result<(), SimError> {
-        let update = self.script.pop_front().expect("caller checked");
+        let Some(update) = self.script.pop_front() else {
+            return Err(SimError::Protocol("S_up fired with an empty script"));
+        };
         let effective = self.source.execute_update(&update);
         self.trace.push(TraceEvent::SourceUpdate {
             update: update.clone(),
@@ -266,8 +314,7 @@ impl Simulation {
         if effective {
             self.source_view_states
                 .push(self.view.eval(&self.source.snapshot())?);
-            let msg = Message::UpdateNotification { update };
-            self.send_s2w(msg);
+            self.src_end.send(&Message::UpdateNotification { update })?;
             self.notifications_sent += 1;
         }
         Ok(())
@@ -275,8 +322,11 @@ impl Simulation {
 
     /// `S_qu`: answer the oldest pending query on the current state.
     fn step_source_answer(&mut self) -> Result<(), SimError> {
-        let Some(Message::QueryRequest { id, query }) = self.w2s.pop_front() else {
-            panic!("w2s carries only QueryRequest messages");
+        let msg = self.src_end.try_recv()?;
+        let Some(Message::QueryRequest { id, query }) = msg else {
+            return Err(SimError::Protocol(
+                "S_qu fired without a QueryRequest pending",
+            ));
         };
         let answer = self.source.answer(&query)?;
         self.trace.push(TraceEvent::SourceAnswer {
@@ -286,19 +336,22 @@ impl Simulation {
         let payload_bytes = answer.encoded_len() as u64;
         let tuples = answer.pos_len() + answer.neg_len();
         self.meter.record_answer_payload(payload_bytes, tuples);
-        self.send_s2w(Message::QueryAnswer { id, answer });
+        self.src_end.send(&Message::QueryAnswer { id, answer })?;
         Ok(())
     }
 
     /// `W_up`/`W_ans`: deliver the oldest source→warehouse message.
     fn step_warehouse_deliver(&mut self) -> Result<(), SimError> {
-        let msg = self.s2w.pop_front().expect("caller checked");
-        // Roundtrip through the codec: byte counts and decodability are
-        // exercised on every delivery.
-        let msg = Message::decode(msg.encode())?;
+        // The transport decodes on delivery: byte counts and decodability
+        // are exercised on every message.
+        let Some(msg) = self.wh_end.try_recv()? else {
+            return Err(SimError::Protocol(
+                "warehouse delivery fired with an empty channel",
+            ));
+        };
         let outbound = match msg {
             Message::UpdateNotification { update } => {
-                let queries = self.warehouse.on_update(&update)?;
+                let queries = self.warehouse.on_update(self.source_id, &update)?;
                 self.trace.push(TraceEvent::WarehouseUpdate {
                     update,
                     queries_sent: queries.iter().map(|q| q.id).collect(),
@@ -306,48 +359,30 @@ impl Simulation {
                 queries
             }
             Message::QueryAnswer { id, answer } => {
-                let queries = self.warehouse.on_answer(id, answer)?;
+                let queries = self.warehouse.on_answer(self.source_id, id, answer)?;
                 self.trace.push(TraceEvent::WarehouseAnswer { id });
                 queries
             }
             Message::QueryRequest { .. } => {
-                panic!("s2w never carries QueryRequest messages")
+                return Err(SimError::Protocol("s2w never carries QueryRequest"));
             }
         };
-        // Algorithms that apply several buffered deltas inside one event
-        // (LCA) report each intermediate state; others just expose MV.
-        let intermediates = self.warehouse.drain_intermediate_states();
-        if intermediates.is_empty() {
-            self.warehouse_view_states
-                .push(self.warehouse.materialized().clone());
-        } else {
-            self.warehouse_view_states.extend(intermediates);
-        }
         for q in outbound {
-            let msg = Message::QueryRequest {
+            self.wh_end.send(&Message::QueryRequest {
                 id: q.id,
                 query: WireQuery::from_query(&q.query),
-            };
-            self.meter
-                .record(Direction::WarehouseToSource, msg.encoded_len() as u64);
-            self.w2s.push_back(msg);
+            })?;
         }
         Ok(())
-    }
-
-    fn send_s2w(&mut self, msg: Message) {
-        self.meter
-            .record(Direction::SourceToWarehouse, msg.encoded_len() as u64);
-        self.s2w.push_back(msg);
     }
 
     fn into_report(self) -> RunReport {
         let final_source_view = self.source_view_states.last().cloned().unwrap_or_default();
         RunReport {
-            algorithm: self.warehouse.algorithm(),
+            algorithm: self.warehouse.maintainer(self.view_id).algorithm(),
             source_view_states: self.source_view_states,
-            warehouse_view_states: self.warehouse_view_states,
-            final_mv: self.warehouse.materialized().clone(),
+            warehouse_view_states: self.warehouse.view_states(self.view_id).to_vec(),
+            final_mv: self.warehouse.materialized(self.view_id).clone(),
             final_source_view,
             quiescent: self.warehouse.is_quiescent(),
             query_messages: self.meter.messages_w2s(),
@@ -511,5 +546,37 @@ mod tests {
             .unwrap();
         assert_eq!(report.notification_messages, 0);
         assert!(report.converged());
+    }
+
+    /// LCA buffers per-update deltas and can close several of them on one
+    /// answer; the scheduler must consume the buffered intermediate
+    /// states after *every* event, or the consistency checker would see a
+    /// history with holes.
+    #[test]
+    fn lca_intermediate_states_survive_random_scheduling() {
+        for seed in 0..25 {
+            let report = make_sim(AlgorithmKind::Lca, example2_script())
+                .run(Policy::Random { seed })
+                .unwrap();
+            assert!(report.converged(), "seed {seed}");
+            // Each of the two effective updates contributes its own delta
+            // state; with intermediates consumed, the deduped warehouse
+            // history must walk through every source state in order —
+            // LCA's complete-consistency guarantee, which fails if any
+            // intermediate state is dropped.
+            let mut src_iter = report.source_view_states.iter();
+            for wh_state in &report.warehouse_view_states {
+                if src_iter.clone().next() == Some(wh_state) {
+                    continue;
+                }
+                src_iter.next();
+            }
+            for src_state in &report.source_view_states {
+                assert!(
+                    report.warehouse_view_states.contains(src_state),
+                    "seed {seed}: source state missing from warehouse history"
+                );
+            }
+        }
     }
 }

@@ -1,0 +1,580 @@
+//! One warehouse over many autonomous sources (paper §1 Figure 1.1).
+//!
+//! [`MultiSimulation`] generalizes [`Simulation`](crate::Simulation):
+//! each registered source owns its script, its own in-memory channel
+//! pair and its own [`TransferMeter`]; a single
+//! [`eca_warehouse::Warehouse`] hosts every view and routes events per
+//! source channel. The §3 FIFO assumption holds *per channel* — the
+//! interleaving **across** channels is exactly what a [`Policy`]
+//! schedules, so random runs exercise the paper's multi-source setting
+//! where each view is maintained independently (§7).
+
+use std::collections::VecDeque;
+
+use eca_core::maintainer::ViewMaintainer;
+use eca_core::ViewDef;
+use eca_relational::{SignedBag, Update};
+use eca_source::Source;
+use eca_warehouse::{SourceId, ViewId, Warehouse};
+use eca_wire::{InMemoryFifo, Message, TransferMeter, Transport, WireQuery};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Policy, SimError, TraceEvent};
+
+/// Handle to a source site registered with a [`MultiSimulation`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SiteId(pub usize);
+
+struct Site {
+    name: String,
+    source_id: SourceId,
+    source: Source,
+    script: VecDeque<Update>,
+    src_end: InMemoryFifo,
+    wh_end: InMemoryFifo,
+    meter: TransferMeter,
+    notifications_sent: u64,
+}
+
+struct ViewInfo {
+    site: usize,
+    view: ViewDef,
+    /// `V[ss_0..ss_p]` of the owning site, one entry per effective
+    /// update there.
+    source_states: Vec<SignedBag>,
+}
+
+/// Per-view outcome of a multi-source run, in the shape
+/// `eca_consistency::check` consumes.
+#[derive(Clone, Debug)]
+pub struct ViewRunReport {
+    /// The view's name.
+    pub view_name: String,
+    /// The site the view is maintained over.
+    pub site: SiteId,
+    /// The maintaining algorithm's label.
+    pub algorithm: &'static str,
+    /// The view evaluated at its source after the initial state and each
+    /// effective update there.
+    pub source_view_states: Vec<SignedBag>,
+    /// `MV` after the initial state and each warehouse event that
+    /// reached this view.
+    pub warehouse_view_states: Vec<SignedBag>,
+    /// The final materialized view.
+    pub final_mv: SignedBag,
+    /// The final source-side view state.
+    pub final_source_view: SignedBag,
+}
+
+impl ViewRunReport {
+    /// Convergence (§3.1): final `MV` equals the view over the final
+    /// source state.
+    pub fn converged(&self) -> bool {
+        self.final_mv == self.final_source_view
+    }
+}
+
+/// Per-site message/byte meters of a multi-source run.
+#[derive(Clone, Debug)]
+pub struct SiteReport {
+    /// The site's registered name.
+    pub name: String,
+    /// Query messages warehouse → this site.
+    pub query_messages: u64,
+    /// Answer messages this site → warehouse.
+    pub answer_messages: u64,
+    /// Update notifications this site → warehouse.
+    pub notification_messages: u64,
+    /// Answer payload bytes from this site (the paper's `B`).
+    pub answer_bytes: u64,
+    /// Answer payload tuple occurrences from this site.
+    pub answer_tuples: u64,
+    /// Total bytes this site → warehouse.
+    pub bytes_s2w: u64,
+    /// Total bytes warehouse → this site.
+    pub bytes_w2s: u64,
+}
+
+/// Everything observed during one multi-source run.
+#[derive(Clone, Debug)]
+pub struct MultiRunReport {
+    /// One report per hosted view, in registration order.
+    pub views: Vec<ViewRunReport>,
+    /// One report per site, in registration order.
+    pub sites: Vec<SiteReport>,
+    /// Whether the warehouse ended with no outstanding work.
+    pub quiescent: bool,
+    /// The interleaved event trace, each event tagged with its site.
+    pub trace: Vec<(SiteId, TraceEvent)>,
+}
+
+impl MultiRunReport {
+    /// Whether every view converged.
+    pub fn converged(&self) -> bool {
+        self.views.iter().all(ViewRunReport::converged)
+    }
+}
+
+/// One warehouse runtime scheduled over several autonomous sources.
+///
+/// ```
+/// use eca_core::{algorithms::AlgorithmKind, ViewDef};
+/// use eca_relational::{Predicate, Schema, Tuple, Update};
+/// use eca_sim::{MultiSimulation, Policy};
+/// use eca_source::Source;
+/// use eca_storage::Scenario;
+///
+/// let view = ViewDef::new(
+///     "V",
+///     vec![Schema::new("r1", &["W", "X"]), Schema::new("r2", &["X", "Y"])],
+///     Predicate::col_eq(1, 2),
+///     vec![0],
+/// )?;
+/// let mut source = Source::new(Scenario::Indexed);
+/// source.add_relation(Schema::new("r1", &["W", "X"]), 20, None, &[])?;
+/// source.add_relation(Schema::new("r2", &["X", "Y"]), 20, None, &[])?;
+/// source.load("r1", [Tuple::ints([1, 2])])?;
+/// let initial = view.eval(&source.snapshot())?;
+/// let maintainer = AlgorithmKind::Eca.instantiate(&view, initial)?;
+///
+/// let mut sim = MultiSimulation::new();
+/// let site = sim.add_source("s1", source, vec![
+///     Update::insert("r2", Tuple::ints([2, 3])),
+/// ]);
+/// sim.add_view(site, maintainer)?;
+/// let report = sim.run(Policy::Random { seed: 7 })?;
+/// assert!(report.converged());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct MultiSimulation {
+    warehouse: Warehouse,
+    sites: Vec<Site>,
+    views: Vec<ViewInfo>,
+    trace: Vec<(SiteId, TraceEvent)>,
+}
+
+impl Default for MultiSimulation {
+    fn default() -> Self {
+        MultiSimulation::new()
+    }
+}
+
+impl MultiSimulation {
+    /// An empty system: no sources, no views.
+    pub fn new() -> Self {
+        MultiSimulation {
+            warehouse: Warehouse::new(),
+            sites: Vec::new(),
+            views: Vec::new(),
+            trace: Vec::new(),
+        }
+    }
+
+    /// Register an autonomous source with its update script. Each site
+    /// gets a dedicated FIFO channel pair and meter.
+    pub fn add_source(
+        &mut self,
+        name: impl Into<String>,
+        source: Source,
+        script: Vec<Update>,
+    ) -> SiteId {
+        let name = name.into();
+        let source_id = self.warehouse.add_source(name.clone());
+        let meter = TransferMeter::new();
+        let (src_end, wh_end) = InMemoryFifo::pair(meter.clone());
+        self.sites.push(Site {
+            name,
+            source_id,
+            source,
+            script: script.into(),
+            src_end,
+            wh_end,
+            meter,
+            notifications_sent: 0,
+        });
+        SiteId(self.sites.len() - 1)
+    }
+
+    /// Host a view over `site`. The maintainer's initial `MV` must equal
+    /// the view evaluated on the site's current state.
+    ///
+    /// # Errors
+    /// Propagates view-evaluation failures on the initial snapshot.
+    pub fn add_view(
+        &mut self,
+        site: SiteId,
+        maintainer: Box<dyn ViewMaintainer>,
+    ) -> Result<ViewId, SimError> {
+        let view = maintainer.view().clone();
+        let initial = view.eval(&self.sites[site.0].source.snapshot())?;
+        let id = self
+            .warehouse
+            .add_view(self.sites[site.0].source_id, maintainer)?;
+        self.views.push(ViewInfo {
+            site: site.0,
+            view,
+            source_states: vec![initial],
+        });
+        Ok(id)
+    }
+
+    /// Run to quiescence under `policy` and report.
+    ///
+    /// # Errors
+    /// Propagates warehouse, source, transport and codec errors.
+    pub fn run(mut self, policy: Policy) -> Result<MultiRunReport, SimError> {
+        match policy {
+            Policy::Serial => {
+                // Round-robin over sites; each update settles everywhere
+                // before the next fires.
+                while self.sites.iter().any(|s| !s.script.is_empty()) {
+                    for i in 0..self.sites.len() {
+                        if !self.sites[i].script.is_empty() {
+                            self.step_source_update(i)?;
+                            self.drain_all()?;
+                        }
+                    }
+                }
+            }
+            Policy::AllUpdatesFirst => {
+                for i in 0..self.sites.len() {
+                    while !self.sites[i].script.is_empty() {
+                        self.step_source_update(i)?;
+                    }
+                }
+                for i in 0..self.sites.len() {
+                    while self.sites[i].wh_end.has_inbound() {
+                        self.step_warehouse_deliver(i)?;
+                    }
+                }
+                self.drain_all()?;
+            }
+            Policy::Random { seed } => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                loop {
+                    let mut enabled: Vec<(usize, u8)> = Vec::new();
+                    for i in 0..self.sites.len() {
+                        if !self.sites[i].script.is_empty() {
+                            enabled.push((i, 0));
+                        }
+                        if self.sites[i].src_end.has_inbound() {
+                            enabled.push((i, 1));
+                        }
+                        if self.sites[i].wh_end.has_inbound() {
+                            enabled.push((i, 2));
+                        }
+                    }
+                    if enabled.is_empty() {
+                        break;
+                    }
+                    let (site, ev) = enabled[rng.gen_range(0..enabled.len())];
+                    match ev {
+                        0 => self.step_source_update(site)?,
+                        1 => self.step_source_answer(site)?,
+                        _ => self.step_warehouse_deliver(site)?,
+                    }
+                }
+            }
+        }
+        Ok(self.into_report())
+    }
+
+    fn drain_all(&mut self) -> Result<(), SimError> {
+        loop {
+            let mut progressed = false;
+            for i in 0..self.sites.len() {
+                while self.sites[i].wh_end.has_inbound() {
+                    self.step_warehouse_deliver(i)?;
+                    progressed = true;
+                }
+                while self.sites[i].src_end.has_inbound() {
+                    self.step_source_answer(i)?;
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                return Ok(());
+            }
+        }
+    }
+
+    /// `S_up` at site `i`.
+    fn step_source_update(&mut self, i: usize) -> Result<(), SimError> {
+        let Some(update) = self.sites[i].script.pop_front() else {
+            return Err(SimError::Protocol("S_up fired with an empty script"));
+        };
+        let effective = self.sites[i].source.execute_update(&update);
+        self.trace.push((
+            SiteId(i),
+            TraceEvent::SourceUpdate {
+                update: update.clone(),
+                effective,
+            },
+        ));
+        if effective {
+            let snapshot = self.sites[i].source.snapshot();
+            for info in self.views.iter_mut().filter(|v| v.site == i) {
+                info.source_states.push(info.view.eval(&snapshot)?);
+            }
+            self.sites[i]
+                .src_end
+                .send(&Message::UpdateNotification { update })?;
+            self.sites[i].notifications_sent += 1;
+        }
+        Ok(())
+    }
+
+    /// `S_qu` at site `i`.
+    fn step_source_answer(&mut self, i: usize) -> Result<(), SimError> {
+        let site = &mut self.sites[i];
+        let Some(Message::QueryRequest { id, query }) = site.src_end.try_recv()? else {
+            return Err(SimError::Protocol(
+                "S_qu fired without a QueryRequest pending",
+            ));
+        };
+        let answer = site.source.answer(&query)?;
+        self.trace.push((
+            SiteId(i),
+            TraceEvent::SourceAnswer {
+                id,
+                tuples: answer.pos_len() + answer.neg_len(),
+            },
+        ));
+        site.meter.record_answer_payload(
+            answer.encoded_len() as u64,
+            answer.pos_len() + answer.neg_len(),
+        );
+        site.src_end.send(&Message::QueryAnswer { id, answer })?;
+        Ok(())
+    }
+
+    /// `W_up`/`W_ans` for site `i`'s channel.
+    fn step_warehouse_deliver(&mut self, i: usize) -> Result<(), SimError> {
+        let source_id = self.sites[i].source_id;
+        let Some(msg) = self.sites[i].wh_end.try_recv()? else {
+            return Err(SimError::Protocol(
+                "warehouse delivery fired with an empty channel",
+            ));
+        };
+        let outbound = match msg {
+            Message::UpdateNotification { update } => {
+                let queries = self.warehouse.on_update(source_id, &update)?;
+                self.trace.push((
+                    SiteId(i),
+                    TraceEvent::WarehouseUpdate {
+                        update,
+                        queries_sent: queries.iter().map(|q| q.id).collect(),
+                    },
+                ));
+                queries
+            }
+            Message::QueryAnswer { id, answer } => {
+                let queries = self.warehouse.on_answer(source_id, id, answer)?;
+                self.trace
+                    .push((SiteId(i), TraceEvent::WarehouseAnswer { id }));
+                queries
+            }
+            Message::QueryRequest { .. } => {
+                return Err(SimError::Protocol("s2w never carries QueryRequest"));
+            }
+        };
+        for q in outbound {
+            self.sites[i].wh_end.send(&Message::QueryRequest {
+                id: q.id,
+                query: WireQuery::from_query(&q.query),
+            })?;
+        }
+        Ok(())
+    }
+
+    fn into_report(self) -> MultiRunReport {
+        let quiescent = self.warehouse.is_quiescent();
+        let views = self
+            .views
+            .iter()
+            .enumerate()
+            .map(|(idx, info)| {
+                let id = ViewId(idx);
+                ViewRunReport {
+                    view_name: info.view.name().to_string(),
+                    site: SiteId(info.site),
+                    algorithm: self.warehouse.maintainer(id).algorithm(),
+                    source_view_states: info.source_states.clone(),
+                    warehouse_view_states: self.warehouse.view_states(id).to_vec(),
+                    final_mv: self.warehouse.materialized(id).clone(),
+                    final_source_view: info.source_states.last().cloned().unwrap_or_default(),
+                }
+            })
+            .collect();
+        let sites = self
+            .sites
+            .iter()
+            .map(|s| SiteReport {
+                name: s.name.clone(),
+                query_messages: s.meter.messages_w2s(),
+                answer_messages: s.meter.messages_s2w() - s.notifications_sent,
+                notification_messages: s.notifications_sent,
+                answer_bytes: s.meter.answer_bytes(),
+                answer_tuples: s.meter.answer_tuples(),
+                bytes_s2w: s.meter.bytes_s2w(),
+                bytes_w2s: s.meter.bytes_w2s(),
+            })
+            .collect();
+        MultiRunReport {
+            views,
+            sites,
+            quiescent,
+            trace: self.trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eca_core::algorithms::AlgorithmKind;
+    use eca_relational::{Predicate, Schema, Tuple};
+    use eca_storage::Scenario;
+
+    fn site_a() -> (Source, ViewDef, Vec<Update>) {
+        let view = ViewDef::new(
+            "V1",
+            vec![
+                Schema::new("r1", &["W", "X"]),
+                Schema::new("r2", &["X", "Y"]),
+            ],
+            Predicate::col_eq(1, 2),
+            vec![0],
+        )
+        .unwrap();
+        let mut source = Source::new(Scenario::Indexed);
+        source
+            .add_relation(Schema::new("r1", &["W", "X"]), 20, Some("X"), &[])
+            .unwrap();
+        source
+            .add_relation(Schema::new("r2", &["X", "Y"]), 20, Some("X"), &[])
+            .unwrap();
+        source.load("r1", [Tuple::ints([1, 2])]).unwrap();
+        let script = vec![
+            Update::insert("r2", Tuple::ints([2, 3])),
+            Update::insert("r1", Tuple::ints([4, 2])),
+        ];
+        (source, view, script)
+    }
+
+    fn site_b() -> (Source, ViewDef, Vec<Update>) {
+        let view = ViewDef::new(
+            "V2",
+            vec![
+                Schema::new("r3", &["A", "B"]),
+                Schema::new("r4", &["B", "C"]),
+            ],
+            Predicate::col_eq(1, 2),
+            vec![1],
+        )
+        .unwrap();
+        let mut source = Source::new(Scenario::Indexed);
+        source
+            .add_relation(Schema::new("r3", &["A", "B"]), 20, Some("B"), &[])
+            .unwrap();
+        source
+            .add_relation(Schema::new("r4", &["B", "C"]), 20, Some("B"), &[])
+            .unwrap();
+        source.load("r4", [Tuple::ints([5, 6])]).unwrap();
+        let script = vec![
+            Update::insert("r3", Tuple::ints([9, 5])),
+            Update::delete("r4", Tuple::ints([5, 6])),
+        ];
+        (source, view, script)
+    }
+
+    fn build(kind: AlgorithmKind) -> MultiSimulation {
+        let mut sim = MultiSimulation::new();
+        for (name, (source, view, script)) in [("a", site_a()), ("b", site_b())] {
+            let snapshot = source.snapshot();
+            let initial = view.eval(&snapshot).unwrap();
+            let maintainer = kind
+                .instantiate_with_base(&view, initial, Some(snapshot))
+                .unwrap();
+            let site = sim.add_source(name, source, script);
+            sim.add_view(site, maintainer).unwrap();
+        }
+        sim
+    }
+
+    #[test]
+    fn two_sources_two_views_converge_under_every_policy() {
+        for policy in [
+            Policy::Serial,
+            Policy::AllUpdatesFirst,
+            Policy::Random { seed: 11 },
+        ] {
+            let report = build(AlgorithmKind::Eca).run(policy).unwrap();
+            assert!(report.quiescent, "{policy:?}");
+            assert!(report.converged(), "{policy:?}");
+            assert_eq!(report.views.len(), 2);
+            assert_eq!(report.sites.len(), 2);
+        }
+    }
+
+    #[test]
+    fn each_view_is_strongly_consistent_under_random_interleavings() {
+        for seed in 0..15 {
+            let report = build(AlgorithmKind::Eca)
+                .run(Policy::Random { seed })
+                .unwrap();
+            for v in &report.views {
+                let c = eca_consistency::check(&v.source_view_states, &v.warehouse_view_states);
+                assert!(
+                    c.level() >= eca_consistency::Level::StronglyConsistent,
+                    "seed {seed}, view {}: {:?}",
+                    v.view_name,
+                    c.level()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn per_site_meters_are_independent() {
+        let report = build(AlgorithmKind::Eca)
+            .run(Policy::AllUpdatesFirst)
+            .unwrap();
+        for site in &report.sites {
+            // Each site saw its own 2 updates: 2 queries + 2 answers.
+            assert_eq!(site.notification_messages, 2, "{}", site.name);
+            assert_eq!(site.query_messages, 2, "{}", site.name);
+            assert_eq!(site.answer_messages, 2, "{}", site.name);
+            assert!(site.answer_bytes > 0);
+        }
+    }
+
+    #[test]
+    fn cross_channel_ids_may_collide_but_route_correctly() {
+        // Both sessions start their global id space at 1; the same
+        // numeric id on different channels must reach different views.
+        let report = build(AlgorithmKind::Eca)
+            .run(Policy::Random { seed: 3 })
+            .unwrap();
+        let ids_a: Vec<_> = report
+            .trace
+            .iter()
+            .filter_map(|(s, e)| match e {
+                TraceEvent::WarehouseAnswer { id } if *s == SiteId(0) => Some(*id),
+                _ => None,
+            })
+            .collect();
+        let ids_b: Vec<_> = report
+            .trace
+            .iter()
+            .filter_map(|(s, e)| match e {
+                TraceEvent::WarehouseAnswer { id } if *s == SiteId(1) => Some(*id),
+                _ => None,
+            })
+            .collect();
+        assert!(!ids_a.is_empty() && !ids_b.is_empty());
+        assert!(ids_a.iter().any(|id| ids_b.contains(id)));
+        assert!(report.converged());
+    }
+}

@@ -19,7 +19,7 @@
 use eca_core::basedb::BaseDb;
 use eca_relational::{Schema, SignedBag, Update};
 use eca_storage::{IoMeter, Scenario, StorageEngine, StorageError};
-use eca_wire::WireQuery;
+use eca_wire::{Message, Transport, TransportError, WireQuery};
 
 /// Errors raised by the source.
 #[derive(Debug)]
@@ -30,6 +30,11 @@ pub enum SourceError {
     Storage(StorageError),
     /// The wire query could not be rebuilt into an evaluatable form.
     BadQuery(eca_core::CoreError),
+    /// The transport to the warehouse failed.
+    Transport(TransportError),
+    /// The warehouse sent a message kind that never travels toward a
+    /// source (anything but a query).
+    Protocol(&'static str),
 }
 
 impl std::fmt::Display for SourceError {
@@ -38,6 +43,8 @@ impl std::fmt::Display for SourceError {
             SourceError::UnknownRelation(r) => write!(f, "unknown relation {r:?}"),
             SourceError::Storage(e) => write!(f, "storage error: {e}"),
             SourceError::BadQuery(e) => write!(f, "bad query: {e}"),
+            SourceError::Transport(e) => write!(f, "transport error: {e}"),
+            SourceError::Protocol(what) => write!(f, "protocol violation: {what}"),
         }
     }
 }
@@ -48,6 +55,23 @@ impl From<StorageError> for SourceError {
     fn from(e: StorageError) -> Self {
         SourceError::Storage(e)
     }
+}
+
+impl From<TransportError> for SourceError {
+    fn from(e: TransportError) -> Self {
+        SourceError::Transport(e)
+    }
+}
+
+/// What happened during one [`Source::serve`] session.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Updates executed from the script.
+    pub updates: u64,
+    /// Update notifications sent (effective updates only).
+    pub notifications: u64,
+    /// Queries answered before the warehouse hung up.
+    pub answers: u64,
 }
 
 /// The source site: a schema catalog over a metered storage engine.
@@ -186,6 +210,54 @@ impl Source {
         Ok(answer)
     }
 
+    /// Drive this source over a [`Transport`]: execute `script`, sending
+    /// an update notification for each effective update, then answer
+    /// every incoming query on the *current* state until the warehouse
+    /// hangs up.
+    ///
+    /// This is the autonomous-site event loop of the paper's Figure 1.1:
+    /// `S_up` events all precede the `S_qu` events here only in program
+    /// order — on the wire the warehouse interleaves deliveries however
+    /// its scheduler likes, and the FIFO channel is what keeps the §3
+    /// ordering assumption true. Answer payloads are charged to the
+    /// transport's meter (the paper's `B`).
+    ///
+    /// # Errors
+    /// Transport failures, undecodable queries, and
+    /// [`SourceError::Protocol`] if the warehouse sends anything but a
+    /// [`Message::QueryRequest`].
+    pub fn serve(
+        &mut self,
+        transport: &mut dyn Transport,
+        script: &[Update],
+    ) -> Result<ServeStats, SourceError> {
+        let mut stats = ServeStats::default();
+        for update in script {
+            stats.updates += 1;
+            if self.execute_update(update) {
+                transport.send(&Message::UpdateNotification {
+                    update: update.clone(),
+                })?;
+                stats.notifications += 1;
+            }
+        }
+        while let Some(msg) = transport.recv()? {
+            let Message::QueryRequest { id, query } = msg else {
+                return Err(SourceError::Protocol(
+                    "warehouse -> source carries only QueryRequest",
+                ));
+            };
+            let answer = self.answer(&query)?;
+            transport.meter().record_answer_payload(
+                answer.encoded_len() as u64,
+                answer.pos_len() + answer.neg_len(),
+            );
+            transport.send(&Message::QueryAnswer { id, answer })?;
+            stats.answers += 1;
+        }
+        Ok(stats)
+    }
+
     /// A logical snapshot of the current base relations — used by the
     /// consistency checker to record source states `ss_i`. Free of I/O
     /// charges.
@@ -291,6 +363,50 @@ mod tests {
             s.load("nope", [Tuple::ints([1])]),
             Err(SourceError::UnknownRelation(_))
         ));
+    }
+
+    #[test]
+    fn serve_notifies_and_answers_until_hangup() {
+        use eca_wire::{InMemoryFifo, TransferMeter, Transport};
+
+        let (mut src_end, mut wh_end) = InMemoryFifo::pair(TransferMeter::new());
+        let (mut s, view) = example_source(Scenario::Indexed);
+
+        // Queue a query "from the warehouse" before serving; the
+        // in-memory link never blocks, so serve() drains it and returns
+        // as if the peer hung up.
+        let q = WireQuery::from_query(&view.as_query());
+        wh_end
+            .send(&eca_wire::Message::QueryRequest {
+                id: eca_core::QueryId(1),
+                query: q,
+            })
+            .unwrap();
+
+        let script = [
+            Update::insert("r2", Tuple::ints([2, 3])),
+            Update::delete("r1", Tuple::ints([9, 9])), // ineffective
+        ];
+        let stats = s.serve(&mut src_end, &script).unwrap();
+        assert_eq!(
+            stats,
+            ServeStats {
+                updates: 2,
+                notifications: 1,
+                answers: 1
+            }
+        );
+
+        // The warehouse end sees the notification then the answer.
+        assert!(matches!(
+            wh_end.recv().unwrap(),
+            Some(eca_wire::Message::UpdateNotification { .. })
+        ));
+        assert!(matches!(
+            wh_end.recv().unwrap(),
+            Some(eca_wire::Message::QueryAnswer { .. })
+        ));
+        assert!(src_end.meter().answer_bytes() > 0);
     }
 
     #[test]

@@ -1,0 +1,567 @@
+//! The warehouse runtime (paper §1 Figure 1.1, §7).
+//!
+//! A [`Warehouse`] owns a set of [`ViewMaintainer`]s spread over any
+//! number of autonomous sources. Each source channel gets a
+//! [`Session`] with its own query-id space and pending-query FIFO; each
+//! inbound update notification is routed to every view over that source
+//! (paper §7: *"in a warehouse consisting of multiple views where each
+//! view is over data from a single source, ECA is simply applied to each
+//! view separately"*), and each answer is demultiplexed back to the
+//! owning maintainer **strictly by query id**.
+//!
+//! The runtime is transport-agnostic: [`Warehouse::on_update`] /
+//! [`Warehouse::on_answer`] react to already-delivered events (the
+//! simulator's entry points), while [`Warehouse::on_message`] +
+//! [`Warehouse::pump`] speak [`eca_wire::Message`] over any
+//! [`Transport`], e.g. the real TCP link of `examples/tcp_warehouse.rs`.
+//! Interleaving is always supplied from outside — exactly the decoupling
+//! the paper studies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod session;
+
+use eca_core::maintainer::OutboundQuery;
+use eca_core::{CoreError, QueryId, ViewMaintainer};
+use eca_relational::{SignedBag, Update};
+use eca_wire::{Message, Transport, TransportError, WireQuery};
+
+pub use session::{Route, Session};
+
+/// Handle to a registered source channel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SourceId(pub usize);
+
+/// Handle to a hosted view.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ViewId(pub usize);
+
+/// Errors raised by the warehouse runtime.
+#[derive(Debug)]
+pub enum WarehouseError {
+    /// A maintainer or routing failure (including
+    /// [`CoreError::UnknownQuery`] for unrouted answer ids).
+    Core(CoreError),
+    /// An operation referenced an unregistered source.
+    UnknownSource {
+        /// The offending handle.
+        id: usize,
+    },
+    /// A message kind arrived that never travels source → warehouse.
+    UnexpectedMessage {
+        /// The offending kind.
+        kind: &'static str,
+    },
+    /// The underlying transport failed.
+    Transport(TransportError),
+}
+
+impl std::fmt::Display for WarehouseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WarehouseError::Core(e) => write!(f, "maintenance error: {e}"),
+            WarehouseError::UnknownSource { id } => write!(f, "unknown source #{id}"),
+            WarehouseError::UnexpectedMessage { kind } => {
+                write!(f, "unexpected {kind} message from source")
+            }
+            WarehouseError::Transport(e) => write!(f, "transport error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WarehouseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WarehouseError::Core(e) => Some(e),
+            WarehouseError::Transport(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for WarehouseError {
+    fn from(e: CoreError) -> Self {
+        WarehouseError::Core(e)
+    }
+}
+
+impl From<TransportError> for WarehouseError {
+    fn from(e: TransportError) -> Self {
+        WarehouseError::Transport(e)
+    }
+}
+
+struct SourceEntry {
+    name: String,
+    session: Session,
+}
+
+struct ViewEntry {
+    source: SourceId,
+    maintainer: Box<dyn ViewMaintainer>,
+    /// `MV` after the initial state and each event that reached this
+    /// view, including every intermediate state a maintainer reports via
+    /// [`ViewMaintainer::drain_intermediate_states`] — the history the
+    /// §3.1 consistency checker needs.
+    states: Vec<SignedBag>,
+}
+
+/// A warehouse runtime hosting many views over many sources.
+#[derive(Default)]
+pub struct Warehouse {
+    sources: Vec<SourceEntry>,
+    views: Vec<ViewEntry>,
+}
+
+impl Warehouse {
+    /// An empty warehouse.
+    pub fn new() -> Self {
+        Warehouse::default()
+    }
+
+    /// Register a source channel.
+    pub fn add_source(&mut self, name: impl Into<String>) -> SourceId {
+        self.sources.push(SourceEntry {
+            name: name.into(),
+            session: Session::new(),
+        });
+        SourceId(self.sources.len() - 1)
+    }
+
+    /// Host a view maintained over `source`'s base relations.
+    ///
+    /// # Errors
+    /// [`WarehouseError::UnknownSource`] for an unregistered handle.
+    pub fn add_view(
+        &mut self,
+        source: SourceId,
+        maintainer: Box<dyn ViewMaintainer>,
+    ) -> Result<ViewId, WarehouseError> {
+        if source.0 >= self.sources.len() {
+            return Err(WarehouseError::UnknownSource { id: source.0 });
+        }
+        let initial = maintainer.materialized().clone();
+        self.views.push(ViewEntry {
+            source,
+            maintainer,
+            states: vec![initial],
+        });
+        Ok(ViewId(self.views.len() - 1))
+    }
+
+    /// Number of registered sources.
+    pub fn source_count(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Number of hosted views.
+    pub fn view_count(&self) -> usize {
+        self.views.len()
+    }
+
+    /// The name a source was registered under.
+    pub fn source_name(&self, source: SourceId) -> &str {
+        &self.sources[source.0].name
+    }
+
+    /// The session state of a source channel.
+    pub fn session(&self, source: SourceId) -> &Session {
+        &self.sources[source.0].session
+    }
+
+    /// The maintainer behind a view handle.
+    pub fn maintainer(&self, view: ViewId) -> &dyn ViewMaintainer {
+        self.views[view.0].maintainer.as_ref()
+    }
+
+    /// The current materialized state of a view.
+    pub fn materialized(&self, view: ViewId) -> &SignedBag {
+        self.views[view.0].maintainer.materialized()
+    }
+
+    /// Every `MV` state a view passed through, starting with its initial
+    /// state — the warehouse half of the §3.1 consistency check.
+    pub fn view_states(&self, view: ViewId) -> &[SignedBag] {
+        &self.views[view.0].states
+    }
+
+    /// Handles of the views maintained over `source`.
+    pub fn views_over(&self, source: SourceId) -> Vec<ViewId> {
+        self.views
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.source == source)
+            .map(|(i, _)| ViewId(i))
+            .collect()
+    }
+
+    /// Whether every view is quiescent and no query is outstanding.
+    pub fn is_quiescent(&self) -> bool {
+        self.sources.iter().all(|s| s.session.pending() == 0)
+            && self.views.iter().all(|v| v.maintainer.is_quiescent())
+    }
+
+    /// Record the state(s) view `idx` reached during the event just
+    /// processed.
+    fn record_states(&mut self, idx: usize) {
+        let entry = &mut self.views[idx];
+        let intermediates = entry.maintainer.drain_intermediate_states();
+        if intermediates.is_empty() {
+            entry.states.push(entry.maintainer.materialized().clone());
+        } else {
+            entry.states.extend(intermediates);
+        }
+    }
+
+    /// Remap maintainer-local outbound queries into `source`'s global id
+    /// space.
+    fn register_outbound(
+        &mut self,
+        source: SourceId,
+        view_idx: usize,
+        emitted: Vec<OutboundQuery>,
+    ) -> Vec<OutboundQuery> {
+        emitted
+            .into_iter()
+            .map(|q| OutboundQuery {
+                id: self.sources[source.0].session.register(view_idx, q.id),
+                query: q.query,
+            })
+            .collect()
+    }
+
+    /// A `W_up` event: route an update notification from `source` to
+    /// every view over it. Returned queries carry session-global ids.
+    ///
+    /// # Errors
+    /// [`WarehouseError::UnknownSource`]; maintainer failures.
+    pub fn on_update(
+        &mut self,
+        source: SourceId,
+        update: &Update,
+    ) -> Result<Vec<OutboundQuery>, WarehouseError> {
+        if source.0 >= self.sources.len() {
+            return Err(WarehouseError::UnknownSource { id: source.0 });
+        }
+        let mut out = Vec::new();
+        for idx in 0..self.views.len() {
+            if self.views[idx].source != source {
+                continue;
+            }
+            let emitted = self.views[idx].maintainer.on_update(update)?;
+            self.record_states(idx);
+            out.extend(self.register_outbound(source, idx, emitted));
+        }
+        Ok(out)
+    }
+
+    /// A `W_ans` event: deliver an answer from `source` to the view that
+    /// issued the query. Demux is strictly by id — an unknown id yields
+    /// [`CoreError::UnknownQuery`] without touching any maintainer.
+    ///
+    /// # Errors
+    /// [`WarehouseError::UnknownSource`]; `UnknownQuery` for unrouted
+    /// ids; maintainer failures.
+    pub fn on_answer(
+        &mut self,
+        source: SourceId,
+        id: QueryId,
+        answer: SignedBag,
+    ) -> Result<Vec<OutboundQuery>, WarehouseError> {
+        if source.0 >= self.sources.len() {
+            return Err(WarehouseError::UnknownSource { id: source.0 });
+        }
+        let route = self.sources[source.0].session.take(id)?;
+        let emitted = self.views[route.view]
+            .maintainer
+            .on_answer(route.local, answer)?;
+        self.record_states(route.view);
+        Ok(self.register_outbound(source, route.view, emitted))
+    }
+
+    /// Process one decoded inbound message from `source`, returning the
+    /// encoded-ready query messages to send back.
+    ///
+    /// # Errors
+    /// [`WarehouseError::UnexpectedMessage`] for [`Message::QueryRequest`]
+    /// (queries never travel source → warehouse); routing and maintainer
+    /// failures as in [`Warehouse::on_update`]/[`Warehouse::on_answer`].
+    pub fn on_message(
+        &mut self,
+        source: SourceId,
+        msg: Message,
+    ) -> Result<Vec<Message>, WarehouseError> {
+        let outbound = match msg {
+            Message::UpdateNotification { update } => self.on_update(source, &update)?,
+            Message::QueryAnswer { id, answer } => self.on_answer(source, id, answer)?,
+            Message::QueryRequest { .. } => {
+                return Err(WarehouseError::UnexpectedMessage {
+                    kind: "QueryRequest",
+                })
+            }
+        };
+        Ok(outbound
+            .into_iter()
+            .map(|q| Message::QueryRequest {
+                id: q.id,
+                query: WireQuery::from_query(&q.query),
+            })
+            .collect())
+    }
+
+    /// Drain and process every message currently available on `source`'s
+    /// transport, sending emitted queries back. Answer payloads are
+    /// charged to the transport's meter (the paper's `B`). Returns the
+    /// number of messages processed.
+    ///
+    /// # Errors
+    /// Transport, routing and maintainer failures.
+    pub fn pump(
+        &mut self,
+        source: SourceId,
+        transport: &mut dyn Transport,
+    ) -> Result<usize, WarehouseError> {
+        let mut processed = 0;
+        while let Some(msg) = transport.try_recv()? {
+            if let Message::QueryAnswer { answer, .. } = &msg {
+                transport.meter().record_answer_payload(
+                    answer.encoded_len() as u64,
+                    answer.pos_len() + answer.neg_len(),
+                );
+            }
+            for reply in self.on_message(source, msg)? {
+                transport.send(&reply)?;
+            }
+            processed += 1;
+        }
+        Ok(processed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eca_core::algorithms::AlgorithmKind;
+    use eca_core::{BaseDb, ViewDef};
+    use eca_relational::{Predicate, Schema, Tuple};
+
+    /// Two views sharing r2: V1 = π_W(r1 ⋈ r2), V2 = π_Y(r2 ⋈ r3).
+    fn two_views() -> (ViewDef, ViewDef) {
+        let v1 = ViewDef::new(
+            "V1",
+            vec![
+                Schema::new("r1", &["W", "X"]),
+                Schema::new("r2", &["X", "Y"]),
+            ],
+            Predicate::col_eq(1, 2),
+            vec![0],
+        )
+        .unwrap();
+        let v2 = ViewDef::new(
+            "V2",
+            vec![
+                Schema::new("r2", &["X", "Y"]),
+                Schema::new("r3", &["Y", "Z"]),
+            ],
+            Predicate::col_eq(1, 2),
+            vec![1],
+        )
+        .unwrap();
+        (v1, v2)
+    }
+
+    fn shared_db(v1: &ViewDef, v2: &ViewDef) -> BaseDb {
+        let mut db = BaseDb::new();
+        for v in [v1, v2] {
+            for s in v.base() {
+                db.register(s.relation());
+            }
+        }
+        db.insert("r1", Tuple::ints([1, 2]));
+        db.insert("r2", Tuple::ints([2, 7]));
+        db.insert("r3", Tuple::ints([7, 9]));
+        db
+    }
+
+    fn hub_over_one_source() -> (
+        Warehouse,
+        SourceId,
+        ViewId,
+        ViewId,
+        ViewDef,
+        ViewDef,
+        BaseDb,
+    ) {
+        let (v1, v2) = two_views();
+        let db = shared_db(&v1, &v2);
+        let mut wh = Warehouse::new();
+        let src = wh.add_source("src");
+        let i1 = wh
+            .add_view(
+                src,
+                AlgorithmKind::Eca
+                    .instantiate(&v1, v1.eval(&db).unwrap())
+                    .unwrap(),
+            )
+            .unwrap();
+        let i2 = wh
+            .add_view(
+                src,
+                AlgorithmKind::Eca
+                    .instantiate(&v2, v2.eval(&db).unwrap())
+                    .unwrap(),
+            )
+            .unwrap();
+        (wh, src, i1, i2, v1, v2, db)
+    }
+
+    /// The MultiView fan-out scenario, now through the runtime: updates
+    /// land adversarially (queries all answered on the final state).
+    #[test]
+    fn shared_relation_updates_fan_out() {
+        let (mut wh, src, i1, i2, v1, v2, mut db) = hub_over_one_source();
+        let updates = [
+            Update::insert("r2", Tuple::ints([2, 8])), // involves both views
+            Update::insert("r1", Tuple::ints([4, 2])), // only V1
+            Update::insert("r3", Tuple::ints([8, 5])), // only V2
+        ];
+        let mut queries = Vec::new();
+        for u in &updates {
+            db.apply(u);
+            queries.extend(wh.on_update(src, u).unwrap());
+        }
+        // r2 update fans out to both views; the others hit one each.
+        assert_eq!(queries.len(), 4);
+
+        for q in &queries {
+            wh.on_answer(src, q.id, q.query.eval(&db).unwrap()).unwrap();
+        }
+        assert!(wh.is_quiescent());
+        assert_eq!(*wh.materialized(i1), v1.eval(&db).unwrap());
+        assert_eq!(*wh.materialized(i2), v2.eval(&db).unwrap());
+    }
+
+    #[test]
+    fn global_ids_do_not_collide_across_views() {
+        let (mut wh, src, ..) = hub_over_one_source();
+        // Both maintainers locally use Q1 for their first query; the
+        // session must hand out distinct global ids.
+        let qs = wh
+            .on_update(src, &Update::insert("r2", Tuple::ints([2, 3])))
+            .unwrap();
+        assert_eq!(qs.len(), 2);
+        assert_ne!(qs[0].id, qs[1].id);
+        assert_eq!(wh.session(src).pending(), 2);
+        assert_eq!(wh.session(src).oldest_pending(), Some(qs[0].id));
+    }
+
+    #[test]
+    fn unknown_answer_id_is_rejected_without_corrupting_uqs() {
+        let (mut wh, src, i1, _, v1, _, mut db) = hub_over_one_source();
+        let u = Update::insert("r2", Tuple::ints([2, 8]));
+        db.apply(&u);
+        let queries = wh.on_update(src, &u).unwrap();
+        let pending_before = wh.session(src).pending();
+
+        // A stray answer under an id that was never issued.
+        let stray = QueryId(0xDEAD);
+        assert!(matches!(
+            wh.on_answer(src, stray, SignedBag::from_tuples([Tuple::ints([9])])),
+            Err(WarehouseError::Core(CoreError::UnknownQuery { .. }))
+        ));
+        // Nothing was consumed or applied: the real answers still land
+        // and the view still converges.
+        assert_eq!(wh.session(src).pending(), pending_before);
+        for q in &queries {
+            wh.on_answer(src, q.id, q.query.eval(&db).unwrap()).unwrap();
+        }
+        assert!(wh.is_quiescent());
+        assert_eq!(*wh.materialized(i1), v1.eval(&db).unwrap());
+    }
+
+    #[test]
+    fn views_route_only_to_their_source() {
+        let (v1, v2) = two_views();
+        let db = shared_db(&v1, &v2);
+        let mut wh = Warehouse::new();
+        let sa = wh.add_source("a");
+        let sb = wh.add_source("b");
+        let ia = wh
+            .add_view(
+                sa,
+                AlgorithmKind::Eca
+                    .instantiate(&v1, v1.eval(&db).unwrap())
+                    .unwrap(),
+            )
+            .unwrap();
+        let ib = wh
+            .add_view(
+                sb,
+                AlgorithmKind::Eca
+                    .instantiate(&v2, v2.eval(&db).unwrap())
+                    .unwrap(),
+            )
+            .unwrap();
+        assert_eq!(wh.views_over(sa), vec![ia]);
+        assert_eq!(wh.views_over(sb), vec![ib]);
+
+        // An r2 update arriving on channel `a` must not reach V2, even
+        // though V2 also mentions r2 (it mirrors a *different* site).
+        let qs = wh
+            .on_update(sa, &Update::insert("r2", Tuple::ints([2, 3])))
+            .unwrap();
+        assert_eq!(qs.len(), 1);
+        assert_eq!(wh.session(sb).pending(), 0);
+    }
+
+    #[test]
+    fn unknown_source_rejected() {
+        let mut wh = Warehouse::new();
+        assert!(matches!(
+            wh.on_update(SourceId(3), &Update::insert("r", Tuple::ints([1]))),
+            Err(WarehouseError::UnknownSource { id: 3 })
+        ));
+        let (v1, _) = two_views();
+        let db = shared_db(&v1, &two_views().1);
+        assert!(matches!(
+            wh.add_view(
+                SourceId(0),
+                AlgorithmKind::Eca
+                    .instantiate(&v1, v1.eval(&db).unwrap())
+                    .unwrap()
+            ),
+            Err(WarehouseError::UnknownSource { .. })
+        ));
+    }
+
+    #[test]
+    fn query_request_from_source_is_a_protocol_error() {
+        let (mut wh, src, ..) = hub_over_one_source();
+        let (v1, _) = two_views();
+        let msg = Message::QueryRequest {
+            id: QueryId(1),
+            query: WireQuery::from_query(&v1.as_query()),
+        };
+        assert!(matches!(
+            wh.on_message(src, msg),
+            Err(WarehouseError::UnexpectedMessage { .. })
+        ));
+    }
+
+    #[test]
+    fn state_histories_record_every_event() {
+        let (mut wh, src, i1, i2, v1, v2, mut db) = hub_over_one_source();
+        let u = Update::insert("r2", Tuple::ints([2, 8]));
+        db.apply(&u);
+        let queries = wh.on_update(src, &u).unwrap();
+        for q in &queries {
+            wh.on_answer(src, q.id, q.query.eval(&db).unwrap()).unwrap();
+        }
+        // initial + W_up + W_ans per view.
+        assert_eq!(wh.view_states(i1).len(), 3);
+        assert_eq!(wh.view_states(i2).len(), 3);
+        assert_eq!(wh.view_states(i1).last().unwrap(), &v1.eval(&db).unwrap());
+        assert_eq!(wh.view_states(i2).last().unwrap(), &v2.eval(&db).unwrap());
+    }
+}

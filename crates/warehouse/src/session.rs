@@ -1,0 +1,123 @@
+//! Per-source sessions: query-id allocation and strict answer demux.
+//!
+//! Every source the warehouse talks to gets its own [`Session`] with its
+//! own [`QueryIdGen`] and pending-query FIFO. Maintainers allocate
+//! *local* query ids independently (each starts at 1); the session remaps
+//! them onto a per-source global space so that many views can share one
+//! channel to the source, and demultiplexes each answer **strictly by
+//! [`QueryId`]** — an answer bearing an id that is not pending is rejected
+//! before any maintainer state (`UQS`, `COLLECT`) can be touched.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use eca_core::maintainer::QueryIdGen;
+use eca_core::{CoreError, QueryId};
+
+/// Where a pending query came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Route {
+    /// Index of the owning view in the warehouse's view table.
+    pub view: usize,
+    /// The maintainer-local id the answer must be delivered under.
+    pub local: QueryId,
+}
+
+/// The warehouse-side state of one source channel.
+#[derive(Debug, Default)]
+pub struct Session {
+    ids: QueryIdGen,
+    routing: BTreeMap<QueryId, Route>,
+    /// Global ids in emission order — the FIFO the paper's §3 ordering
+    /// assumption says answers will respect. Demux never *relies* on it
+    /// (answers route by id), but it names the oldest outstanding query
+    /// for introspection and back-pressure decisions.
+    fifo: VecDeque<QueryId>,
+}
+
+impl Session {
+    /// A fresh session with no outstanding queries.
+    pub fn new() -> Self {
+        Session {
+            ids: QueryIdGen::new(),
+            routing: BTreeMap::new(),
+            fifo: VecDeque::new(),
+        }
+    }
+
+    /// Allocate a global id for a query emitted by `view` under `local`.
+    pub fn register(&mut self, view: usize, local: QueryId) -> QueryId {
+        let global = self.ids.fresh();
+        self.routing.insert(global, Route { view, local });
+        self.fifo.push_back(global);
+        global
+    }
+
+    /// Resolve and retire a pending global id.
+    ///
+    /// # Errors
+    /// [`CoreError::UnknownQuery`] when `id` was never issued or is
+    /// already answered; the session (and every maintainer behind it) is
+    /// left untouched.
+    pub fn take(&mut self, id: QueryId) -> Result<Route, CoreError> {
+        let route = self
+            .routing
+            .remove(&id)
+            .ok_or(CoreError::UnknownQuery { id: id.0 })?;
+        self.fifo.retain(|&q| q != id);
+        Ok(route)
+    }
+
+    /// Number of outstanding queries on this channel.
+    pub fn pending(&self) -> usize {
+        self.routing.len()
+    }
+
+    /// The oldest outstanding global id, if any.
+    pub fn oldest_pending(&self) -> Option<QueryId> {
+        self.fifo.front().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_global_and_fifo_tracked() {
+        let mut s = Session::new();
+        let a = s.register(0, QueryId(1));
+        let b = s.register(1, QueryId(1));
+        assert_ne!(a, b);
+        assert_eq!(s.pending(), 2);
+        assert_eq!(s.oldest_pending(), Some(a));
+
+        assert_eq!(
+            s.take(a).unwrap(),
+            Route {
+                view: 0,
+                local: QueryId(1)
+            }
+        );
+        assert_eq!(s.oldest_pending(), Some(b));
+        assert_eq!(
+            s.take(b).unwrap(),
+            Route {
+                view: 1,
+                local: QueryId(1)
+            }
+        );
+        assert_eq!(s.pending(), 0);
+    }
+
+    #[test]
+    fn unknown_and_duplicate_ids_are_rejected() {
+        let mut s = Session::new();
+        let a = s.register(0, QueryId(1));
+        assert!(matches!(
+            s.take(QueryId(99)),
+            Err(CoreError::UnknownQuery { id: 99 })
+        ));
+        s.take(a).unwrap();
+        assert!(matches!(s.take(a), Err(CoreError::UnknownQuery { .. })));
+    }
+}

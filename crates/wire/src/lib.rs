@@ -11,7 +11,10 @@
 //! * [`WireQuery`] — a *self-contained* query representation: the source
 //!   knows nothing about views (that is the premise of the paper), so
 //!   every query carries its own relation list, condition and projection,
-//! * [`TransferMeter`] — per-direction message/byte accounting.
+//! * [`TransferMeter`] — per-direction message/byte accounting,
+//! * [`Transport`] — the channel abstraction of §3 (reliable, FIFO per
+//!   direction), with a deterministic in-process pair ([`InMemoryFifo`])
+//!   and a framed TCP implementation ([`TcpTransport`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -19,7 +22,11 @@
 pub mod codec;
 pub mod message;
 pub mod meter;
+pub mod transport;
 
 pub use codec::{DecodeError, Decoder, Encoder};
 pub use message::{Message, WireQuery, WireTerm};
 pub use meter::{Direction, TransferMeter};
+pub use transport::{
+    read_frame, write_frame, InMemoryFifo, Role, TcpTransport, Transport, TransportError,
+};

@@ -1,7 +1,11 @@
 //! Per-direction transfer accounting (paper §6.1–6.2's `M` and `B`).
+//!
+//! Counters are atomic so one meter can be shared across the threads a
+//! [`TcpTransport`](crate::TcpTransport) deployment involves; relaxed
+//! ordering suffices because each counter is an independent total.
 
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Transfer direction.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -15,20 +19,20 @@ pub enum Direction {
 
 #[derive(Default, Debug)]
 struct Counters {
-    messages_s2w: Cell<u64>,
-    bytes_s2w: Cell<u64>,
-    messages_w2s: Cell<u64>,
-    bytes_w2s: Cell<u64>,
+    messages_s2w: AtomicU64,
+    bytes_s2w: AtomicU64,
+    messages_w2s: AtomicU64,
+    bytes_w2s: AtomicU64,
     /// Answer payload bytes only — the paper excludes update-notification
     /// traffic from `B` because it is identical across algorithms (§6).
-    answer_bytes: Cell<u64>,
-    answer_payload_tuples: Cell<u64>,
+    answer_bytes: AtomicU64,
+    answer_payload_tuples: AtomicU64,
 }
 
 /// Shared message/byte counters. Clones observe the same totals.
 #[derive(Clone, Default, Debug)]
 pub struct TransferMeter {
-    counters: Rc<Counters>,
+    counters: Arc<Counters>,
 }
 
 impl TransferMeter {
@@ -41,20 +45,12 @@ impl TransferMeter {
     pub fn record(&self, direction: Direction, bytes: u64) {
         match direction {
             Direction::SourceToWarehouse => {
-                self.counters
-                    .messages_s2w
-                    .set(self.counters.messages_s2w.get() + 1);
-                self.counters
-                    .bytes_s2w
-                    .set(self.counters.bytes_s2w.get() + bytes);
+                self.counters.messages_s2w.fetch_add(1, Ordering::Relaxed);
+                self.counters.bytes_s2w.fetch_add(bytes, Ordering::Relaxed);
             }
             Direction::WarehouseToSource => {
-                self.counters
-                    .messages_w2s
-                    .set(self.counters.messages_w2s.get() + 1);
-                self.counters
-                    .bytes_w2s
-                    .set(self.counters.bytes_w2s.get() + bytes);
+                self.counters.messages_w2s.fetch_add(1, Ordering::Relaxed);
+                self.counters.bytes_w2s.fetch_add(bytes, Ordering::Relaxed);
             }
         }
     }
@@ -64,20 +60,20 @@ impl TransferMeter {
     pub fn record_answer_payload(&self, bytes: u64, tuples: u64) {
         self.counters
             .answer_bytes
-            .set(self.counters.answer_bytes.get() + bytes);
+            .fetch_add(bytes, Ordering::Relaxed);
         self.counters
             .answer_payload_tuples
-            .set(self.counters.answer_payload_tuples.get() + tuples);
+            .fetch_add(tuples, Ordering::Relaxed);
     }
 
     /// Messages sent source → warehouse.
     pub fn messages_s2w(&self) -> u64 {
-        self.counters.messages_s2w.get()
+        self.counters.messages_s2w.load(Ordering::Relaxed)
     }
 
     /// Messages sent warehouse → source.
     pub fn messages_w2s(&self) -> u64 {
-        self.counters.messages_w2s.get()
+        self.counters.messages_w2s.load(Ordering::Relaxed)
     }
 
     /// Total messages both directions, excluding update notifications if
@@ -89,32 +85,34 @@ impl TransferMeter {
 
     /// Bytes sent source → warehouse.
     pub fn bytes_s2w(&self) -> u64 {
-        self.counters.bytes_s2w.get()
+        self.counters.bytes_s2w.load(Ordering::Relaxed)
     }
 
     /// Bytes sent warehouse → source.
     pub fn bytes_w2s(&self) -> u64 {
-        self.counters.bytes_w2s.get()
+        self.counters.bytes_w2s.load(Ordering::Relaxed)
     }
 
     /// Answer payload bytes (the paper's `B`).
     pub fn answer_bytes(&self) -> u64 {
-        self.counters.answer_bytes.get()
+        self.counters.answer_bytes.load(Ordering::Relaxed)
     }
 
     /// Answer payload tuples (for `B = S × tuples` comparisons).
     pub fn answer_tuples(&self) -> u64 {
-        self.counters.answer_payload_tuples.get()
+        self.counters.answer_payload_tuples.load(Ordering::Relaxed)
     }
 
     /// Reset all counters.
     pub fn reset(&self) {
-        self.counters.messages_s2w.set(0);
-        self.counters.bytes_s2w.set(0);
-        self.counters.messages_w2s.set(0);
-        self.counters.bytes_w2s.set(0);
-        self.counters.answer_bytes.set(0);
-        self.counters.answer_payload_tuples.set(0);
+        self.counters.messages_s2w.store(0, Ordering::Relaxed);
+        self.counters.bytes_s2w.store(0, Ordering::Relaxed);
+        self.counters.messages_w2s.store(0, Ordering::Relaxed);
+        self.counters.bytes_w2s.store(0, Ordering::Relaxed);
+        self.counters.answer_bytes.store(0, Ordering::Relaxed);
+        self.counters
+            .answer_payload_tuples
+            .store(0, Ordering::Relaxed);
     }
 }
 

@@ -1,0 +1,553 @@
+//! Pluggable transports carrying [`Message`]s between source and
+//! warehouse.
+//!
+//! The paper (§3) assumes only that source and warehouse are joined by
+//! reliable FIFO channels; everything else — timing, batching, the
+//! physical medium — is up to the deployment. [`Transport`] captures
+//! exactly that contract: an *endpoint* of a bidirectional channel whose
+//! two directions are independently FIFO, with every message charged to a
+//! [`TransferMeter`] in its direction of travel. Two implementations:
+//!
+//! * [`InMemoryFifo`] — a deterministic in-process pair used by `eca-sim`.
+//!   Messages still round-trip through the codec on every delivery, so
+//!   byte counts are measured on real encodings and decode faults surface
+//!   exactly as they would on a real link.
+//! * [`TcpTransport`] — length-prefixed frames over `std::net::TcpStream`
+//!   with one reader thread per peer. TCP's in-order delivery preserves
+//!   the §3 ordering assumption per connection.
+//!
+//! Metering convention: each message is charged once per meter, in its
+//! direction of travel. The [`InMemoryFifo`] pair shares one meter and
+//! charges at send time; each [`TcpTransport`] endpoint owns its meter and
+//! charges sends at write time and receives at decode time, so either
+//! side of a real deployment observes the same per-direction totals the
+//! simulator would.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::rc::Rc;
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+
+use bytes::Bytes;
+
+use crate::codec::DecodeError;
+use crate::message::Message;
+use crate::meter::{Direction, TransferMeter};
+
+/// Which site an endpoint belongs to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Role {
+    /// The autonomous source: sends notifications and answers, receives
+    /// queries.
+    Source,
+    /// The warehouse: sends queries, receives notifications and answers.
+    Warehouse,
+}
+
+impl Role {
+    /// The direction of travel for messages sent from this endpoint.
+    pub fn outbound(self) -> Direction {
+        match self {
+            Role::Source => Direction::SourceToWarehouse,
+            Role::Warehouse => Direction::WarehouseToSource,
+        }
+    }
+
+    /// The direction of travel for messages arriving at this endpoint.
+    pub fn inbound(self) -> Direction {
+        match self {
+            Role::Source => Direction::WarehouseToSource,
+            Role::Warehouse => Direction::SourceToWarehouse,
+        }
+    }
+}
+
+/// Errors surfaced by a transport.
+#[derive(Debug)]
+pub enum TransportError {
+    /// The peer closed the channel while a send or receive was required.
+    Closed,
+    /// An inbound frame failed to decode.
+    Decode(DecodeError),
+    /// An I/O fault on the underlying medium.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Closed => write!(f, "transport closed by peer"),
+            TransportError::Decode(e) => write!(f, "inbound frame failed to decode: {e}"),
+            TransportError::Io(e) => write!(f, "transport I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TransportError::Decode(e) => Some(e),
+            TransportError::Io(e) => Some(e),
+            TransportError::Closed => None,
+        }
+    }
+}
+
+impl From<DecodeError> for TransportError {
+    fn from(e: DecodeError) -> Self {
+        TransportError::Decode(e)
+    }
+}
+
+impl From<std::io::Error> for TransportError {
+    fn from(e: std::io::Error) -> Self {
+        TransportError::Io(e)
+    }
+}
+
+/// One endpoint of a reliable, per-direction-FIFO message channel.
+pub trait Transport {
+    /// Which site this endpoint belongs to.
+    fn role(&self) -> Role;
+
+    /// Send a message toward the peer, charging the meter.
+    ///
+    /// # Errors
+    /// [`TransportError::Closed`] / [`TransportError::Io`] when the peer
+    /// is unreachable.
+    fn send(&mut self, msg: &Message) -> Result<(), TransportError>;
+
+    /// Take the oldest inbound message without blocking. `Ok(None)` means
+    /// nothing is available *right now* (the peer may still send more).
+    ///
+    /// # Errors
+    /// [`TransportError::Decode`] on a malformed frame.
+    fn try_recv(&mut self) -> Result<Option<Message>, TransportError>;
+
+    /// Block until an inbound message arrives. `Ok(None)` means the peer
+    /// hung up cleanly and no further message will ever arrive. The
+    /// in-memory transport never blocks: its `Ok(None)` means the queue
+    /// is currently empty.
+    ///
+    /// # Errors
+    /// [`TransportError::Decode`] on a malformed frame.
+    fn recv(&mut self) -> Result<Option<Message>, TransportError>;
+
+    /// Whether an inbound message is available now (may decode and buffer
+    /// one frame internally).
+    fn has_inbound(&mut self) -> bool;
+
+    /// The meter charged by this endpoint.
+    fn meter(&self) -> &TransferMeter;
+}
+
+// ---------------------------------------------------------------------------
+// Framing, shared by every byte-stream transport.
+// ---------------------------------------------------------------------------
+
+/// Write one message as a `u32`-big-endian-length-prefixed frame.
+///
+/// The 4-byte prefix is transport overhead and is *not* charged to the
+/// meter, keeping the paper's `B`/`M` accounting identical across
+/// transports.
+///
+/// # Errors
+/// Propagates I/O errors from the writer.
+pub fn write_frame(w: &mut impl Write, msg: &Message) -> Result<(), TransportError> {
+    let payload = msg.encode();
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(&payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one length-prefixed frame. `Ok(None)` on clean EOF at a frame
+/// boundary.
+///
+/// # Errors
+/// [`TransportError::Io`] on truncated frames or I/O faults (the message
+/// itself is *not* decoded here — pair with [`Message::decode`]).
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Bytes>, TransportError> {
+    let mut len_buf = [0u8; 4];
+    // EOF before any length byte is a clean shutdown; EOF mid-prefix or
+    // mid-payload is a truncated frame.
+    match r.read(&mut len_buf)? {
+        0 => return Ok(None),
+        n => r.read_exact(&mut len_buf[n..])?,
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(Bytes::from(payload)))
+}
+
+// ---------------------------------------------------------------------------
+// In-memory pair.
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct Link {
+    s2w: VecDeque<Bytes>,
+    w2s: VecDeque<Bytes>,
+}
+
+impl Link {
+    fn queue_mut(&mut self, direction: Direction) -> &mut VecDeque<Bytes> {
+        match direction {
+            Direction::SourceToWarehouse => &mut self.s2w,
+            Direction::WarehouseToSource => &mut self.w2s,
+        }
+    }
+
+    fn queue(&self, direction: Direction) -> &VecDeque<Bytes> {
+        match direction {
+            Direction::SourceToWarehouse => &self.s2w,
+            Direction::WarehouseToSource => &self.w2s,
+        }
+    }
+}
+
+/// One endpoint of a deterministic in-process FIFO pair.
+///
+/// Both endpoints share a single [`TransferMeter`] (charged at send time)
+/// and the same pair of byte queues, so a driver holding both ends — the
+/// simulator — observes exactly the channel state the paper's event model
+/// requires. Messages are stored *encoded*; every receive decodes, so
+/// codec faults surface on delivery just as on a real link.
+pub struct InMemoryFifo {
+    role: Role,
+    link: Rc<RefCell<Link>>,
+    meter: TransferMeter,
+}
+
+impl InMemoryFifo {
+    /// A connected `(source endpoint, warehouse endpoint)` pair sharing
+    /// `meter`.
+    pub fn pair(meter: TransferMeter) -> (InMemoryFifo, InMemoryFifo) {
+        let link = Rc::new(RefCell::new(Link::default()));
+        (
+            InMemoryFifo {
+                role: Role::Source,
+                link: Rc::clone(&link),
+                meter: meter.clone(),
+            },
+            InMemoryFifo {
+                role: Role::Warehouse,
+                link,
+                meter,
+            },
+        )
+    }
+}
+
+impl Transport for InMemoryFifo {
+    fn role(&self) -> Role {
+        self.role
+    }
+
+    fn send(&mut self, msg: &Message) -> Result<(), TransportError> {
+        let payload = msg.encode();
+        self.meter
+            .record(self.role.outbound(), payload.len() as u64);
+        self.link
+            .borrow_mut()
+            .queue_mut(self.role.outbound())
+            .push_back(payload);
+        Ok(())
+    }
+
+    fn try_recv(&mut self) -> Result<Option<Message>, TransportError> {
+        let popped = self
+            .link
+            .borrow_mut()
+            .queue_mut(self.role.inbound())
+            .pop_front();
+        match popped {
+            Some(payload) => Ok(Some(Message::decode(payload)?)),
+            None => Ok(None),
+        }
+    }
+
+    fn recv(&mut self) -> Result<Option<Message>, TransportError> {
+        // In-process queues cannot block; an empty queue reads as "no
+        // message pending", which a deterministic driver interprets via
+        // `has_inbound` anyway.
+        self.try_recv()
+    }
+
+    fn has_inbound(&mut self) -> bool {
+        !self.link.borrow().queue(self.role.inbound()).is_empty()
+    }
+
+    fn meter(&self) -> &TransferMeter {
+        &self.meter
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TCP.
+// ---------------------------------------------------------------------------
+
+/// A [`Transport`] over a real TCP connection.
+///
+/// Frames are length-prefixed ([`write_frame`]/[`read_frame`]); a
+/// dedicated reader thread per peer drains the socket into an internal
+/// queue so `try_recv`/`has_inbound` never block. TCP delivers in order,
+/// preserving the paper's §3 FIFO-channel assumption per connection.
+pub struct TcpTransport {
+    role: Role,
+    writer: TcpStream,
+    inbound: mpsc::Receiver<Result<Bytes, std::io::Error>>,
+    /// Frames observed by `has_inbound` (already metered) awaiting decode.
+    peeked: VecDeque<Bytes>,
+    meter: TransferMeter,
+    reader: Option<JoinHandle<()>>,
+}
+
+impl TcpTransport {
+    /// Wrap an established stream. Spawns the reader thread.
+    ///
+    /// # Errors
+    /// Propagates stream-clone failures.
+    pub fn new(stream: TcpStream, role: Role, meter: TransferMeter) -> std::io::Result<Self> {
+        let mut read_half = stream.try_clone()?;
+        let (tx, rx) = mpsc::channel();
+        let reader = std::thread::Builder::new()
+            .name(format!("eca-wire-reader-{role:?}"))
+            .spawn(move || loop {
+                match read_frame(&mut read_half) {
+                    Ok(Some(frame)) => {
+                        if tx.send(Ok(frame)).is_err() {
+                            break; // transport dropped
+                        }
+                    }
+                    Ok(None) => break, // clean EOF
+                    Err(TransportError::Io(e)) => {
+                        let _ = tx.send(Err(e));
+                        break;
+                    }
+                    Err(_) => break, // read_frame only raises Io
+                }
+            })?;
+        Ok(TcpTransport {
+            role,
+            writer: stream,
+            inbound: rx,
+            peeked: VecDeque::new(),
+            meter,
+            reader: Some(reader),
+        })
+    }
+
+    /// Connect to a listening peer.
+    ///
+    /// # Errors
+    /// Propagates connection failures.
+    pub fn connect(
+        addr: impl ToSocketAddrs,
+        role: Role,
+        meter: TransferMeter,
+    ) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        TcpTransport::new(stream, role, meter)
+    }
+
+    /// Meter and decode one raw inbound frame.
+    fn accept(&mut self, frame: Bytes) -> Result<Message, TransportError> {
+        self.meter.record(self.role.inbound(), frame.len() as u64);
+        Ok(Message::decode(frame)?)
+    }
+}
+
+impl Transport for TcpTransport {
+    fn role(&self) -> Role {
+        self.role
+    }
+
+    fn send(&mut self, msg: &Message) -> Result<(), TransportError> {
+        self.meter
+            .record(self.role.outbound(), msg.encoded_len() as u64);
+        write_frame(&mut self.writer, msg)
+    }
+
+    fn try_recv(&mut self) -> Result<Option<Message>, TransportError> {
+        if let Some(frame) = self.peeked.pop_front() {
+            // Already metered by `has_inbound`.
+            return Ok(Some(Message::decode(frame)?));
+        }
+        match self.inbound.try_recv() {
+            Ok(Ok(frame)) => Ok(Some(self.accept(frame)?)),
+            Ok(Err(e)) => Err(TransportError::Io(e)),
+            Err(mpsc::TryRecvError::Empty) | Err(mpsc::TryRecvError::Disconnected) => Ok(None),
+        }
+    }
+
+    fn recv(&mut self) -> Result<Option<Message>, TransportError> {
+        if let Some(frame) = self.peeked.pop_front() {
+            return Ok(Some(Message::decode(frame)?));
+        }
+        match self.inbound.recv() {
+            Ok(Ok(frame)) => Ok(Some(self.accept(frame)?)),
+            Ok(Err(e)) => Err(TransportError::Io(e)),
+            Err(mpsc::RecvError) => Ok(None), // peer hung up cleanly
+        }
+    }
+
+    fn has_inbound(&mut self) -> bool {
+        if !self.peeked.is_empty() {
+            return true;
+        }
+        match self.inbound.try_recv() {
+            Ok(Ok(frame)) => {
+                self.meter.record(self.role.inbound(), frame.len() as u64);
+                self.peeked.push_back(frame);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn meter(&self) -> &TransferMeter {
+        &self.meter
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        // Unblock the reader thread and let the peer observe EOF.
+        let _ = self.writer.shutdown(std::net::Shutdown::Both);
+        if let Some(handle) = self.reader.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eca_core::QueryId;
+    use eca_relational::{SignedBag, Tuple, Update};
+    use std::net::TcpListener;
+
+    fn notification(n: i64) -> Message {
+        Message::UpdateNotification {
+            update: Update::insert("r1", Tuple::ints([n, n + 1])),
+        }
+    }
+
+    #[test]
+    fn in_memory_pair_is_fifo_and_metered() {
+        let meter = TransferMeter::new();
+        let (mut src, mut wh) = InMemoryFifo::pair(meter.clone());
+        assert_eq!(src.role(), Role::Source);
+        assert_eq!(wh.role(), Role::Warehouse);
+
+        src.send(&notification(1)).unwrap();
+        src.send(&notification(2)).unwrap();
+        assert!(wh.has_inbound());
+        assert!(!src.has_inbound());
+        assert_eq!(wh.try_recv().unwrap(), Some(notification(1)));
+        assert_eq!(wh.recv().unwrap(), Some(notification(2)));
+        assert_eq!(wh.try_recv().unwrap(), None);
+
+        assert_eq!(meter.messages_s2w(), 2);
+        assert_eq!(
+            meter.bytes_s2w(),
+            (notification(1).encoded_len() + notification(2).encoded_len()) as u64
+        );
+        assert_eq!(meter.messages_w2s(), 0);
+    }
+
+    #[test]
+    fn in_memory_directions_are_independent() {
+        let (mut src, mut wh) = InMemoryFifo::pair(TransferMeter::new());
+        let query = Message::QueryAnswer {
+            id: QueryId(1),
+            answer: SignedBag::new(),
+        };
+        src.send(&query).unwrap();
+        wh.send(&notification(9)).unwrap();
+        assert_eq!(src.try_recv().unwrap(), Some(notification(9)));
+        assert_eq!(wh.try_recv().unwrap(), Some(query));
+    }
+
+    #[test]
+    fn frame_roundtrip_over_buffer() {
+        let msgs = [notification(1), notification(2)];
+        let mut buf = Vec::new();
+        for m in &msgs {
+            write_frame(&mut buf, m).unwrap();
+        }
+        let mut r = &buf[..];
+        for m in &msgs {
+            let frame = read_frame(&mut r).unwrap().unwrap();
+            assert_eq!(&Message::decode(frame).unwrap(), m);
+        }
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &notification(1)).unwrap();
+        buf.truncate(buf.len() - 1);
+        let mut r = &buf[..];
+        assert!(matches!(read_frame(&mut r), Err(TransportError::Io(_)),));
+    }
+
+    #[test]
+    fn tcp_pair_roundtrips_and_meters_both_ends() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut wh = TcpTransport::new(stream, Role::Warehouse, TransferMeter::new()).unwrap();
+            // Echo protocol: read two notifications, send one query back.
+            let a = wh.recv().unwrap().unwrap();
+            let b = wh.recv().unwrap().unwrap();
+            wh.send(&Message::QueryAnswer {
+                id: QueryId(5),
+                answer: SignedBag::new(),
+            })
+            .unwrap();
+            (a, b, wh.meter().clone())
+        });
+
+        let meter = TransferMeter::new();
+        let mut src = TcpTransport::connect(addr, Role::Source, meter.clone()).unwrap();
+        src.send(&notification(1)).unwrap();
+        src.send(&notification(2)).unwrap();
+        let back = src.recv().unwrap().unwrap();
+        assert!(matches!(back, Message::QueryAnswer { .. }));
+
+        let (a, b, wh_meter) = server.join().unwrap();
+        assert_eq!(a, notification(1));
+        assert_eq!(b, notification(2));
+        // FIFO order preserved; both meters saw the same s2w totals.
+        assert_eq!(meter.messages_s2w(), 2);
+        assert_eq!(wh_meter.messages_s2w(), 2);
+        assert_eq!(meter.bytes_s2w(), wh_meter.bytes_s2w());
+        // And the w2s answer was charged on receive at the source.
+        assert_eq!(meter.messages_w2s(), 1);
+    }
+
+    #[test]
+    fn tcp_recv_none_after_peer_drop() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut wh = TcpTransport::new(stream, Role::Warehouse, TransferMeter::new()).unwrap();
+            wh.send(&notification(3)).unwrap();
+            // Dropped here: the source should read the message then EOF.
+        });
+        let mut src = TcpTransport::connect(addr, Role::Source, TransferMeter::new()).unwrap();
+        assert_eq!(src.recv().unwrap(), Some(notification(3)));
+        assert_eq!(src.recv().unwrap(), None);
+        server.join().unwrap();
+    }
+}

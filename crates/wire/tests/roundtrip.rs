@@ -1,9 +1,11 @@
-//! Property tests: every message round-trips through the codec, and
-//! encoded sizes match the accounting helpers.
+//! Property tests: every message round-trips through the codec — and
+//! through the transport framing both [`eca_wire::InMemoryFifo`] and
+//! [`eca_wire::TcpTransport`] share — and encoded sizes match the
+//! accounting helpers.
 
 use eca_core::{QueryId, ViewDef};
 use eca_relational::{CmpOp, Predicate, Schema, SignedBag, Tuple, Update, Value};
-use eca_wire::{Message, WireQuery};
+use eca_wire::{read_frame, write_frame, Message, WireQuery};
 use proptest::prelude::*;
 
 fn value() -> impl Strategy<Value = Value> {
@@ -56,6 +58,61 @@ proptest! {
         // real codec: message = 1 tag + 8 id + payload.
         let m = Message::QueryAnswer { id: QueryId(1), answer: answer.clone() };
         prop_assert_eq!(m.encoded_len(), 9 + answer.encoded_len());
+    }
+
+    /// Every message variant survives encode → frame → unframe → decode —
+    /// the exact path both transports use, so a pass here certifies the
+    /// wire format for `InMemoryFifo` and `TcpTransport` alike.
+    #[test]
+    fn every_variant_roundtrips_through_framing(
+        u in update(),
+        id in any::<u64>(),
+        answer in bag(),
+    ) {
+        let query = Message::QueryRequest {
+            id: QueryId(id),
+            query: WireQuery::from_query(
+                &ViewDef::new(
+                    "V",
+                    vec![Schema::new("r1", &["W", "X"]), Schema::new("r2", &["X", "Y"])],
+                    Predicate::col_eq(1, 2),
+                    vec![0],
+                ).unwrap().as_query(),
+            ),
+        };
+        let msgs = [
+            Message::UpdateNotification { update: u },
+            Message::QueryAnswer { id: QueryId(id), answer },
+            query,
+        ];
+        // Several frames back-to-back on one stream, like a real session.
+        let mut wire = Vec::new();
+        for m in &msgs {
+            let before = wire.len();
+            write_frame(&mut wire, m).unwrap();
+            // Framing adds exactly the 4-byte length prefix (unmetered).
+            prop_assert_eq!(wire.len() - before, 4 + m.encoded_len());
+        }
+        let mut reader = wire.as_slice();
+        for m in &msgs {
+            let frame = read_frame(&mut reader).unwrap().expect("frame present");
+            prop_assert_eq!(frame.len(), m.encoded_len());
+            prop_assert_eq!(&Message::decode(frame).unwrap(), m);
+        }
+        // Clean EOF at a frame boundary, not an error.
+        prop_assert!(read_frame(&mut reader).unwrap().is_none());
+    }
+
+    /// A frame cut mid-payload is an I/O error (truncation), never a
+    /// silent `None` and never a panic.
+    #[test]
+    fn truncated_frames_error_cleanly(u in update(), cut in 1usize..20) {
+        let m = Message::UpdateNotification { update: u };
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &m).unwrap();
+        let cut = cut.min(wire.len() - 1);
+        let mut reader = &wire[..wire.len() - cut];
+        prop_assert!(read_frame(&mut reader).is_err());
     }
 
     #[test]

@@ -12,12 +12,14 @@
 //! * `big_orders` — a single-relation view, maintained with zero source
 //!   queries by ECA's local evaluation.
 //!
-//! Updates stream through a [`MultiView`] hub; answers are produced from
-//! the shared source state and routed back by global query id.
+//! Updates stream through an [`eca_warehouse::Warehouse`] runtime;
+//! answers are produced from the shared source state and routed back by
+//! session-global query id.
 
 use eca_core::algorithms::AlgorithmKind;
-use eca_core::{BaseDb, MultiView, ViewDef};
+use eca_core::{BaseDb, ViewDef};
 use eca_relational::{CmpOp, Predicate, Schema, Tuple, Update};
+use eca_warehouse::Warehouse;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Base relations at the source:
@@ -65,13 +67,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     db.insert("orders", Tuple::ints([10, 1, 250]));
     db.insert("parts", Tuple::ints([77, 2]));
 
-    let mut hub = MultiView::new();
-    let i1 = hub.add(
+    let mut hub = Warehouse::new();
+    let src = hub.add_source("mirror");
+    let i1 = hub.add_view(
+        src,
         AlgorithmKind::EcaOptimized.instantiate(&sales_by_region, sales_by_region.eval(&db)?)?,
-    );
-    let i2 =
-        hub.add(AlgorithmKind::EcaKey.instantiate(&supplier_parts, supplier_parts.eval(&db)?)?);
-    let i3 = hub.add(AlgorithmKind::EcaOptimized.instantiate(&big_orders, big_orders.eval(&db)?)?);
+    )?;
+    let i2 = hub.add_view(
+        src,
+        AlgorithmKind::EcaKey.instantiate(&supplier_parts, supplier_parts.eval(&db)?)?,
+    )?;
+    let i3 = hub.add_view(
+        src,
+        AlgorithmKind::EcaOptimized.instantiate(&big_orders, big_orders.eval(&db)?)?,
+    )?;
 
     let updates = vec![
         Update::insert("orders", Tuple::ints([11, 1, 750])),
@@ -87,12 +96,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut queries = Vec::new();
     for u in &updates {
         db.apply(u);
-        let emitted = hub.on_update(u)?;
+        let emitted = hub.on_update(src, u)?;
         println!("{u:?} -> {} query message(s)", emitted.len());
         queries.extend(emitted);
     }
     for q in &queries {
-        hub.on_answer(q.id, q.query.eval(&db)?)?;
+        hub.on_answer(src, q.id, q.query.eval(&db)?)?;
     }
     assert!(hub.is_quiescent());
 
@@ -116,7 +125,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!(
         "\nAll {} views converged through one shared update stream.",
-        hub.len()
+        hub.view_count()
     );
     Ok(())
 }

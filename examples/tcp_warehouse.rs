@@ -1,0 +1,132 @@
+//! Example 6 end-to-end over a real TCP connection (paper Figure 1.1).
+//!
+//! ```text
+//! cargo run --example tcp_warehouse
+//! ```
+//!
+//! The source site runs on its own thread behind a loopback
+//! `TcpListener`, driving [`eca_source::Source::serve`]; the warehouse
+//! connects with an [`eca_wire::TcpTransport`] and maintains the
+//! Example 6 view with ECA, demultiplexing answers by query id through
+//! an [`eca_warehouse::Warehouse`]. The same workload also runs through
+//! the in-memory simulator, and the two final views — plus the metered
+//! message and byte counts, since framing overhead is never charged —
+//! must agree exactly.
+
+use std::net::TcpListener;
+use std::thread;
+
+use eca_core::algorithms::AlgorithmKind;
+use eca_sim::{Policy, Simulation};
+use eca_storage::Scenario;
+use eca_warehouse::Warehouse;
+use eca_wire::{Message, Role, TcpTransport, TransferMeter, Transport};
+use eca_workload::{Example6, Params, UpdateMix};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let seed = 42;
+    let workload = Example6::new(Params::default(), seed);
+    let view = Example6::view()?;
+    let script = workload.updates(12, UpdateMix::Mixed);
+
+    // Reference run: the same workload through the in-memory scheduler.
+    // `serve` executes its whole script before answering anything, which
+    // is exactly the AllUpdatesFirst interleaving.
+    let reference = {
+        let source = workload.build_source(Scenario::Indexed)?;
+        let snapshot = source.snapshot();
+        let initial = view.eval(&snapshot)?;
+        let maintainer =
+            AlgorithmKind::Eca.instantiate_with_base(&view, initial, Some(snapshot))?;
+        Simulation::new(source, maintainer, script.clone())?.run(Policy::AllUpdatesFirst)?
+    };
+
+    // Source site: its own thread, its own TCP endpoint, its own meter.
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?;
+    let source_thread = thread::spawn(
+        move || -> Result<_, Box<dyn std::error::Error + Send + Sync>> {
+            let workload = Example6::new(Params::default(), seed);
+            let mut source = workload.build_source(Scenario::Indexed)?;
+            let script = workload.updates(12, UpdateMix::Mixed);
+            let (stream, _) = listener.accept()?;
+            let mut transport = TcpTransport::new(stream, Role::Source, TransferMeter::new())?;
+            let stats = source.serve(&mut transport, &script)?;
+            Ok(stats)
+        },
+    );
+
+    // Warehouse site: connect, host the view, pump until every
+    // notification has arrived and all compensation has settled.
+    let meter = TransferMeter::new();
+    let mut transport = TcpTransport::connect(addr, Role::Warehouse, meter.clone())?;
+    let mut warehouse = Warehouse::new();
+    let src = warehouse.add_source("example6-source");
+    let view_id = {
+        let source = workload.build_source(Scenario::Indexed)?;
+        let snapshot = source.snapshot();
+        let initial = view.eval(&snapshot)?;
+        warehouse.add_view(
+            src,
+            AlgorithmKind::Eca.instantiate_with_base(&view, initial, Some(snapshot))?,
+        )?
+    };
+
+    let mut notifications = 0u64;
+    while notifications < reference.notification_messages || !warehouse.is_quiescent() {
+        let Some(msg) = transport.recv()? else {
+            return Err("source hung up before the warehouse settled".into());
+        };
+        if matches!(msg, Message::UpdateNotification { .. }) {
+            notifications += 1;
+        }
+        if let Message::QueryAnswer { answer, .. } = &msg {
+            transport.meter().record_answer_payload(
+                answer.encoded_len() as u64,
+                answer.pos_len() + answer.neg_len(),
+            );
+        }
+        for reply in warehouse.on_message(src, msg)? {
+            transport.send(&reply)?;
+        }
+    }
+    // Hanging up is what ends the source's serve loop.
+    drop(transport);
+    let stats = source_thread
+        .join()
+        .map_err(|_| "source thread panicked")?
+        .map_err(|e| e.to_string())?;
+
+    let final_mv = warehouse.materialized(view_id);
+    println!("source served: {stats:?}");
+    println!(
+        "warehouse: {} notifications, {} query round-trips, {} answer bytes",
+        notifications,
+        meter.messages_w2s(),
+        meter.answer_bytes()
+    );
+    println!("final view over TCP:   {} tuple(s)", final_mv.pos_len());
+    println!(
+        "final view in memory:  {} tuple(s)",
+        reference.final_mv.pos_len()
+    );
+
+    assert_eq!(
+        final_mv, &reference.final_mv,
+        "TCP and in-memory runs diverged"
+    );
+    assert!(warehouse.is_quiescent());
+    // Framing (the 4-byte length prefix) is never metered, so the wire
+    // run reports the paper's B and M identically to the simulator.
+    assert_eq!(meter.messages_w2s(), reference.query_messages);
+    assert_eq!(
+        meter.messages_s2w() - stats.notifications,
+        reference.answer_messages
+    );
+    assert_eq!(meter.answer_bytes(), reference.answer_bytes);
+    assert_eq!(meter.bytes_w2s(), reference.bytes_w2s);
+    assert_eq!(meter.bytes_s2w(), reference.bytes_s2w);
+
+    println!("\nTCP warehouse reached the same view with identical meters.");
+    Ok(())
+}

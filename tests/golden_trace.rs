@@ -1,0 +1,164 @@
+//! Golden-trace equivalence: for fixed seeds, the refactored transport
+//! stack must produce byte-identical [`TraceEvent`] sequences and
+//! [`RunReport`] byte counts to the pre-refactor direct-wired simulator.
+//!
+//! The expected fingerprints below were captured from the simulator
+//! *before* the `Transport`/`Warehouse` re-layering (commit 31ee504),
+//! so any drift in event order, query-id assignment or message
+//! encoding shows up as a failure here.
+
+use eca_core::algorithms::AlgorithmKind;
+use eca_core::ViewDef;
+use eca_relational::{Predicate, Schema, Tuple, Update};
+use eca_sim::{Policy, RunReport, Simulation};
+use eca_source::Source;
+use eca_storage::Scenario;
+use eca_workload::{Example6, Params, UpdateMix};
+
+/// FNV-1a over the debug rendering of the trace and the meters: cheap,
+/// dependency-free, and sensitive to any reordering or re-encoding.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
+fn fingerprint(report: &RunReport) -> u64 {
+    let rendered = format!(
+        "{:?}|q{} a{} n{} ab{} at{} s2w{} w2s{}|{:?}|{:?}",
+        report.trace,
+        report.query_messages,
+        report.answer_messages,
+        report.notification_messages,
+        report.answer_bytes,
+        report.answer_tuples,
+        report.bytes_s2w,
+        report.bytes_w2s,
+        report.source_view_states,
+        report.warehouse_view_states,
+    );
+    fnv1a(rendered.as_bytes())
+}
+
+/// The Example 2 setup used throughout the sim's unit tests.
+fn example2_sim(kind: AlgorithmKind) -> Simulation {
+    let view = ViewDef::new(
+        "V",
+        vec![
+            Schema::new("r1", &["W", "X"]),
+            Schema::new("r2", &["X", "Y"]),
+        ],
+        Predicate::col_eq(1, 2),
+        vec![0],
+    )
+    .unwrap();
+    let mut source = Source::new(Scenario::Indexed);
+    source
+        .add_relation(Schema::new("r1", &["W", "X"]), 20, Some("X"), &[])
+        .unwrap();
+    source
+        .add_relation(Schema::new("r2", &["X", "Y"]), 20, Some("X"), &[])
+        .unwrap();
+    source.load("r1", [Tuple::ints([1, 2])]).unwrap();
+    let snapshot = source.snapshot();
+    let initial = view.eval(&snapshot).unwrap();
+    let warehouse = kind
+        .instantiate_with_base(&view, initial, Some(snapshot))
+        .unwrap();
+    Simulation::new(
+        source,
+        warehouse,
+        vec![
+            Update::insert("r2", Tuple::ints([2, 3])),
+            Update::insert("r1", Tuple::ints([4, 2])),
+        ],
+    )
+    .unwrap()
+}
+
+fn example6_sim(kind: AlgorithmKind, seed: u64) -> Simulation {
+    let workload = Example6::new(Params::default(), seed);
+    let source = workload.build_source(Scenario::Indexed).unwrap();
+    let view = Example6::view().unwrap();
+    let snapshot = source.snapshot();
+    let initial = view.eval(&snapshot).unwrap();
+    let warehouse = kind
+        .instantiate_with_base(&view, initial, Some(snapshot))
+        .unwrap();
+    let script = workload.updates(12, UpdateMix::Mixed);
+    Simulation::new(source, warehouse, script).unwrap()
+}
+
+#[test]
+fn example2_fingerprints_are_stable() {
+    let expected: &[(AlgorithmKind, Policy, u64)] = &[
+        (AlgorithmKind::Eca, Policy::Serial, 0x041944a725313d62),
+        (
+            AlgorithmKind::Eca,
+            Policy::AllUpdatesFirst,
+            0x96f789c5d1b9b28d,
+        ),
+        (
+            AlgorithmKind::Basic,
+            Policy::AllUpdatesFirst,
+            0x9852dcf5e7963299,
+        ),
+        (
+            AlgorithmKind::Lca,
+            Policy::AllUpdatesFirst,
+            0x403f11ed26133f49,
+        ),
+        (
+            AlgorithmKind::Eca,
+            Policy::Random { seed: 0 },
+            0xcd77a66144195be5,
+        ),
+        (
+            AlgorithmKind::Eca,
+            Policy::Random { seed: 1 },
+            0x2bc937843c1563b7,
+        ),
+        (
+            AlgorithmKind::Eca,
+            Policy::Random { seed: 2 },
+            0x2c7f4dd425bdab8d,
+        ),
+        (
+            AlgorithmKind::Lca,
+            Policy::Random { seed: 3 },
+            0x041944a725313d62,
+        ),
+    ];
+    for (kind, policy, want) in expected {
+        let report = example2_sim(*kind).run(*policy).unwrap();
+        let got = fingerprint(&report);
+        if std::env::var("GOLDEN_PRINT").is_ok() {
+            println!("({kind:?}, {policy:?}, 0x{got:016x}),");
+        } else {
+            assert_eq!(got, *want, "{kind:?} under {policy:?}");
+        }
+    }
+}
+
+#[test]
+fn example6_fingerprints_are_stable() {
+    let expected: &[(u64, Policy, u64)] = &[
+        (42, Policy::AllUpdatesFirst, 0x684b0dcb0d8de236),
+        (42, Policy::Random { seed: 7 }, 0xc81faa640e272e96),
+        (43, Policy::Random { seed: 8 }, 0x39a7acea7846d619),
+    ];
+    for (seed, policy, want) in expected {
+        let report = example6_sim(AlgorithmKind::Eca, *seed)
+            .run(*policy)
+            .unwrap();
+        let got = fingerprint(&report);
+        if std::env::var("GOLDEN_PRINT").is_ok() {
+            println!("({seed}, {policy:?}, 0x{got:016x}),");
+        } else {
+            assert_eq!(got, *want, "workload seed {seed} under {policy:?}");
+        }
+    }
+}

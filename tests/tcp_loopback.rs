@@ -1,0 +1,119 @@
+//! TCP loopback smoke test: the Example 2 scenario over a real socket
+//! must reach the same final view — with identical message and byte
+//! meters — as the in-memory scheduler. Run by CI as the wire-level
+//! counterpart of the golden-trace tests.
+
+use std::net::TcpListener;
+use std::thread;
+
+use eca_core::algorithms::AlgorithmKind;
+use eca_core::ViewDef;
+use eca_relational::{Predicate, Schema, Tuple, Update};
+use eca_sim::{Policy, Simulation};
+use eca_source::Source;
+use eca_storage::Scenario;
+use eca_warehouse::Warehouse;
+use eca_wire::{Message, Role, TcpTransport, TransferMeter, Transport};
+
+fn view2() -> ViewDef {
+    ViewDef::new(
+        "V",
+        vec![
+            Schema::new("r1", &["W", "X"]),
+            Schema::new("r2", &["X", "Y"]),
+        ],
+        Predicate::col_eq(1, 2),
+        vec![0],
+    )
+    .unwrap()
+}
+
+fn build_source() -> Source {
+    let mut source = Source::new(Scenario::Indexed);
+    source
+        .add_relation(Schema::new("r1", &["W", "X"]), 20, Some("X"), &[])
+        .unwrap();
+    source
+        .add_relation(Schema::new("r2", &["X", "Y"]), 20, Some("X"), &[])
+        .unwrap();
+    source.load("r1", [Tuple::ints([1, 2])]).unwrap();
+    source
+}
+
+fn script() -> Vec<Update> {
+    vec![
+        Update::insert("r2", Tuple::ints([2, 3])),
+        Update::insert("r1", Tuple::ints([4, 2])),
+    ]
+}
+
+#[test]
+fn example2_over_tcp_matches_in_memory_run() {
+    let view = view2();
+
+    // Reference in-memory run. Source::serve executes its entire script
+    // before answering anything — the AllUpdatesFirst interleaving.
+    let reference = {
+        let source = build_source();
+        let initial = view.eval(&source.snapshot()).unwrap();
+        let maintainer = AlgorithmKind::Eca.instantiate(&view, initial).unwrap();
+        Simulation::new(source, maintainer, script())
+            .unwrap()
+            .run(Policy::AllUpdatesFirst)
+            .unwrap()
+    };
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let source_thread = thread::spawn(move || {
+        let mut source = build_source();
+        let (stream, _) = listener.accept().unwrap();
+        let mut transport = TcpTransport::new(stream, Role::Source, TransferMeter::new()).unwrap();
+        source.serve(&mut transport, &script()).unwrap()
+    });
+
+    let meter = TransferMeter::new();
+    let mut transport = TcpTransport::connect(addr, Role::Warehouse, meter.clone()).unwrap();
+    let mut warehouse = Warehouse::new();
+    let src = warehouse.add_source("source");
+    let initial = view.eval(&build_source().snapshot()).unwrap();
+    let view_id = warehouse
+        .add_view(src, AlgorithmKind::Eca.instantiate(&view, initial).unwrap())
+        .unwrap();
+
+    let mut notifications = 0u64;
+    while notifications < reference.notification_messages || !warehouse.is_quiescent() {
+        let msg = transport
+            .recv()
+            .unwrap()
+            .expect("source hung up before the warehouse settled");
+        if matches!(msg, Message::UpdateNotification { .. }) {
+            notifications += 1;
+        }
+        if let Message::QueryAnswer { answer, .. } = &msg {
+            transport.meter().record_answer_payload(
+                answer.encoded_len() as u64,
+                answer.pos_len() + answer.neg_len(),
+            );
+        }
+        for reply in warehouse.on_message(src, msg).unwrap() {
+            transport.send(&reply).unwrap();
+        }
+    }
+    drop(transport); // hang up: ends the source's serve loop
+    let stats = source_thread.join().unwrap();
+
+    assert_eq!(warehouse.materialized(view_id), &reference.final_mv);
+    assert!(warehouse.is_quiescent());
+    assert_eq!(stats.notifications, reference.notification_messages);
+    // Framing (the length prefix) is never metered: the wire run reports
+    // the paper's M and B identically to the simulator.
+    assert_eq!(meter.messages_w2s(), reference.query_messages);
+    assert_eq!(
+        meter.messages_s2w() - stats.notifications,
+        reference.answer_messages
+    );
+    assert_eq!(meter.answer_bytes(), reference.answer_bytes);
+    assert_eq!(meter.bytes_s2w(), reference.bytes_s2w);
+    assert_eq!(meter.bytes_w2s(), reference.bytes_w2s);
+}
