@@ -20,6 +20,7 @@
 
 pub mod json;
 pub mod scenario_file;
+pub mod throughput;
 
 use eca_core::algorithms::AlgorithmKind;
 use eca_sim::{Policy, RunReport, Simulation};

@@ -1,0 +1,442 @@
+//! End-to-end throughput harness: serial vs concurrent warehouse runtime.
+//!
+//! Each scenario deploys M autonomous sources × V ECA views per source ×
+//! U scripted updates per source, with a simulated per-block device
+//! latency at every source (the paper's cost model is block I/O; the
+//! latency turns counted blocks into wall time so throughput observes
+//! the waiting the counts imply). Both runtimes speak the same protocol
+//! over [`SharedFifo`] links and answer every query on the post-script
+//! state, so `M`, `B` and block-read totals are *identical* — the only
+//! thing that differs is wall-clock time:
+//!
+//! * **serial** — the PR-2 status quo: one thread interleaves script
+//!   execution, `Warehouse::pump`, and one-at-a-time source answering,
+//!   so every block wait is paid sequentially;
+//! * **concurrent** — [`eca_warehouse::ConcurrentWarehouse::pump_all`] (a pump thread
+//!   per source) against [`Source::serve_pool`] (N answer workers per
+//!   source over snapshot reads), overlapping waits across sources and
+//!   across outstanding queries.
+//!
+//! The harness asserts convergence (every view equals its definition
+//! evaluated on the final base state) and meter equality between the two
+//! runtimes before reporting a single updates/sec number for each.
+
+use std::time::{Duration, Instant};
+
+use eca_core::algorithms::AlgorithmKind;
+use eca_core::ViewDef;
+use eca_relational::{Predicate, Schema, SignedBag, Tuple, Update};
+use eca_source::Source;
+use eca_storage::Scenario;
+use eca_warehouse::{SourceId, ViewId, Warehouse};
+use eca_wire::{Message, SharedFifo, TransferMeter, Transport};
+
+use crate::json::Json;
+
+/// One throughput scenario: M sources × V views × U updates.
+#[derive(Clone, Copy, Debug)]
+pub struct ThroughputConfig {
+    /// Number of autonomous sources (and pump threads).
+    pub sources: usize,
+    /// ECA views hosted per source.
+    pub views_per_source: usize,
+    /// Scripted updates per source (insert-only, so all effective).
+    pub updates_per_source: usize,
+    /// Answer workers per source in the concurrent runtime.
+    pub workers: usize,
+    /// Simulated device latency per block read at each source.
+    pub io_latency: Duration,
+}
+
+impl ThroughputConfig {
+    /// Total effective updates across all sources.
+    pub fn total_updates(&self) -> u64 {
+        (self.sources * self.updates_per_source) as u64
+    }
+}
+
+/// What one runtime did on one scenario.
+#[derive(Clone, Copy, Debug)]
+pub struct RuntimeResult {
+    /// Wall-clock time from first update to full quiescence.
+    pub wall: Duration,
+    /// Effective updates processed per second of wall time.
+    pub updates_per_sec: f64,
+    /// Query round-trips (queries sent == answers received).
+    pub query_roundtrips: u64,
+    /// Total messages in both directions across all links (paper `M`
+    /// plus update notifications).
+    pub messages: u64,
+    /// Total bytes source → warehouse (includes answer payloads).
+    pub bytes_s2w: u64,
+    /// Answer payload bytes (the paper's `B`).
+    pub answer_bytes: u64,
+    /// Total source block reads charged to query evaluation.
+    pub io_reads: u64,
+}
+
+/// Serial and concurrent results for one configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ScenarioResult {
+    /// The configuration that was run.
+    pub config: ThroughputConfig,
+    /// The single-threaded baseline.
+    pub serial: RuntimeResult,
+    /// The thread-per-source runtime.
+    pub concurrent: RuntimeResult,
+}
+
+impl ScenarioResult {
+    /// Concurrent updates/sec over serial updates/sec.
+    pub fn speedup(&self) -> f64 {
+        self.concurrent.updates_per_sec / self.serial.updates_per_sec
+    }
+
+    /// JSON object for the artifact files.
+    pub fn to_json(&self) -> Json {
+        let runtime = |r: &RuntimeResult| {
+            Json::obj([
+                ("wall_seconds", Json::Num(r.wall.as_secs_f64())),
+                ("updates_per_sec", Json::Num(r.updates_per_sec)),
+                ("query_roundtrips", Json::Int(r.query_roundtrips as i64)),
+                ("messages", Json::Int(r.messages as i64)),
+                ("bytes_s2w", Json::Int(r.bytes_s2w as i64)),
+                ("answer_bytes", Json::Int(r.answer_bytes as i64)),
+                ("io_reads", Json::Int(r.io_reads as i64)),
+            ])
+        };
+        Json::obj([
+            ("sources", Json::Int(self.config.sources as i64)),
+            (
+                "views_per_source",
+                Json::Int(self.config.views_per_source as i64),
+            ),
+            (
+                "updates_per_source",
+                Json::Int(self.config.updates_per_source as i64),
+            ),
+            ("workers", Json::Int(self.config.workers as i64)),
+            (
+                "io_latency_us",
+                Json::Int(self.config.io_latency.as_micros() as i64),
+            ),
+            ("serial", runtime(&self.serial)),
+            ("concurrent", runtime(&self.concurrent)),
+            ("speedup", Json::Num(self.speedup())),
+        ])
+    }
+}
+
+/// Join attribute domain size: every insert joins with a few preloaded
+/// rows, so compensating queries return non-trivial answers.
+const JOIN_DOMAIN: i64 = 17;
+/// Preloaded rows per relation.
+const PRELOAD: i64 = 50;
+
+fn relation_names(s: usize) -> (String, String) {
+    (format!("t{s}_1"), format!("t{s}_2"))
+}
+
+/// A freshly loaded source `s` plus the definitions of its views.
+fn build_source(s: usize, cfg: &ThroughputConfig) -> (Source, Vec<ViewDef>) {
+    let (r1, r2) = relation_names(s);
+    let mut source = Source::new(Scenario::Indexed);
+    source
+        .add_relation(Schema::new(&r1, &["W", "X"]), 20, Some("X"), &[])
+        .unwrap();
+    source
+        .add_relation(Schema::new(&r2, &["X", "Y"]), 20, Some("X"), &[])
+        .unwrap();
+    source
+        .load(&r1, (0..PRELOAD).map(|j| Tuple::ints([j, j % JOIN_DOMAIN])))
+        .unwrap();
+    source
+        .load(
+            &r2,
+            (0..PRELOAD).map(|j| Tuple::ints([j % JOIN_DOMAIN, 3000 + j])),
+        )
+        .unwrap();
+    source.set_io_latency(cfg.io_latency);
+    let views = (0..cfg.views_per_source)
+        .map(|v| {
+            ViewDef::new(
+                format!("V{s}_{v}"),
+                vec![Schema::new(&r1, &["W", "X"]), Schema::new(&r2, &["X", "Y"])],
+                Predicate::col_eq(1, 2),
+                vec![0],
+            )
+            .unwrap()
+        })
+        .collect();
+    (source, views)
+}
+
+/// Insert-only script for source `s`: alternating inserts into both
+/// relations, always landing in the join domain.
+fn build_script(s: usize, cfg: &ThroughputConfig) -> Vec<Update> {
+    let (r1, r2) = relation_names(s);
+    (0..cfg.updates_per_source as i64)
+        .map(|i| {
+            if i % 2 == 0 {
+                Update::insert(&r1, Tuple::ints([1000 + i, i % JOIN_DOMAIN]))
+            } else {
+                Update::insert(&r2, Tuple::ints([i % JOIN_DOMAIN, 2000 + i]))
+            }
+        })
+        .collect()
+}
+
+/// A full deployment, ready to run: sources, scripts, transports, and a
+/// warehouse hosting every view.
+struct Deployment {
+    sources: Vec<Source>,
+    scripts: Vec<Vec<Update>>,
+    views: Vec<Vec<ViewDef>>,
+    view_ids: Vec<Vec<ViewId>>,
+    src_ends: Vec<SharedFifo>,
+    wh_ends: Vec<SharedFifo>,
+    meters: Vec<TransferMeter>,
+    warehouse: Warehouse,
+}
+
+fn deploy(cfg: &ThroughputConfig) -> Deployment {
+    let mut d = Deployment {
+        sources: Vec::new(),
+        scripts: Vec::new(),
+        views: Vec::new(),
+        view_ids: Vec::new(),
+        src_ends: Vec::new(),
+        wh_ends: Vec::new(),
+        meters: Vec::new(),
+        warehouse: Warehouse::new(),
+    };
+    // Throughput runs measure maintenance, not the §3.1 history audit:
+    // without this, cloning the ever-growing MV after every event is
+    // O(U²) CPU per view and (on few cores) drowns the I/O waiting both
+    // runtimes are supposed to expose.
+    d.warehouse.set_record_history(false);
+    for s in 0..cfg.sources {
+        let (source, views) = build_source(s, cfg);
+        let src = d.warehouse.add_source(format!("s{s}"));
+        let mut ids = Vec::new();
+        for view in &views {
+            let initial = view.eval(&source.snapshot()).unwrap();
+            let maintainer = AlgorithmKind::Eca.instantiate(view, initial).unwrap();
+            ids.push(d.warehouse.add_view(src, maintainer).unwrap());
+        }
+        let meter = TransferMeter::new();
+        let (src_end, wh_end) = SharedFifo::pair(meter.clone());
+        d.sources.push(source);
+        d.scripts.push(build_script(s, cfg));
+        d.views.push(views);
+        d.view_ids.push(ids);
+        d.src_ends.push(src_end);
+        d.wh_ends.push(wh_end);
+        d.meters.push(meter);
+    }
+    d
+}
+
+/// Collect a [`RuntimeResult`] from a finished deployment's meters.
+fn collect(
+    cfg: &ThroughputConfig,
+    wall: Duration,
+    meters: &[TransferMeter],
+    sources: &[Source],
+) -> RuntimeResult {
+    let messages: u64 = meters
+        .iter()
+        .map(|m| m.messages_s2w() + m.messages_w2s())
+        .sum();
+    RuntimeResult {
+        wall,
+        updates_per_sec: cfg.total_updates() as f64 / wall.as_secs_f64(),
+        query_roundtrips: meters.iter().map(|m| m.messages_w2s()).sum(),
+        messages,
+        bytes_s2w: meters.iter().map(|m| m.bytes_s2w()).sum(),
+        answer_bytes: meters.iter().map(|m| m.answer_bytes()).sum(),
+        io_reads: sources.iter().map(|s| s.io_meter().query_reads()).sum(),
+    }
+}
+
+/// Check every view against its definition evaluated on the final base
+/// state.
+fn assert_converged(views: &[Vec<ViewDef>], sources: &[Source], materialized: &[Vec<SignedBag>]) {
+    for (s, source) in sources.iter().enumerate() {
+        let snapshot = source.snapshot();
+        for (v, view) in views[s].iter().enumerate() {
+            let expected = view.eval(&snapshot).unwrap();
+            assert_eq!(
+                materialized[s][v], expected,
+                "view V{s}_{v} diverged from its definition"
+            );
+        }
+    }
+}
+
+/// Run the serial baseline: one thread does everything, so every block
+/// wait at every source is paid sequentially. Updates all execute first
+/// (the same AllUpdatesFirst phase structure `Source::serve` imposes),
+/// then warehouse pump and source answering alternate until quiescence.
+pub fn run_serial(cfg: &ThroughputConfig) -> (RuntimeResult, Vec<Vec<SignedBag>>) {
+    let mut d = deploy(cfg);
+    let start = Instant::now();
+    for s in 0..cfg.sources {
+        for u in &d.scripts[s].clone() {
+            assert!(d.sources[s].execute_update(u));
+            d.src_ends[s]
+                .send(&Message::UpdateNotification { update: u.clone() })
+                .unwrap();
+        }
+    }
+    loop {
+        let mut progress = false;
+        for s in 0..cfg.sources {
+            let src = SourceId(s);
+            progress |= d.warehouse.pump(src, &mut d.wh_ends[s]).unwrap() > 0;
+            while let Some(msg) = d.src_ends[s].try_recv().unwrap() {
+                let Message::QueryRequest { id, query } = msg else {
+                    panic!("unexpected message at source {s}");
+                };
+                // The warehouse pump records answer payloads on the
+                // shared meter; the source side must not double-count.
+                let answer = d.sources[s].answer(&query).unwrap();
+                d.src_ends[s]
+                    .send(&Message::QueryAnswer { id, answer })
+                    .unwrap();
+                progress = true;
+            }
+        }
+        if !progress && d.warehouse.is_quiescent() {
+            break;
+        }
+    }
+    let wall = start.elapsed();
+    let materialized: Vec<Vec<SignedBag>> = d
+        .view_ids
+        .iter()
+        .map(|ids| {
+            ids.iter()
+                .map(|id| d.warehouse.materialized(*id).clone())
+                .collect()
+        })
+        .collect();
+    assert_converged(&d.views, &d.sources, &materialized);
+    (collect(cfg, wall, &d.meters, &d.sources), materialized)
+}
+
+/// Run the concurrent runtime: `Source::serve_pool` per source thread,
+/// [`eca_warehouse::ConcurrentWarehouse::pump_all`] on the warehouse
+/// side.
+pub fn run_concurrent(cfg: &ThroughputConfig) -> (RuntimeResult, Vec<Vec<SignedBag>>) {
+    let d = deploy(cfg);
+    let cw = d.warehouse.into_concurrent();
+    let expected = d.scripts.iter().map(|s| s.len() as u64);
+    let endpoints: Vec<(SourceId, Box<dyn Transport + Send>, u64)> = d
+        .wh_ends
+        .into_iter()
+        .zip(expected)
+        .enumerate()
+        .map(|(s, (t, n))| (SourceId(s), Box::new(t) as Box<dyn Transport + Send>, n))
+        .collect();
+
+    let start = Instant::now();
+    let sources: Vec<Source> = std::thread::scope(|scope| {
+        let handles: Vec<_> = d
+            .sources
+            .into_iter()
+            .zip(d.src_ends)
+            .zip(&d.scripts)
+            .map(|((mut source, mut src_end), script)| {
+                scope.spawn(move || {
+                    let stats = source
+                        .serve_pool(&mut src_end, script, cfg.workers)
+                        .unwrap();
+                    assert_eq!(stats.notifications, script.len() as u64);
+                    source
+                })
+            })
+            .collect();
+        // pump_all returns once every shard settles, dropping the
+        // transports — which hangs up the serve_pool loops.
+        cw.pump_all(endpoints).unwrap();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall = start.elapsed();
+
+    assert!(cw.is_quiescent());
+    let materialized: Vec<Vec<SignedBag>> = d
+        .view_ids
+        .iter()
+        .map(|ids| ids.iter().map(|id| cw.materialized(*id)).collect())
+        .collect();
+    assert_converged(&d.views, &sources, &materialized);
+    (collect(cfg, wall, &d.meters, &sources), materialized)
+}
+
+/// Run one configuration under both runtimes and cross-check them: both
+/// must converge to the same views with identical message, byte, and
+/// block-read totals (the protocol is deterministic up to scheduling;
+/// only wall time may differ).
+pub fn run_scenario(cfg: ThroughputConfig) -> ScenarioResult {
+    let (serial, serial_views) = run_serial(&cfg);
+    let (concurrent, concurrent_views) = run_concurrent(&cfg);
+    assert_eq!(serial_views, concurrent_views, "runtimes disagree on views");
+    assert_eq!(
+        serial.messages, concurrent.messages,
+        "message counts differ"
+    );
+    assert_eq!(serial.bytes_s2w, concurrent.bytes_s2w, "byte counts differ");
+    assert_eq!(serial.io_reads, concurrent.io_reads, "block reads differ");
+    ScenarioResult {
+        config: cfg,
+        serial,
+        concurrent,
+    }
+}
+
+/// The default sweep: scale source count at fixed per-source load.
+pub fn sweep(smoke: bool, io_latency: Duration) -> Vec<ScenarioResult> {
+    let configs: Vec<ThroughputConfig> = if smoke {
+        vec![ThroughputConfig {
+            sources: 4,
+            views_per_source: 2,
+            updates_per_source: 30,
+            workers: 4,
+            io_latency,
+        }]
+    } else {
+        [1usize, 2, 4, 8]
+            .into_iter()
+            .map(|sources| ThroughputConfig {
+                sources,
+                views_per_source: 4,
+                updates_per_source: 100,
+                workers: 8,
+                io_latency,
+            })
+            .collect()
+    };
+    configs.into_iter().map(run_scenario).collect()
+}
+
+/// The artifact document written to `results/throughput.json` and
+/// `BENCH_throughput.json`.
+pub fn report(results: &[ScenarioResult]) -> Json {
+    Json::obj([
+        (
+            "benchmark",
+            Json::str("serial vs concurrent warehouse runtime throughput"),
+        ),
+        (
+            "method",
+            Json::str(
+                "M sources x V ECA views x U insert updates over SharedFifo links; \
+                 per-block simulated device latency at each source; both runtimes \
+                 answer on post-script state so M/B/reads are identical and only \
+                 wall time differs",
+            ),
+        ),
+        ("scenarios", Json::arr(results.iter().map(|r| r.to_json()))),
+    ])
+}

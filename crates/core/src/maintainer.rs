@@ -31,7 +31,11 @@ pub struct OutboundQuery {
 /// follow the source's update order, and `on_answer` calls follow the order
 /// in which queries were emitted (FIFO channels, paper §3's message
 /// ordering assumption).
-pub trait ViewMaintainer {
+///
+/// `Send` is a supertrait so maintainers can migrate into the per-source
+/// pump threads of the concurrent warehouse runtime; all implementations
+/// are plain owned data, so this costs nothing.
+pub trait ViewMaintainer: Send {
     /// Short algorithm name for traces and reports (e.g. `"ECA"`).
     fn algorithm(&self) -> &'static str;
 

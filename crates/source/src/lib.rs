@@ -16,10 +16,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
 use eca_core::basedb::BaseDb;
+use eca_core::QueryId;
 use eca_relational::{Schema, SignedBag, Update};
 use eca_storage::{IoMeter, Scenario, StorageEngine, StorageError};
-use eca_wire::{Message, Transport, TransportError, WireQuery};
+use eca_wire::{Message, Readiness, Transport, TransportError, WireQuery};
 
 /// Errors raised by the source.
 #[derive(Debug)]
@@ -82,6 +87,9 @@ pub struct Source {
     updates_executed: u64,
     /// Count of queries answered.
     queries_answered: u64,
+    /// Simulated device latency paid per metered block read while
+    /// answering a query. Zero (the default) disables the simulation.
+    io_latency: Duration,
 }
 
 impl Source {
@@ -92,6 +100,7 @@ impl Source {
             catalog: Vec::new(),
             updates_executed: 0,
             queries_answered: 0,
+            io_latency: Duration::ZERO,
         }
     }
 
@@ -159,6 +168,21 @@ impl Source {
         self.engine.enable_term_batching();
     }
 
+    /// Pay a simulated device latency of `per_block` for every block read
+    /// charged while answering a query. The paper's cost model (§6,
+    /// Appendix D) is block I/O; this turns the counted blocks into wall
+    /// time so throughput experiments observe the waiting the counts
+    /// imply. Zero (the default) leaves evaluation instantaneous and all
+    /// deterministic tests unaffected.
+    pub fn set_io_latency(&mut self, per_block: Duration) {
+        self.io_latency = per_block;
+    }
+
+    /// Sleep for `blocks` worth of simulated device time.
+    fn pay_io_latency(&self, blocks: u64) {
+        pay_latency(self.io_latency, blocks);
+    }
+
     /// Updates executed so far.
     pub fn updates_executed(&self) -> u64 {
         self.updates_executed
@@ -189,7 +213,9 @@ impl Source {
         let rebuilt = query
             .to_query(&self.catalog)
             .map_err(SourceError::BadQuery)?;
+        let before = self.engine.meter().query_reads();
         let answer = self.engine.eval_query(&rebuilt)?;
+        self.pay_io_latency(self.engine.meter().query_reads() - before);
         self.queries_answered += 1;
         Ok(answer)
     }
@@ -231,6 +257,120 @@ impl Source {
         transport: &mut dyn Transport,
         script: &[Update],
     ) -> Result<ServeStats, SourceError> {
+        let mut stats = self.run_script(transport, script)?;
+        stats.answers = self.answer_loop(transport)?;
+        Ok(stats)
+    }
+
+    /// Like [`Source::serve`], but answers up to `workers` outstanding
+    /// queries concurrently, each on a private read-only snapshot of the
+    /// post-script base relations. Per-connection FIFO answer order is
+    /// preserved — a sequencer releases completed answers strictly in the
+    /// order their queries arrived, so the warehouse observes exactly the
+    /// event history §3's channel assumption promises — and every block
+    /// read a worker performs is re-charged to this source's main
+    /// [`IoMeter`], keeping `M`/`B`/read accounting identical to the
+    /// serial loop. With `workers <= 1` this *is* [`Source::serve`].
+    ///
+    /// Snapshots are sound here because `serve`'s protocol executes the
+    /// whole script before the answer phase: base relations no longer
+    /// change while queries are in flight, so "state at query receipt"
+    /// and "state at pool start" coincide.
+    ///
+    /// # Errors
+    /// As [`Source::serve`]; worker-side evaluation errors are propagated
+    /// to the caller.
+    pub fn serve_pool(
+        &mut self,
+        transport: &mut dyn Transport,
+        script: &[Update],
+        workers: usize,
+    ) -> Result<ServeStats, SourceError> {
+        let mut stats = self.run_script(transport, script)?;
+        if workers <= 1 {
+            stats.answers = self.answer_loop(transport)?;
+            return Ok(stats);
+        }
+
+        let catalog = &self.catalog;
+        let io_latency = self.io_latency;
+        let main_meter = self.engine.meter().clone();
+        let snapshots: Vec<StorageEngine> = (0..workers)
+            .map(|_| self.engine.snapshot_reader(IoMeter::new()))
+            .collect();
+        let pool = PoolShared::new();
+        let mut answered = 0u64;
+
+        let outcome = std::thread::scope(|scope| -> Result<u64, SourceError> {
+            for snapshot in snapshots {
+                let pool = &pool;
+                scope.spawn(move || pool.worker(snapshot, catalog, io_latency));
+            }
+
+            let mut next_seq = 0u64; // next job number to hand out
+            let mut next_to_send = 0u64; // FIFO sequencer cursor
+            let mut hung_up = false;
+            let mut sent = 0u64;
+            loop {
+                // Release every answer that is ready *and* next in FIFO
+                // order. After a hang-up the peer no longer wants them,
+                // so completed work is drained and discarded.
+                for (id, answer, reads) in pool.take_ready(&mut next_to_send)? {
+                    main_meter.charge_read(reads);
+                    sent += 1;
+                    if hung_up {
+                        continue;
+                    }
+                    transport.meter().record_answer_payload(
+                        answer.encoded_len() as u64,
+                        answer.pos_len() + answer.neg_len(),
+                    );
+                    transport.send(&Message::QueryAnswer { id, answer })?;
+                    answered += 1;
+                }
+                let outstanding = next_seq - sent;
+                if hung_up && outstanding == 0 {
+                    break;
+                }
+                if outstanding == 0 {
+                    // Nothing in flight: block until the warehouse speaks
+                    // or hangs up.
+                    match transport.recv()? {
+                        Some(msg) => pool.submit(next_seq, msg)?,
+                        None => hung_up = true,
+                    }
+                    if !hung_up {
+                        next_seq += 1;
+                    }
+                    continue;
+                }
+                match transport.poll()? {
+                    Readiness::Ready => {
+                        if let Some(msg) = transport.try_recv()? {
+                            pool.submit(next_seq, msg)?;
+                            next_seq += 1;
+                        }
+                    }
+                    Readiness::Closed => hung_up = true,
+                    Readiness::Idle => pool.wait_for_result(Duration::from_millis(1)),
+                }
+            }
+            pool.shutdown();
+            Ok(answered)
+        });
+        pool.shutdown(); // idempotent; covers the early-error path
+        stats.answers = outcome?;
+        self.queries_answered += stats.answers;
+        Ok(stats)
+    }
+
+    /// Execute `script`, notifying the warehouse of each effective update
+    /// (the `S_up` half of a serve session).
+    fn run_script(
+        &mut self,
+        transport: &mut dyn Transport,
+        script: &[Update],
+    ) -> Result<ServeStats, SourceError> {
         let mut stats = ServeStats::default();
         for update in script {
             stats.updates += 1;
@@ -241,6 +381,13 @@ impl Source {
                 stats.notifications += 1;
             }
         }
+        Ok(stats)
+    }
+
+    /// Answer queries one at a time until the warehouse hangs up (the
+    /// `S_qu` half of a serve session). Returns the number answered.
+    fn answer_loop(&mut self, transport: &mut dyn Transport) -> Result<u64, SourceError> {
+        let mut answers = 0u64;
         while let Some(msg) = transport.recv()? {
             let Message::QueryRequest { id, query } = msg else {
                 return Err(SourceError::Protocol(
@@ -253,9 +400,9 @@ impl Source {
                 answer.pos_len() + answer.neg_len(),
             );
             transport.send(&Message::QueryAnswer { id, answer })?;
-            stats.answers += 1;
+            answers += 1;
         }
-        Ok(stats)
+        Ok(answers)
     }
 
     /// A logical snapshot of the current base relations — used by the
@@ -274,6 +421,132 @@ impl Source {
             }
         }
         db
+    }
+}
+
+/// Sleep for `blocks` worth of simulated device time (free-standing so
+/// pool workers can pay without a `Source` handle).
+fn pay_latency(per_block: Duration, blocks: u64) {
+    if per_block > Duration::ZERO && blocks > 0 {
+        let capped = blocks.min(u64::from(u32::MAX)) as u32;
+        std::thread::sleep(per_block.saturating_mul(capped));
+    }
+}
+
+/// One query handed to the worker pool, tagged with its arrival sequence
+/// number — the FIFO position its answer must be released at.
+struct PoolJob {
+    seq: u64,
+    id: QueryId,
+    query: WireQuery,
+}
+
+/// `(id, answer, block reads charged)` or the worker-side failure.
+type PoolResult = Result<(QueryId, SignedBag, u64), SourceError>;
+
+/// Queues shared between `serve_pool`'s dispatcher and its workers.
+struct PoolShared {
+    jobs: Mutex<(VecDeque<PoolJob>, bool)>,
+    jobs_cv: Condvar,
+    results: Mutex<BTreeMap<u64, PoolResult>>,
+    results_cv: Condvar,
+}
+
+/// Lock recovering from poisoning: a panicked worker must not wedge the
+/// dispatcher, which still needs to drain and report the error.
+fn pool_lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl PoolShared {
+    fn new() -> Self {
+        PoolShared {
+            jobs: Mutex::new((VecDeque::new(), false)),
+            jobs_cv: Condvar::new(),
+            results: Mutex::new(BTreeMap::new()),
+            results_cv: Condvar::new(),
+        }
+    }
+
+    /// Validate and enqueue an incoming message as job `seq`.
+    fn submit(&self, seq: u64, msg: Message) -> Result<(), SourceError> {
+        let Message::QueryRequest { id, query } = msg else {
+            return Err(SourceError::Protocol(
+                "warehouse -> source carries only QueryRequest",
+            ));
+        };
+        pool_lock(&self.jobs)
+            .0
+            .push_back(PoolJob { seq, id, query });
+        self.jobs_cv.notify_one();
+        Ok(())
+    }
+
+    /// Remove and return every completed answer that is next in FIFO
+    /// order, advancing `next_to_send` past each. A worker error is
+    /// propagated at its FIFO position.
+    fn take_ready(
+        &self,
+        next_to_send: &mut u64,
+    ) -> Result<Vec<(QueryId, SignedBag, u64)>, SourceError> {
+        let mut ready = Vec::new();
+        let mut results = pool_lock(&self.results);
+        while let Some(result) = results.remove(next_to_send) {
+            *next_to_send += 1;
+            ready.push(result?);
+        }
+        Ok(ready)
+    }
+
+    /// Park the dispatcher until a worker finishes (or `timeout` passes).
+    fn wait_for_result(&self, timeout: Duration) {
+        let results = pool_lock(&self.results);
+        if results.is_empty() {
+            drop(
+                self.results_cv
+                    .wait_timeout(results, timeout)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner),
+            );
+        }
+    }
+
+    /// Tell every worker to exit once the job queue drains. Idempotent.
+    fn shutdown(&self) {
+        pool_lock(&self.jobs).1 = true;
+        self.jobs_cv.notify_all();
+    }
+
+    /// Worker body: evaluate jobs on a private snapshot, paying the
+    /// simulated device latency for exactly the blocks this query read.
+    fn worker(&self, snapshot: StorageEngine, catalog: &[Schema], io_latency: Duration) {
+        let meter = snapshot.meter().clone();
+        loop {
+            let job = {
+                let mut guard = pool_lock(&self.jobs);
+                loop {
+                    if let Some(job) = guard.0.pop_front() {
+                        break job;
+                    }
+                    if guard.1 {
+                        return;
+                    }
+                    guard = self
+                        .jobs_cv
+                        .wait(guard)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+            };
+            let before = meter.query_reads();
+            let result = job
+                .query
+                .to_query(catalog)
+                .map_err(SourceError::BadQuery)
+                .and_then(|q| snapshot.eval_query(&q).map_err(SourceError::from));
+            let reads = meter.query_reads() - before;
+            pay_latency(io_latency, reads);
+            pool_lock(&self.results).insert(job.seq, result.map(|answer| (job.id, answer, reads)));
+            self.results_cv.notify_all();
+        }
     }
 }
 
@@ -407,6 +680,58 @@ mod tests {
             Some(eca_wire::Message::QueryAnswer { .. })
         ));
         assert!(src_end.meter().answer_bytes() > 0);
+    }
+
+    #[test]
+    fn serve_pool_matches_serve_and_preserves_fifo_order() {
+        use eca_wire::{SharedFifo, TransferMeter};
+
+        // Reference: the serial loop.
+        let (serial_answer, serial_reads) = {
+            let (mut s, view) = example_source(Scenario::Indexed);
+            s.execute_update(&Update::insert("r2", Tuple::ints([2, 3])));
+            let q = WireQuery::from_query(&view.as_query());
+            let a = s.answer(&q).unwrap();
+            (a, s.io_meter().query_reads())
+        };
+
+        let (mut src_end, mut wh_end) = SharedFifo::pair(TransferMeter::new());
+        let (mut s, view) = example_source(Scenario::Indexed);
+        s.set_io_latency(Duration::from_micros(50));
+        let script = vec![Update::insert("r2", Tuple::ints([2, 3]))];
+        let source_thread = std::thread::spawn(move || {
+            let stats = s.serve_pool(&mut src_end, &script, 3).unwrap();
+            (stats, s.io_meter().query_reads(), s.queries_answered())
+        });
+
+        assert!(matches!(
+            wh_end.recv().unwrap(),
+            Some(Message::UpdateNotification { .. })
+        ));
+        // Four copies of the same query in flight at once.
+        let q = WireQuery::from_query(&view.as_query());
+        for i in 1..=4u64 {
+            wh_end
+                .send(&Message::QueryRequest {
+                    id: QueryId(i),
+                    query: q.clone(),
+                })
+                .unwrap();
+        }
+        for i in 1..=4u64 {
+            let Some(Message::QueryAnswer { id, answer }) = wh_end.recv().unwrap() else {
+                panic!("expected an answer");
+            };
+            assert_eq!(id, QueryId(i), "answers must come back in FIFO order");
+            assert_eq!(answer, serial_answer);
+        }
+        drop(wh_end); // hang up
+        let (stats, reads, answered) = source_thread.join().unwrap();
+        assert_eq!(stats.answers, 4);
+        assert_eq!(answered, 4);
+        // Worker reads are re-charged to the main meter: 4 copies of the
+        // query cost exactly 4x the serial single-query reads.
+        assert_eq!(reads, 4 * serial_reads);
     }
 
     #[test]

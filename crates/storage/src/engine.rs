@@ -165,6 +165,30 @@ impl StorageEngine {
         &self.meter
     }
 
+    /// A read-only snapshot of the engine for one concurrent query worker.
+    ///
+    /// Tables are copied at their current contents and rebound to `meter`,
+    /// so the worker's block reads accumulate on its own meter — giving
+    /// exact per-query read deltas even when many workers run at once. The
+    /// snapshot shares no mutable state with `self`: updates applied to
+    /// the live engine after the snapshot are not visible, which is
+    /// precisely the "state as of query receipt" semantics the paper's
+    /// source model assumes. The block cache is dropped (each worker pays
+    /// cold reads, matching the paper's no-caching cost model).
+    pub fn snapshot_reader(&self, meter: IoMeter) -> StorageEngine {
+        let mut tables = self.tables.clone();
+        for table in tables.values_mut() {
+            table.rebind_meter(meter.clone());
+        }
+        StorageEngine {
+            tables,
+            scenario: self.scenario,
+            meter,
+            cache: None,
+            batching: self.batching,
+        }
+    }
+
     /// The active scenario.
     pub fn scenario(&self) -> Scenario {
         self.scenario

@@ -1,0 +1,405 @@
+//! The concurrent warehouse runtime: one pump thread per source.
+//!
+//! The paper's premise (§1, Figure 1.1) is that sources are autonomous —
+//! nothing synchronizes update streams arriving from different sites, and
+//! §7 observes that with single-source views "ECA is simply applied to
+//! each view separately". That independence is exactly what this module
+//! exploits: warehouse state is **sharded by source**. Each
+//! [`ConcurrentWarehouse`] shard owns the session and the views routed to
+//! one source, behind its own lock, so pump threads progress without ever
+//! contending — the lock is the fallback that would serialize access if a
+//! future view spanned sources (none do today; see DESIGN.md §9).
+//!
+//! Correctness needs no cross-source ordering: ECA's §3 argument relies
+//! only on per-channel FIFO delivery of `W_up`/`W_ans` events, which each
+//! pump thread preserves by construction (it is the only consumer of its
+//! transport, and it applies events in arrival order under the shard
+//! lock). The deterministic single-threaded [`Warehouse`] remains the
+//! default for the simulator and all golden traces; this runtime is for
+//! wall-clock throughput.
+
+use std::sync::Mutex;
+
+use eca_core::QueryId;
+use eca_relational::{SignedBag, Update};
+use eca_wire::{Message, Transport, WireQuery};
+
+use crate::session::Session;
+use crate::{SourceId, ViewId, Warehouse, WarehouseError};
+
+/// One view hosted inside a shard. The global [`ViewId`] → (shard,
+/// local) mapping lives in [`ConcurrentWarehouse::view_index`].
+struct ShardView {
+    maintainer: Box<dyn eca_core::ViewMaintainer>,
+    states: Vec<SignedBag>,
+}
+
+/// All warehouse state owned by one source's pump thread.
+struct Shard {
+    session: Session,
+    views: Vec<ShardView>,
+    record_history: bool,
+}
+
+impl Shard {
+    /// A `W_up` event: fan the update out to every view in this shard
+    /// (they are all over this source by construction). Returned messages
+    /// carry session-global ids; `Route.view` holds *shard-local* view
+    /// indices.
+    fn on_update(&mut self, update: &Update) -> Result<Vec<Message>, WarehouseError> {
+        let mut out = Vec::new();
+        for idx in 0..self.views.len() {
+            let emitted = self.views[idx].maintainer.on_update(update)?;
+            self.record_states(idx);
+            for q in emitted {
+                let id = self.session.register(idx, q.id);
+                out.push(Message::QueryRequest {
+                    id,
+                    query: WireQuery::from_query(&q.query),
+                });
+            }
+        }
+        Ok(out)
+    }
+
+    /// A `W_ans` event: demux strictly by id, as in the serial runtime.
+    fn on_answer(
+        &mut self,
+        id: QueryId,
+        answer: SignedBag,
+    ) -> Result<Vec<Message>, WarehouseError> {
+        let route = self.session.take(id)?;
+        let emitted = self.views[route.view]
+            .maintainer
+            .on_answer(route.local, answer)?;
+        self.record_states(route.view);
+        let mut out = Vec::new();
+        for q in emitted {
+            let id = self.session.register(route.view, q.id);
+            out.push(Message::QueryRequest {
+                id,
+                query: WireQuery::from_query(&q.query),
+            });
+        }
+        Ok(out)
+    }
+
+    fn record_states(&mut self, idx: usize) {
+        if !self.record_history {
+            let _ = self.views[idx].maintainer.drain_intermediate_states();
+            return;
+        }
+        let entry = &mut self.views[idx];
+        let intermediates = entry.maintainer.drain_intermediate_states();
+        if intermediates.is_empty() {
+            entry.states.push(entry.maintainer.materialized().clone());
+        } else {
+            entry.states.extend(intermediates);
+        }
+    }
+
+    fn is_quiescent(&self) -> bool {
+        self.session.pending() == 0 && self.views.iter().all(|v| v.maintainer.is_quiescent())
+    }
+}
+
+/// A warehouse whose per-source state lives behind per-source locks so
+/// one pump thread per source can run maintenance concurrently.
+///
+/// Build one with [`Warehouse::into_concurrent`], drive it with
+/// [`ConcurrentWarehouse::pump_all`] (or [`ConcurrentWarehouse::pump`]
+/// from threads you manage yourself), then read results through the same
+/// accessors the serial runtime offers.
+pub struct ConcurrentWarehouse {
+    names: Vec<String>,
+    shards: Vec<Mutex<Shard>>,
+    /// Global [`ViewId`] → (shard, shard-local index).
+    view_index: Vec<(usize, usize)>,
+}
+
+/// Shard-lock helper: recovers from poisoning so a panicked pump thread
+/// cannot wedge result accessors (the data is a consistent prefix —
+/// maintainers mutate under the lock one event at a time).
+fn lock(shard: &Mutex<Shard>) -> std::sync::MutexGuard<'_, Shard> {
+    shard
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl Warehouse {
+    /// Reshape this warehouse into the sharded concurrent runtime.
+    ///
+    /// Must be called before any traffic: per-shard sessions are rebuilt
+    /// (shard-local routing), which is only sound while nothing is
+    /// pending.
+    ///
+    /// # Panics
+    /// If any session has outstanding queries.
+    pub fn into_concurrent(self) -> ConcurrentWarehouse {
+        assert!(
+            self.sources.iter().all(|s| s.session.pending() == 0),
+            "into_concurrent requires quiescent sessions"
+        );
+        let names: Vec<String> = self.sources.iter().map(|s| s.name.clone()).collect();
+        let mut shards: Vec<Shard> = (0..self.sources.len())
+            .map(|_| Shard {
+                session: Session::new(),
+                views: Vec::new(),
+                record_history: self.record_history,
+            })
+            .collect();
+        let mut view_index = Vec::with_capacity(self.views.len());
+        for (global, entry) in self.views.into_iter().enumerate() {
+            let shard = entry.source.0;
+            view_index.push((shard, shards[shard].views.len()));
+            debug_assert_eq!(view_index.len() - 1, global);
+            shards[shard].views.push(ShardView {
+                maintainer: entry.maintainer,
+                states: entry.states,
+            });
+        }
+        ConcurrentWarehouse {
+            names,
+            shards: shards.into_iter().map(Mutex::new).collect(),
+            view_index,
+        }
+    }
+}
+
+impl ConcurrentWarehouse {
+    /// Number of source shards.
+    pub fn source_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The name a source was registered under.
+    pub fn source_name(&self, source: SourceId) -> &str {
+        &self.names[source.0]
+    }
+
+    /// The current materialized state of a view (cloned out of its
+    /// shard).
+    pub fn materialized(&self, view: ViewId) -> SignedBag {
+        let (shard, local) = self.view_index[view.0];
+        lock(&self.shards[shard]).views[local]
+            .maintainer
+            .materialized()
+            .clone()
+    }
+
+    /// Every `MV` state a view passed through, starting with its initial
+    /// state — the warehouse half of the §3.1 consistency check.
+    pub fn view_states(&self, view: ViewId) -> Vec<SignedBag> {
+        let (shard, local) = self.view_index[view.0];
+        lock(&self.shards[shard]).views[local].states.clone()
+    }
+
+    /// Whether every shard is quiescent.
+    pub fn is_quiescent(&self) -> bool {
+        self.shards.iter().all(|s| lock(s).is_quiescent())
+    }
+
+    /// Pump one source's transport until `expected_notifications` update
+    /// notifications have arrived *and* the shard is quiescent. Blocks on
+    /// `recv`; intended to run on its own thread, one per source — which
+    /// is exactly what [`ConcurrentWarehouse::pump_all`] arranges.
+    ///
+    /// Answer payloads are **not** charged to the transport meter here:
+    /// concurrent deployments meter each link once, on the source side
+    /// (`Source::serve`/`serve_pool` record them), because both ends of a
+    /// [`eca_wire::SharedFifo`] share one meter.
+    ///
+    /// # Errors
+    /// [`WarehouseError::SourceHungUp`] if the peer disconnects before
+    /// the shard settles; transport, routing and maintainer failures.
+    pub fn pump(
+        &self,
+        source: SourceId,
+        transport: &mut dyn Transport,
+        expected_notifications: u64,
+    ) -> Result<u64, WarehouseError> {
+        let shard = &self.shards[source.0];
+        let mut notifications = 0u64;
+        let mut processed = 0u64;
+        loop {
+            if notifications >= expected_notifications && lock(shard).is_quiescent() {
+                return Ok(processed);
+            }
+            let Some(msg) = transport.recv()? else {
+                return Err(WarehouseError::SourceHungUp { source: source.0 });
+            };
+            processed += 1;
+            let replies = match msg {
+                Message::UpdateNotification { update } => {
+                    notifications += 1;
+                    lock(shard).on_update(&update)?
+                }
+                Message::QueryAnswer { id, answer } => lock(shard).on_answer(id, answer)?,
+                Message::QueryRequest { .. } => {
+                    return Err(WarehouseError::UnexpectedMessage {
+                        kind: "QueryRequest",
+                    })
+                }
+            };
+            for reply in replies {
+                transport.send(&reply)?;
+            }
+        }
+    }
+
+    /// Spawn one pump thread per endpoint and drive every source to
+    /// completion. `endpoints` pairs each source with its transport and
+    /// the number of update notifications to expect (the count of
+    /// *effective* updates in that source's script). Returns the total
+    /// number of messages processed.
+    ///
+    /// # Errors
+    /// The first error any pump thread hit.
+    pub fn pump_all(
+        &self,
+        endpoints: Vec<(SourceId, Box<dyn Transport + Send>, u64)>,
+    ) -> Result<u64, WarehouseError> {
+        let results: Vec<Result<u64, WarehouseError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = endpoints
+                .into_iter()
+                .map(|(source, mut transport, expected)| {
+                    scope.spawn(move || self.pump(source, transport.as_mut(), expected))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let mut total = 0u64;
+        for r in results {
+            total += r?;
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eca_core::algorithms::AlgorithmKind;
+    use eca_core::{BaseDb, ViewDef};
+    use eca_relational::{Predicate, Schema, Tuple};
+    use eca_wire::{SharedFifo, TransferMeter};
+
+    fn view_def(name: &str, r1: &str, r2: &str) -> ViewDef {
+        ViewDef::new(
+            name,
+            vec![Schema::new(r1, &["W", "X"]), Schema::new(r2, &["X", "Y"])],
+            Predicate::col_eq(1, 2),
+            vec![0],
+        )
+        .unwrap()
+    }
+
+    /// Two sources, one view each, pumped by two threads over SharedFifo
+    /// links with scripted "sources" on the far end: both views converge
+    /// and the runtime reports quiescence.
+    #[test]
+    fn two_source_pump_converges() {
+        let mut wh = Warehouse::new();
+        let mut dbs = Vec::new();
+        let mut views = Vec::new();
+        let mut ids = Vec::new();
+        for s in 0..2usize {
+            let src = wh.add_source(format!("s{s}"));
+            let (r1, r2) = (format!("q{s}_1"), format!("q{s}_2"));
+            let view = view_def(&format!("V{s}"), &r1, &r2);
+            let mut db = BaseDb::new();
+            db.register(&r1);
+            db.register(&r2);
+            db.insert(&r1, Tuple::ints([1, 2]));
+            let initial = view.eval(&db).unwrap();
+            let id = wh
+                .add_view(src, AlgorithmKind::Eca.instantiate(&view, initial).unwrap())
+                .unwrap();
+            dbs.push(db);
+            views.push(view);
+            ids.push((src, id));
+        }
+        let cw = wh.into_concurrent();
+
+        std::thread::scope(|scope| {
+            let mut endpoints = Vec::new();
+            for (s, db) in dbs.iter_mut().enumerate() {
+                let (mut src_end, wh_end) = SharedFifo::pair(TransferMeter::new());
+                let (r1, r2) = (format!("q{s}_1"), format!("q{s}_2"));
+                let updates = vec![
+                    Update::insert(&r2, Tuple::ints([2, 3])),
+                    Update::insert(&r1, Tuple::ints([4, 2])),
+                ];
+                endpoints.push((
+                    SourceId(s),
+                    Box::new(wh_end) as Box<dyn Transport + Send>,
+                    updates.len() as u64,
+                ));
+                scope.spawn(move || {
+                    // Scripted source: apply + notify, then answer every
+                    // query on the *final* state (AllUpdatesFirst).
+                    for u in &updates {
+                        db.apply(u);
+                        src_end
+                            .send(&Message::UpdateNotification { update: u.clone() })
+                            .unwrap();
+                    }
+                    let catalog =
+                        vec![Schema::new(&r1, &["W", "X"]), Schema::new(&r2, &["X", "Y"])];
+                    while let Some(msg) = src_end.recv().unwrap() {
+                        let Message::QueryRequest { id, query } = msg else {
+                            panic!("unexpected message at source");
+                        };
+                        let answer = query.to_query(&catalog).unwrap().eval(db).unwrap();
+                        src_end.send(&Message::QueryAnswer { id, answer }).unwrap();
+                    }
+                });
+            }
+            cw.pump_all(endpoints).unwrap();
+            // Dropping the endpoints hangs up the scripted sources.
+        });
+
+        assert!(cw.is_quiescent());
+        for (s, (_, id)) in ids.iter().enumerate() {
+            assert_eq!(cw.materialized(*id), views[s].eval(&dbs[s]).unwrap());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "quiescent sessions")]
+    fn into_concurrent_rejects_pending_sessions() {
+        let mut wh = Warehouse::new();
+        let src = wh.add_source("s");
+        let view = view_def("V", "r1", "r2");
+        let mut db = BaseDb::new();
+        db.register("r1");
+        db.register("r2");
+        let initial = view.eval(&db).unwrap();
+        wh.add_view(src, AlgorithmKind::Eca.instantiate(&view, initial).unwrap())
+            .unwrap();
+        // Put a query in flight, then try to convert.
+        wh.on_update(src, &Update::insert("r2", Tuple::ints([2, 3])))
+            .unwrap();
+        let _ = wh.into_concurrent();
+    }
+
+    #[test]
+    fn early_hangup_is_an_error() {
+        let mut wh = Warehouse::new();
+        let src = wh.add_source("s");
+        let view = view_def("V", "r1", "r2");
+        let mut db = BaseDb::new();
+        db.register("r1");
+        db.register("r2");
+        let initial = view.eval(&db).unwrap();
+        wh.add_view(src, AlgorithmKind::Eca.instantiate(&view, initial).unwrap())
+            .unwrap();
+        let cw = wh.into_concurrent();
+        let (src_end, mut wh_end) = SharedFifo::pair(TransferMeter::new());
+        drop(src_end); // peer gone before any notification
+        assert!(matches!(
+            cw.pump(src, &mut wh_end, 1),
+            Err(WarehouseError::SourceHungUp { source: 0 })
+        ));
+    }
+}

@@ -20,6 +20,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod concurrent;
 pub mod session;
 
 use eca_core::maintainer::OutboundQuery;
@@ -27,6 +28,7 @@ use eca_core::{CoreError, QueryId, ViewMaintainer};
 use eca_relational::{SignedBag, Update};
 use eca_wire::{Message, Transport, TransportError, WireQuery};
 
+pub use concurrent::ConcurrentWarehouse;
 pub use session::{Route, Session};
 
 /// Handle to a registered source channel.
@@ -55,6 +57,12 @@ pub enum WarehouseError {
     },
     /// The underlying transport failed.
     Transport(TransportError),
+    /// A source disconnected before its shard settled (concurrent
+    /// runtime only — the serial pump treats hang-up as end of input).
+    SourceHungUp {
+        /// The offending source's shard index.
+        source: usize,
+    },
 }
 
 impl std::fmt::Display for WarehouseError {
@@ -66,6 +74,9 @@ impl std::fmt::Display for WarehouseError {
                 write!(f, "unexpected {kind} message from source")
             }
             WarehouseError::Transport(e) => write!(f, "transport error: {e}"),
+            WarehouseError::SourceHungUp { source } => {
+                write!(f, "source #{source} hung up before its shard settled")
+            }
         }
     }
 }
@@ -95,6 +106,10 @@ impl From<TransportError> for WarehouseError {
 struct SourceEntry {
     name: String,
     session: Session,
+    /// Routing index: handles of the views over this source, in
+    /// registration order. Maintained by [`Warehouse::add_view`] so
+    /// update fan-out never rescans (or re-allocates) the view table.
+    views: Vec<ViewId>,
 }
 
 struct ViewEntry {
@@ -108,16 +123,35 @@ struct ViewEntry {
 }
 
 /// A warehouse runtime hosting many views over many sources.
-#[derive(Default)]
 pub struct Warehouse {
     sources: Vec<SourceEntry>,
     views: Vec<ViewEntry>,
+    record_history: bool,
+}
+
+impl Default for Warehouse {
+    fn default() -> Self {
+        Warehouse::new()
+    }
 }
 
 impl Warehouse {
     /// An empty warehouse.
     pub fn new() -> Self {
-        Warehouse::default()
+        Warehouse {
+            sources: Vec::new(),
+            views: Vec::new(),
+            record_history: true,
+        }
+    }
+
+    /// Toggle per-event state-history recording (on by default). The
+    /// history feeds the §3.1 consistency checker; long throughput runs
+    /// can switch it off so maintenance cost stays O(event) instead of
+    /// cloning an ever-growing `MV` after every event. Initial states
+    /// are always kept.
+    pub fn set_record_history(&mut self, on: bool) {
+        self.record_history = on;
     }
 
     /// Register a source channel.
@@ -125,6 +159,7 @@ impl Warehouse {
         self.sources.push(SourceEntry {
             name: name.into(),
             session: Session::new(),
+            views: Vec::new(),
         });
         SourceId(self.sources.len() - 1)
     }
@@ -147,7 +182,9 @@ impl Warehouse {
             maintainer,
             states: vec![initial],
         });
-        Ok(ViewId(self.views.len() - 1))
+        let id = ViewId(self.views.len() - 1);
+        self.sources[source.0].views.push(id);
+        Ok(id)
     }
 
     /// Number of registered sources.
@@ -186,14 +223,11 @@ impl Warehouse {
         &self.views[view.0].states
     }
 
-    /// Handles of the views maintained over `source`.
-    pub fn views_over(&self, source: SourceId) -> Vec<ViewId> {
-        self.views
-            .iter()
-            .enumerate()
-            .filter(|(_, v)| v.source == source)
-            .map(|(i, _)| ViewId(i))
-            .collect()
+    /// Handles of the views maintained over `source`, in registration
+    /// order. Served from the precomputed routing index — no scan, no
+    /// allocation.
+    pub fn views_over(&self, source: SourceId) -> &[ViewId] {
+        &self.sources[source.0].views
     }
 
     /// Whether every view is quiescent and no query is outstanding.
@@ -205,6 +239,11 @@ impl Warehouse {
     /// Record the state(s) view `idx` reached during the event just
     /// processed.
     fn record_states(&mut self, idx: usize) {
+        if !self.record_history {
+            // Still drain intermediates so maintainers don't accumulate.
+            let _ = self.views[idx].maintainer.drain_intermediate_states();
+            return;
+        }
         let entry = &mut self.views[idx];
         let intermediates = entry.maintainer.drain_intermediate_states();
         if intermediates.is_empty() {
@@ -245,10 +284,10 @@ impl Warehouse {
             return Err(WarehouseError::UnknownSource { id: source.0 });
         }
         let mut out = Vec::new();
-        for idx in 0..self.views.len() {
-            if self.views[idx].source != source {
-                continue;
-            }
+        // Routing index, not a scan: registration order equals global
+        // view-index order, so fan-out order is unchanged.
+        for k in 0..self.sources[source.0].views.len() {
+            let idx = self.sources[source.0].views[k].0;
             let emitted = self.views[idx].maintainer.on_update(update)?;
             self.record_states(idx);
             out.extend(self.register_outbound(source, idx, emitted));
@@ -454,6 +493,90 @@ mod tests {
         assert_ne!(qs[0].id, qs[1].id);
         assert_eq!(wh.session(src).pending(), 2);
         assert_eq!(wh.session(src).oldest_pending(), Some(qs[0].id));
+    }
+
+    /// Satellite regression: many views register queries round-robin on
+    /// one session; answers come back out of registration order *across*
+    /// views (each view's own answers stay FIFO, as the per-id routing
+    /// contract requires). No answer may leak into another view.
+    #[test]
+    fn interleaved_registration_answers_out_of_order_across_views() {
+        // Six distinct projections of r1(W,X) ⋈ r2(X,Y): a leaked answer
+        // would corrupt a view with tuples of the wrong shape or value.
+        let projections: [&[usize]; 6] = [&[0], &[1], &[2], &[3], &[0, 3], &[1, 2]];
+        let mut db = BaseDb::new();
+        db.register("r1");
+        db.register("r2");
+        db.insert("r1", Tuple::ints([1, 2]));
+        db.insert("r2", Tuple::ints([2, 7]));
+
+        let mut wh = Warehouse::new();
+        let src = wh.add_source("src");
+        let mut views = Vec::new();
+        let mut ids = Vec::new();
+        for (v, proj) in projections.iter().enumerate() {
+            let view = ViewDef::new(
+                format!("V{v}"),
+                vec![
+                    Schema::new("r1", &["W", "X"]),
+                    Schema::new("r2", &["X", "Y"]),
+                ],
+                Predicate::col_eq(1, 2),
+                proj.to_vec(),
+            )
+            .unwrap();
+            let initial = view.eval(&db).unwrap();
+            ids.push(
+                wh.add_view(src, AlgorithmKind::Eca.instantiate(&view, initial).unwrap())
+                    .unwrap(),
+            );
+            views.push(view);
+        }
+
+        // Two updates, each fanning out to all six views: registration
+        // is round-robin (v0..v5 for u1, then v0..v5 for u2).
+        let u1 = Update::insert("r1", Tuple::ints([4, 2]));
+        let u2 = Update::insert("r2", Tuple::ints([2, 9]));
+        db.apply(&u1);
+        let round1 = wh.on_update(src, &u1).unwrap();
+        db.apply(&u2);
+        let round2 = wh.on_update(src, &u2).unwrap();
+        assert_eq!(round1.len(), 6);
+        assert_eq!(round2.len(), 6);
+
+        // Deliver answers scrambled across views — v3 finishes both its
+        // queries before v0 sees its first — while each view's own two
+        // answers stay in emission order (round1 before round2).
+        let order: [(usize, usize); 12] = [
+            (3, 0),
+            (3, 1),
+            (1, 0),
+            (5, 0),
+            (0, 0),
+            (5, 1),
+            (2, 0),
+            (1, 1),
+            (4, 0),
+            (0, 1),
+            (2, 1),
+            (4, 1),
+        ];
+        let rounds = [&round1, &round2];
+        for (view, round) in order {
+            let q = &rounds[round][view];
+            wh.on_answer(src, q.id, q.query.eval(&db).unwrap()).unwrap();
+        }
+
+        assert!(wh.is_quiescent());
+        for (v, id) in ids.iter().enumerate() {
+            assert_eq!(
+                *wh.materialized(*id),
+                views[v].eval(&db).unwrap(),
+                "view V{v} corrupted by cross-view answer delivery"
+            );
+            // initial + (W_up + W_ans) × 2 updates.
+            assert_eq!(wh.view_states(*id).len(), 5);
+        }
     }
 
     #[test]

@@ -110,6 +110,39 @@ mod tests {
     }
 
     #[test]
+    fn round_robin_registration_takes_in_any_order_without_leakage() {
+        // Many views registering round-robin: view v's r-th query uses
+        // local id r+1, so the (global → route) map is fully known.
+        let mut s = Session::new();
+        let views = 8usize;
+        let rounds = 10u64;
+        let mut expected = BTreeMap::new();
+        for r in 0..rounds {
+            for v in 0..views {
+                let global = s.register(v, QueryId(r + 1));
+                assert!(
+                    expected.insert(global, (v, QueryId(r + 1))).is_none(),
+                    "global ids must never repeat"
+                );
+            }
+        }
+        assert_eq!(s.pending(), views * rounds as usize);
+
+        // Retire in a scrambled order (deterministic stride permutation
+        // of the 80 ids): every take must route to exactly the view and
+        // local id it was registered under — never a neighbour's.
+        let ids: Vec<QueryId> = expected.keys().copied().collect();
+        let n = ids.len();
+        for k in 0..n {
+            let id = ids[(k * 37) % n]; // 37 ⊥ 80 → a permutation
+            let route = s.take(id).unwrap();
+            assert_eq!((route.view, route.local), expected[&id]);
+        }
+        assert_eq!(s.pending(), 0);
+        assert_eq!(s.oldest_pending(), None);
+    }
+
+    #[test]
     fn unknown_and_duplicate_ids_are_rejected() {
         let mut s = Session::new();
         let a = s.register(0, QueryId(1));

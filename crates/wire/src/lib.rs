@@ -28,5 +28,6 @@ pub use codec::{DecodeError, Decoder, Encoder};
 pub use message::{Message, WireQuery, WireTerm};
 pub use meter::{Direction, TransferMeter};
 pub use transport::{
-    read_frame, write_frame, InMemoryFifo, Role, TcpTransport, Transport, TransportError,
+    read_frame, write_frame, InMemoryFifo, Readiness, Role, SharedFifo, TcpTransport, Transport,
+    TransportError,
 };
