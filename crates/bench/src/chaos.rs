@@ -1,0 +1,347 @@
+//! Chaos sweep: convergence and reliability overhead across a fault-rate
+//! grid.
+//!
+//! Each point runs a full warehouse scenario (Example 2's anomaly script
+//! or the calibrated Example 6 workload) through the chaos harness — ECA
+//! over [`eca_sim::ChaosSimulation`]'s `ReliableLink`-over-
+//! `FaultyTransport` channels — under one fault family at one rate and
+//! one scheduler seed, then checks the run against its fault-free golden
+//! view state. The sweep records what the recovery machinery did
+//! (retransmits, re-issues, RV resyncs, stale answers) and what
+//! reliability cost on the wire (raw vs logical bytes), feeding
+//! `results/chaos.json` and the CI smoke gate.
+
+use eca_core::algorithms::AlgorithmKind;
+use eca_core::ViewDef;
+use eca_relational::{Predicate, Schema, SignedBag, Tuple, Update};
+use eca_sim::{ChaosProfile, ChaosSimulation, ChaosStats, Policy};
+use eca_source::Source;
+use eca_storage::Scenario;
+use eca_wire::FaultPlan;
+use eca_workload::{Example6, Params, UpdateMix};
+
+use crate::json::Json;
+
+/// The fault families the sweep injects, one per run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Family {
+    /// Frames silently lost at the given per-message rate.
+    Drops,
+    /// Frames delivered twice.
+    Duplicates,
+    /// Frames held back and released later (reordering).
+    Reorders,
+    /// A mixed plan plus a scripted connection reset — the family that
+    /// drives query re-issue and, with retries exhausted, RV resync.
+    Resets,
+    /// A mixed plan plus a scripted *source restart*: session state is
+    /// lost on both ends, every view over the site degrades, and each
+    /// recovers through an RV-style full resync (Alg. D.1).
+    Restarts,
+}
+
+impl Family {
+    /// Every family, in sweep order.
+    pub fn all() -> [Family; 5] {
+        [
+            Family::Drops,
+            Family::Duplicates,
+            Family::Reorders,
+            Family::Resets,
+            Family::Restarts,
+        ]
+    }
+
+    /// Label used in the table and the JSON artifact.
+    pub fn label(self) -> &'static str {
+        match self {
+            Family::Drops => "drops",
+            Family::Duplicates => "duplicates",
+            Family::Reorders => "reorders",
+            Family::Resets => "resets",
+            Family::Restarts => "restarts",
+        }
+    }
+
+    /// The symmetric per-site profile at `rate`, seeded per run.
+    fn profile(self, seed: u64, rate: f64) -> ChaosProfile {
+        match self {
+            Family::Drops => ChaosProfile::symmetric(FaultPlan::drops(seed, rate)),
+            Family::Duplicates => ChaosProfile::symmetric(FaultPlan::duplicates(seed, rate)),
+            Family::Reorders => ChaosProfile::symmetric(FaultPlan::delays(seed, rate, 4)),
+            Family::Resets => {
+                ChaosProfile::symmetric(FaultPlan::mixed(seed, rate).with_resets(&[6]))
+            }
+            Family::Restarts => {
+                ChaosProfile::symmetric(FaultPlan::mixed(seed, rate)).with_restarts(&[5])
+            }
+        }
+    }
+}
+
+/// One grid point of the sweep.
+#[derive(Clone, Debug)]
+pub struct ChaosPoint {
+    /// Scenario label (`example2` / `example6`).
+    pub scenario: &'static str,
+    /// Fault family injected.
+    pub family: Family,
+    /// Per-message fault rate.
+    pub rate: f64,
+    /// Scheduler and fault seed.
+    pub seed: u64,
+    /// Whether the warehouse reached quiescence.
+    pub quiescent: bool,
+    /// Whether the final view equals the fault-free golden state.
+    pub matches_golden: bool,
+    /// Injection and recovery counters for the run.
+    pub stats: ChaosStats,
+    /// Bytes the wire actually carried (frames, acks, retransmissions).
+    pub raw_bytes: u64,
+    /// Bytes the application logically transferred.
+    pub logical_bytes: u64,
+}
+
+impl ChaosPoint {
+    /// The consistency verdict the CI gate enforces.
+    pub fn ok(&self) -> bool {
+        self.quiescent && self.matches_golden
+    }
+
+    /// Raw-over-logical byte ratio: 1.0 means reliability was free.
+    pub fn overhead_ratio(&self) -> f64 {
+        if self.logical_bytes == 0 {
+            return 1.0;
+        }
+        self.raw_bytes as f64 / self.logical_bytes as f64
+    }
+}
+
+/// Example 2's anomaly setup: `V = π_W(r1 ⋈ r2)`, one preloaded `r1`
+/// tuple, the two-insert script.
+fn example2_fixture() -> (Source, ViewDef, Vec<Update>) {
+    let view = ViewDef::new(
+        "V",
+        vec![
+            Schema::new("r1", &["W", "X"]),
+            Schema::new("r2", &["X", "Y"]),
+        ],
+        Predicate::col_eq(1, 2),
+        vec![0],
+    )
+    .expect("static view");
+    let mut source = Source::new(Scenario::Indexed);
+    source
+        .add_relation(Schema::new("r1", &["W", "X"]), 20, Some("X"), &[])
+        .expect("static schema");
+    source
+        .add_relation(Schema::new("r2", &["X", "Y"]), 20, Some("X"), &[])
+        .expect("static schema");
+    source.load("r1", [Tuple::ints([1, 2])]).expect("loads");
+    let script = vec![
+        Update::insert("r2", Tuple::ints([2, 3])),
+        Update::insert("r1", Tuple::ints([4, 2])),
+    ];
+    (source, view, script)
+}
+
+/// The calibrated Example 6 workload with a 12-update mixed script.
+fn example6_fixture() -> (Source, ViewDef, Vec<Update>) {
+    let workload = Example6::new(Params::default(), 42);
+    let source = workload
+        .build_source(Scenario::Indexed)
+        .expect("calibrated source");
+    let view = Example6::view().expect("static view");
+    let script = workload.updates(12, UpdateMix::Mixed);
+    (source, view, script)
+}
+
+/// A scenario fixture: preloaded source, view definition, update script.
+type Fixture = (Source, ViewDef, Vec<Update>);
+
+/// A labelled fixture builder the sweep iterates over.
+type ScenarioEntry = (&'static str, fn() -> Fixture);
+
+fn single_site(fixture: Fixture, profile: ChaosProfile) -> ChaosSimulation {
+    let (source, view, script) = fixture;
+    let snapshot = source.snapshot();
+    let initial = view.eval(&snapshot).expect("initial state");
+    let maintainer = AlgorithmKind::Eca
+        .instantiate_with_base(&view, initial, Some(snapshot))
+        .expect("ECA applies to any view");
+    let mut sim = ChaosSimulation::new();
+    let site = sim.add_source_with("s0", source, script, profile);
+    sim.add_view(site, maintainer).expect("view over site");
+    sim
+}
+
+fn golden(fixture: fn() -> Fixture) -> SignedBag {
+    single_site(fixture(), ChaosProfile::none())
+        .run(Policy::Serial)
+        .expect("fault-free run settles")
+        .views[0]
+        .final_mv
+        .clone()
+}
+
+fn run_point(
+    scenario: &'static str,
+    fixture: fn() -> Fixture,
+    golden_mv: &SignedBag,
+    family: Family,
+    rate: f64,
+    seed: u64,
+) -> ChaosPoint {
+    let sim = single_site(fixture(), family.profile(seed, rate));
+    match sim.run(Policy::Random { seed }) {
+        Ok(report) => ChaosPoint {
+            scenario,
+            family,
+            rate,
+            seed,
+            quiescent: report.quiescent,
+            matches_golden: report.converged() && report.views[0].final_mv == *golden_mv,
+            stats: report.stats,
+            raw_bytes: report.overhead.iter().map(|o| o.raw_bytes).sum(),
+            logical_bytes: report.overhead.iter().map(|o| o.logical_bytes).sum(),
+        },
+        // A scheduler error (livelocked channel, protocol violation) is
+        // a sweep violation, not a crash: record it and let the gate
+        // fail the run.
+        Err(_) => ChaosPoint {
+            scenario,
+            family,
+            rate,
+            seed,
+            quiescent: false,
+            matches_golden: false,
+            stats: ChaosStats::default(),
+            raw_bytes: 0,
+            logical_bytes: 0,
+        },
+    }
+}
+
+/// The three fixed seeds both the CI smoke job and the full sweep use.
+pub const SEEDS: [u64; 3] = [1, 2, 3];
+
+/// Run the grid. `smoke` keeps CI fast: Example 2 only, one rate, and
+/// the drop/duplicate/reset plans the ISSUE's gate names; the full sweep
+/// adds Example 6, the reorder family, and a rate ladder.
+pub fn sweep(smoke: bool) -> Vec<ChaosPoint> {
+    let scenarios: Vec<ScenarioEntry> = if smoke {
+        vec![("example2", example2_fixture)]
+    } else {
+        vec![
+            ("example2", example2_fixture),
+            ("example6", example6_fixture),
+        ]
+    };
+    let families: Vec<Family> = if smoke {
+        vec![Family::Drops, Family::Duplicates, Family::Resets]
+    } else {
+        Family::all().to_vec()
+    };
+    let mut points = Vec::new();
+    for (scenario, fixture) in scenarios {
+        let golden_mv = golden(fixture);
+        for &family in &families {
+            // Resets mix all faults at once; their blended rates stay
+            // moderate so the scripted reset (not a wedged channel)
+            // remains the dominant recovery trigger.
+            let rates: Vec<f64> = match (smoke, family) {
+                (true, Family::Resets) => vec![0.1],
+                (true, _) => vec![0.2],
+                (false, Family::Resets) => vec![0.02, 0.05, 0.1],
+                (false, Family::Restarts) => vec![0.0, 0.05],
+                (false, _) => vec![0.05, 0.1, 0.2, 0.3],
+            };
+            for &rate in &rates {
+                for seed in SEEDS {
+                    points.push(run_point(scenario, fixture, &golden_mv, family, rate, seed));
+                }
+            }
+        }
+    }
+    points
+}
+
+/// Points that failed the consistency gate.
+pub fn violations(points: &[ChaosPoint]) -> Vec<&ChaosPoint> {
+    points.iter().filter(|p| !p.ok()).collect()
+}
+
+/// The `results/chaos.json` document.
+pub fn report(points: &[ChaosPoint]) -> Json {
+    Json::obj([
+        ("experiment", Json::str("chaos")),
+        (
+            "description",
+            Json::str(
+                "fault-rate sweep: convergence to fault-free golden state and \
+                 reliability overhead per fault family",
+            ),
+        ),
+        ("violations", Json::Int(violations(points).len() as i64)),
+        (
+            "points",
+            Json::arr(points.iter().map(|p| {
+                let s = p.stats;
+                Json::obj([
+                    ("scenario", Json::str(p.scenario)),
+                    ("family", Json::str(p.family.label())),
+                    ("rate", Json::Num(p.rate)),
+                    ("seed", Json::from(p.seed)),
+                    ("quiescent", Json::from(p.quiescent)),
+                    ("matches_golden", Json::from(p.matches_golden)),
+                    ("steps", Json::from(s.steps)),
+                    ("drops", Json::from(s.drops)),
+                    ("duplicates", Json::from(s.duplicates)),
+                    ("delays", Json::from(s.delays)),
+                    ("corrupts", Json::from(s.corrupts)),
+                    ("resets", Json::from(s.resets)),
+                    ("retransmits", Json::from(s.retransmits)),
+                    ("duplicates_dropped", Json::from(s.duplicates_dropped)),
+                    ("corrupt_dropped", Json::from(s.corrupt_dropped)),
+                    ("reissued", Json::from(s.reissued)),
+                    ("resyncs_started", Json::from(s.resyncs_started)),
+                    ("resyncs_completed", Json::from(s.resyncs_completed)),
+                    ("stale_answers", Json::from(s.stale_answers)),
+                    ("raw_bytes", Json::from(p.raw_bytes)),
+                    ("logical_bytes", Json::from(p.logical_bytes)),
+                    ("overhead_ratio", Json::Num(p.overhead_ratio())),
+                ])
+            })),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_sweep_is_clean_and_injects() {
+        let points = sweep(true);
+        // 1 scenario × 3 families × 1 rate × 3 seeds.
+        assert_eq!(points.len(), 9);
+        assert!(violations(&points).is_empty());
+        assert!(points.iter().any(|p| p.stats.drops > 0));
+        assert!(points.iter().any(|p| p.stats.duplicates > 0));
+        assert!(points
+            .iter()
+            .any(|p| p.family == Family::Resets && p.stats.resets >= 1));
+        // Reliability is never free under faults but the ledger stays
+        // consistent: raw ≥ logical on every point.
+        assert!(points.iter().all(|p| p.raw_bytes >= p.logical_bytes));
+    }
+
+    #[test]
+    fn report_shape_is_stable() {
+        let points = sweep(true);
+        let doc = report(&points).pretty();
+        assert!(doc.contains("\"experiment\": \"chaos\""));
+        assert!(doc.contains("\"violations\": 0"));
+        assert!(doc.contains("\"overhead_ratio\""));
+    }
+}

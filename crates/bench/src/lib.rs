@@ -18,6 +18,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod chaos;
 pub mod json;
 pub mod scenario_file;
 pub mod throughput;

@@ -72,6 +72,19 @@ impl ViewMaintainer for Basic {
     fn is_quiescent(&self) -> bool {
         self.pending.is_empty()
     }
+
+    fn reset_to(&mut self, state: SignedBag) -> Result<(), CoreError> {
+        self.mv = state;
+        self.pending.clear();
+        Ok(())
+    }
+
+    /// Basic has no compensation machinery: a re-issued query evaluated at
+    /// a later source state reintroduces exactly the §4 anomalies, so
+    /// recovery must resync instead.
+    fn reissue_safe(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]
@@ -201,5 +214,26 @@ mod tests {
             alg.on_answer(QueryId(99), SignedBag::new()),
             Err(CoreError::UnknownQuery { id: 99 })
         ));
+    }
+
+    /// Basic supports resync but not re-issue: its uncompensated queries
+    /// must not be re-evaluated on later source states.
+    #[test]
+    fn reset_supported_reissue_not() {
+        let v = view2();
+        let mut db = BaseDb::for_view(&v);
+        db.insert("r1", Tuple::ints([1, 2]));
+        let mut alg = Basic::new(v.clone(), SignedBag::new());
+        assert!(!alg.reissue_safe());
+
+        let u = Update::insert("r2", Tuple::ints([2, 3]));
+        db.apply(&u);
+        let q = alg.on_update(&u).unwrap().remove(0);
+        assert!(!alg.is_quiescent());
+        let recomputed = v.eval(&db).unwrap();
+        alg.reset_to(recomputed.clone()).unwrap();
+        assert!(alg.is_quiescent());
+        assert_eq!(*alg.materialized(), recomputed);
+        assert!(alg.on_answer(q.id, SignedBag::new()).is_err());
     }
 }

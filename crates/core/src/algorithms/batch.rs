@@ -160,6 +160,16 @@ impl ViewMaintainer for BatchEca {
     fn is_quiescent(&self) -> bool {
         self.uqs.is_empty() && self.batch.is_empty()
     }
+
+    fn reset_to(&mut self, state: SignedBag) -> Result<(), CoreError> {
+        // V(ss) already reflects both in-flight queries and buffered,
+        // not-yet-flushed batch updates, so all three structures clear.
+        self.mv = state;
+        self.collect = SignedBag::new();
+        self.uqs.clear();
+        self.batch.clear();
+        Ok(())
+    }
 }
 
 #[cfg(test)]

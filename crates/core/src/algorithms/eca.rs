@@ -182,6 +182,16 @@ impl ViewMaintainer for Eca {
     fn is_quiescent(&self) -> bool {
         self.uqs.is_empty()
     }
+
+    fn reset_to(&mut self, state: SignedBag) -> Result<(), CoreError> {
+        // RV-style resync (Alg. D.1): MV ← V(ss); UQS, COLLECT ← ∅.
+        // Answers to the abandoned queries, if any straggle in, are
+        // rejected as UnknownQuery by the id check in `on_answer`.
+        self.mv = state;
+        self.collect = SignedBag::new();
+        self.uqs.clear();
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -444,6 +454,45 @@ mod tests {
         let v = view2(vec![0]);
         let mut alg = Eca::new(v, SignedBag::new());
         assert!(alg.on_answer(QueryId(1), SignedBag::new()).is_err());
+    }
+
+    /// An RV-style resync mid-flight clears UQS/COLLECT, installs the
+    /// recomputed state, and rejects answers to abandoned queries.
+    #[test]
+    fn reset_to_clears_pending_state() {
+        let v = view2(vec![0]);
+        let mut db = BaseDb::for_view(&v);
+        db.insert("r1", Tuple::ints([1, 2]));
+        let mut alg = Eca::new(v.clone(), SignedBag::new());
+
+        let u1 = Update::insert("r2", Tuple::ints([2, 3]));
+        let u2 = Update::insert("r2", Tuple::ints([2, 4]));
+        db.apply(&u1);
+        let q1 = alg.on_update(&u1).unwrap().remove(0);
+        db.apply(&u2);
+        let q2 = alg.on_update(&u2).unwrap().remove(0);
+        // One answer lands in COLLECT, one stays pending.
+        alg.on_answer(q1.id, q1.query.eval(&db).unwrap()).unwrap();
+        assert!(!alg.is_quiescent());
+        assert!(!alg.collect().is_empty());
+
+        let recomputed = v.eval(&db).unwrap();
+        alg.reset_to(recomputed.clone()).unwrap();
+        assert!(alg.is_quiescent());
+        assert!(alg.collect().is_empty());
+        assert_eq!(*alg.materialized(), recomputed);
+        assert!(alg.reissue_safe());
+        // The abandoned query's answer is now unknown.
+        assert!(matches!(
+            alg.on_answer(q2.id, SignedBag::new()),
+            Err(CoreError::UnknownQuery { .. })
+        ));
+        // Incremental processing resumes cleanly from the resynced state.
+        let u3 = Update::insert("r1", Tuple::ints([7, 2]));
+        db.apply(&u3);
+        let q3 = alg.on_update(&u3).unwrap().remove(0);
+        alg.on_answer(q3.id, q3.query.eval(&db).unwrap()).unwrap();
+        assert_eq!(*alg.materialized(), v.eval(&db).unwrap());
     }
 
     /// The Appendix D.2 variant strips fully-bound compensating terms from

@@ -189,6 +189,17 @@ impl ViewMaintainer for EcaKey {
     fn is_quiescent(&self) -> bool {
         self.uqs.is_empty()
     }
+
+    fn reset_to(&mut self, state: SignedBag) -> Result<(), CoreError> {
+        // RV-style resync: both MV and the COLLECT working copy become
+        // V(ss); pending queries and tombstones are obsolete because the
+        // recomputed state already reflects every in-flight update.
+        self.collect = state.clone();
+        self.mv = state;
+        self.uqs.clear();
+        self.tombstones.clear();
+        Ok(())
+    }
 }
 
 #[cfg(test)]

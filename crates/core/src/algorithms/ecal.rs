@@ -141,6 +141,17 @@ impl ViewMaintainer for EcaLocal {
             Inner::General(e) => e.is_quiescent(),
         }
     }
+
+    fn reset_to(&mut self, state: SignedBag) -> Result<(), CoreError> {
+        match &mut self.inner {
+            Inner::SingleRelation { mv, .. } => {
+                *mv = state;
+                Ok(())
+            }
+            Inner::Keyed(k) => k.reset_to(state),
+            Inner::General(e) => e.reset_to(state),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -185,6 +185,18 @@ impl ViewMaintainer for Lca {
     fn drain_intermediate_states(&mut self) -> Vec<SignedBag> {
         std::mem::take(&mut self.fresh_states)
     }
+
+    fn reset_to(&mut self, state: SignedBag) -> Result<(), CoreError> {
+        // The resynced state joins the history: LCA's completeness claim
+        // continues from V(ss), with the per-update deltas of abandoned
+        // queries discarded (their effects are inside V(ss) already).
+        self.history.push(state.clone());
+        self.fresh_states.clear();
+        self.mv = state;
+        self.unanswered.clear();
+        self.pending.clear();
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -95,6 +95,13 @@ impl ViewMaintainer for RecomputeView {
     fn is_quiescent(&self) -> bool {
         self.uqs.is_empty()
     }
+
+    fn reset_to(&mut self, state: SignedBag) -> Result<(), CoreError> {
+        // A resync is exactly one unscheduled recompute installation.
+        self.mv = state;
+        self.uqs.clear();
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -121,6 +121,17 @@ mod tests {
         .unwrap()
     }
 
+    /// A bare `V(ss)` answer cannot restore the base-relation replicas,
+    /// so SC refuses the RV-style resync (trait default).
+    #[test]
+    fn resync_unsupported() {
+        let mut alg = StoreCopies::with_replicas(view2(), SignedBag::new(), BaseDb::new());
+        assert!(matches!(
+            alg.reset_to(SignedBag::new()),
+            Err(CoreError::ResyncUnsupported { algorithm: "SC" })
+        ));
+    }
+
     /// Example 2's interleaving is harmless under SC: queries are local.
     #[test]
     fn example_2_no_anomaly() {

@@ -36,6 +36,13 @@ pub enum CoreError {
         /// The supplied period.
         period: u64,
     },
+    /// The algorithm cannot atomically adopt an externally recomputed
+    /// view state (RV-style resync): it maintains auxiliary state that a
+    /// bare `V(ss)` answer cannot restore.
+    ResyncUnsupported {
+        /// The algorithm's name.
+        algorithm: &'static str,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -58,6 +65,12 @@ impl fmt::Display for CoreError {
             CoreError::UnknownQuery { id } => write!(f, "no pending query with id {id}"),
             CoreError::InvalidRecomputePeriod { period } => {
                 write!(f, "recompute period must be >= 1, got {period}")
+            }
+            CoreError::ResyncUnsupported { algorithm } => {
+                write!(
+                    f,
+                    "algorithm {algorithm} does not support full-state resync"
+                )
             }
         }
     }

@@ -79,6 +79,42 @@ pub trait ViewMaintainer: Send {
     fn drain_intermediate_states(&mut self) -> Vec<SignedBag> {
         Vec::new()
     }
+
+    /// Atomically replace all algorithm state with a freshly recomputed
+    /// view state `V(ss)` — the warehouse's RV-style resync (paper
+    /// Alg. D.1) after an unrecoverable channel fault. Implementations
+    /// must install `state` as `MV` and clear every pending structure
+    /// (UQS, COLLECT, buffered deltas), leaving the maintainer quiescent
+    /// and ready to resume incremental processing from `ss`.
+    ///
+    /// The default refuses: algorithms carrying auxiliary state that a
+    /// bare `V(ss)` answer cannot restore (e.g. base-relation replicas)
+    /// must not silently pretend to have resynced.
+    ///
+    /// # Errors
+    /// [`CoreError::ResyncUnsupported`] from the default implementation.
+    fn reset_to(&mut self, state: SignedBag) -> Result<(), CoreError> {
+        let _ = state;
+        Err(CoreError::ResyncUnsupported {
+            algorithm: self.algorithm(),
+        })
+    }
+
+    /// Whether a pending compensating query of this algorithm may be
+    /// re-issued (same expression, new id) after a channel reset and
+    /// still yield a correct view.
+    ///
+    /// True for the compensating family: an ECA query stays in `UQS`
+    /// while pending, so every intervening update subtracts its effect
+    /// from the re-issued query's answer no matter how late it is
+    /// evaluated (§4's compensation argument does not depend on *when*
+    /// the source evaluates the query). False for algorithms with no
+    /// compensation machinery — re-evaluating their queries against a
+    /// later source state reintroduces exactly the anomalies of §4.1, so
+    /// recovery must go straight to a resync.
+    fn reissue_safe(&self) -> bool {
+        true
+    }
 }
 
 /// Allocates fresh [`QueryId`]s. Shared by all algorithm implementations.

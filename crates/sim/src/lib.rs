@@ -31,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod multi;
 pub mod report;
 pub mod trace;
@@ -46,6 +47,7 @@ use eca_wire::{InMemoryFifo, Message, TransferMeter, Transport, TransportError, 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+pub use chaos::{ChaosProfile, ChaosRunReport, ChaosSimulation, ChaosStats, LinkOverhead};
 pub use multi::{MultiRunReport, MultiSimulation, SiteId, SiteReport, ViewRunReport};
 pub use report::RunReport;
 pub use trace::TraceEvent;
@@ -365,6 +367,11 @@ impl Simulation {
             }
             Message::QueryRequest { .. } => {
                 return Err(SimError::Protocol("s2w never carries QueryRequest"));
+            }
+            Message::Frame { .. } | Message::Ack { .. } | Message::Hello { .. } => {
+                return Err(SimError::Protocol(
+                    "session-layer envelope leaked past the transport",
+                ));
             }
         };
         for q in outbound {

@@ -378,6 +378,11 @@ impl MultiSimulation {
             Message::QueryRequest { .. } => {
                 return Err(SimError::Protocol("s2w never carries QueryRequest"));
             }
+            Message::Frame { .. } | Message::Ack { .. } | Message::Hello { .. } => {
+                return Err(SimError::Protocol(
+                    "session-layer envelope leaked past the transport",
+                ));
+            }
         };
         for q in outbound {
             self.sites[i].wh_end.send(&Message::QueryRequest {

@@ -77,6 +77,49 @@ pub struct ServeStats {
     pub notifications: u64,
     /// Queries answered before the warehouse hung up.
     pub answers: u64,
+    /// Duplicate queries served from the replay cache instead of being
+    /// re-evaluated (a faulty channel may deliver a query twice; the
+    /// answer must be the one the first evaluation produced, not a fresh
+    /// evaluation on a later state).
+    pub duplicates: u64,
+    /// Inbound messages dropped because they failed to decode (corrupt
+    /// frames must not kill the serving loop).
+    pub decode_skips: u64,
+}
+
+/// How many recently answered queries are kept for duplicate replay.
+const REPLAY_CACHE_CAP: usize = 64;
+
+/// Bounded FIFO cache of the most recent `(id, answer)` pairs, so a
+/// duplicate query (same id delivered twice by a faulty channel) is
+/// answered **idempotently** — with the bytes of the original
+/// evaluation — instead of being re-evaluated on a later source state
+/// (which would reintroduce exactly the §4 anomalies the algorithms
+/// compensate for).
+struct ReplayCache {
+    entries: VecDeque<(QueryId, SignedBag)>,
+}
+
+impl ReplayCache {
+    fn new() -> Self {
+        ReplayCache {
+            entries: VecDeque::new(),
+        }
+    }
+
+    fn get(&self, id: QueryId) -> Option<&SignedBag> {
+        self.entries
+            .iter()
+            .find(|(cached, _)| *cached == id)
+            .map(|(_, a)| a)
+    }
+
+    fn put(&mut self, id: QueryId, answer: SignedBag) {
+        if self.entries.len() == REPLAY_CACHE_CAP {
+            self.entries.pop_front();
+        }
+        self.entries.push_back((id, answer));
+    }
 }
 
 /// The source site: a schema catalog over a metered storage engine.
@@ -258,7 +301,7 @@ impl Source {
         script: &[Update],
     ) -> Result<ServeStats, SourceError> {
         let mut stats = self.run_script(transport, script)?;
-        stats.answers = self.answer_loop(transport)?;
+        self.answer_loop(transport, &mut stats)?;
         Ok(stats)
     }
 
@@ -288,7 +331,7 @@ impl Source {
     ) -> Result<ServeStats, SourceError> {
         let mut stats = self.run_script(transport, script)?;
         if workers <= 1 {
-            stats.answers = self.answer_loop(transport)?;
+            self.answer_loop(transport, &mut stats)?;
             return Ok(stats);
         }
 
@@ -299,18 +342,55 @@ impl Source {
             .map(|_| self.engine.snapshot_reader(IoMeter::new()))
             .collect();
         let pool = PoolShared::new();
-        let mut answered = 0u64;
 
-        let outcome = std::thread::scope(|scope| -> Result<u64, SourceError> {
+        let outcome = std::thread::scope(|scope| -> Result<PoolTally, SourceError> {
             for snapshot in snapshots {
                 let pool = &pool;
                 scope.spawn(move || pool.worker(snapshot, catalog, io_latency));
             }
 
+            let mut tally = PoolTally::default();
+            let mut replay = ReplayCache::new();
+            let mut in_flight: std::collections::BTreeSet<QueryId> =
+                std::collections::BTreeSet::new();
             let mut next_seq = 0u64; // next job number to hand out
             let mut next_to_send = 0u64; // FIFO sequencer cursor
             let mut hung_up = false;
             let mut sent = 0u64;
+
+            // Classify one inbound message: enqueue fresh queries;
+            // answer replay-cached duplicates immediately; silently drop
+            // duplicates whose original is still in flight (its answer is
+            // coming, in FIFO position).
+            macro_rules! dispatch {
+                ($msg:expr) => {{
+                    let Message::QueryRequest { id, query } = $msg else {
+                        return Err(SourceError::Protocol(
+                            "warehouse -> source carries only QueryRequest",
+                        ));
+                    };
+                    if let Some(answer) = replay.get(id) {
+                        tally.duplicates += 1;
+                        let answer = answer.clone();
+                        transport.meter().record_answer_payload(
+                            answer.encoded_len() as u64,
+                            answer.pos_len() + answer.neg_len(),
+                        );
+                        transport.send(&Message::QueryAnswer { id, answer })?;
+                    } else if in_flight.contains(&id) {
+                        tally.duplicates += 1;
+                    } else {
+                        in_flight.insert(id);
+                        pool.enqueue(PoolJob {
+                            seq: next_seq,
+                            id,
+                            query,
+                        });
+                        next_seq += 1;
+                    }
+                }};
+            }
+
             loop {
                 // Release every answer that is ready *and* next in FIFO
                 // order. After a hang-up the peer no longer wants them,
@@ -318,6 +398,8 @@ impl Source {
                 for (id, answer, reads) in pool.take_ready(&mut next_to_send)? {
                     main_meter.charge_read(reads);
                     sent += 1;
+                    in_flight.remove(&id);
+                    replay.put(id, answer.clone());
                     if hung_up {
                         continue;
                     }
@@ -326,7 +408,7 @@ impl Source {
                         answer.pos_len() + answer.neg_len(),
                     );
                     transport.send(&Message::QueryAnswer { id, answer })?;
-                    answered += 1;
+                    tally.answered += 1;
                 }
                 let outstanding = next_seq - sent;
                 if hung_up && outstanding == 0 {
@@ -335,31 +417,34 @@ impl Source {
                 if outstanding == 0 {
                     // Nothing in flight: block until the warehouse speaks
                     // or hangs up.
-                    match transport.recv()? {
-                        Some(msg) => pool.submit(next_seq, msg)?,
-                        None => hung_up = true,
-                    }
-                    if !hung_up {
-                        next_seq += 1;
+                    match transport.recv() {
+                        Ok(Some(msg)) => dispatch!(msg),
+                        Ok(None) => hung_up = true,
+                        Err(TransportError::Timeout) => {}
+                        Err(TransportError::Decode(_)) => tally.decode_skips += 1,
+                        Err(e) => return Err(e.into()),
                     }
                     continue;
                 }
                 match transport.poll()? {
-                    Readiness::Ready => {
-                        if let Some(msg) = transport.try_recv()? {
-                            pool.submit(next_seq, msg)?;
-                            next_seq += 1;
-                        }
-                    }
+                    Readiness::Ready => match transport.try_recv() {
+                        Ok(Some(msg)) => dispatch!(msg),
+                        Ok(None) => {}
+                        Err(TransportError::Decode(_)) => tally.decode_skips += 1,
+                        Err(e) => return Err(e.into()),
+                    },
                     Readiness::Closed => hung_up = true,
                     Readiness::Idle => pool.wait_for_result(Duration::from_millis(1)),
                 }
             }
             pool.shutdown();
-            Ok(answered)
+            Ok(tally)
         });
         pool.shutdown(); // idempotent; covers the early-error path
-        stats.answers = outcome?;
+        let tally = outcome?;
+        stats.answers = tally.answered;
+        stats.duplicates = tally.duplicates;
+        stats.decode_skips = tally.decode_skips;
         self.queries_answered += stats.answers;
         Ok(stats)
     }
@@ -385,24 +470,50 @@ impl Source {
     }
 
     /// Answer queries one at a time until the warehouse hangs up (the
-    /// `S_qu` half of a serve session). Returns the number answered.
-    fn answer_loop(&mut self, transport: &mut dyn Transport) -> Result<u64, SourceError> {
-        let mut answers = 0u64;
-        while let Some(msg) = transport.recv()? {
+    /// `S_qu` half of a serve session), filling `stats.answers`,
+    /// `stats.duplicates` and `stats.decode_skips`.
+    ///
+    /// Hardened against a faulty channel: a recv timeout is retried, an
+    /// undecodable frame is skipped (and counted), and a duplicate query
+    /// id is answered from the bounded replay cache with the *original*
+    /// answer bytes rather than re-evaluated on the current state.
+    fn answer_loop(
+        &mut self,
+        transport: &mut dyn Transport,
+        stats: &mut ServeStats,
+    ) -> Result<(), SourceError> {
+        let mut replay = ReplayCache::new();
+        loop {
+            let msg = match transport.recv() {
+                Ok(Some(msg)) => msg,
+                Ok(None) => return Ok(()),
+                Err(TransportError::Timeout) => continue,
+                Err(TransportError::Decode(_)) => {
+                    stats.decode_skips += 1;
+                    continue;
+                }
+                Err(e) => return Err(e.into()),
+            };
             let Message::QueryRequest { id, query } = msg else {
                 return Err(SourceError::Protocol(
                     "warehouse -> source carries only QueryRequest",
                 ));
             };
-            let answer = self.answer(&query)?;
+            let answer = if let Some(cached) = replay.get(id) {
+                stats.duplicates += 1;
+                cached.clone()
+            } else {
+                let answer = self.answer(&query)?;
+                replay.put(id, answer.clone());
+                stats.answers += 1;
+                answer
+            };
             transport.meter().record_answer_payload(
                 answer.encoded_len() as u64,
                 answer.pos_len() + answer.neg_len(),
             );
             transport.send(&Message::QueryAnswer { id, answer })?;
-            answers += 1;
         }
-        Ok(answers)
     }
 
     /// A logical snapshot of the current base relations — used by the
@@ -441,6 +552,14 @@ struct PoolJob {
     query: WireQuery,
 }
 
+/// Dispatcher-side counters for one `serve_pool` run.
+#[derive(Default)]
+struct PoolTally {
+    answered: u64,
+    duplicates: u64,
+    decode_skips: u64,
+}
+
 /// `(id, answer, block reads charged)` or the worker-side failure.
 type PoolResult = Result<(QueryId, SignedBag, u64), SourceError>;
 
@@ -468,18 +587,10 @@ impl PoolShared {
         }
     }
 
-    /// Validate and enqueue an incoming message as job `seq`.
-    fn submit(&self, seq: u64, msg: Message) -> Result<(), SourceError> {
-        let Message::QueryRequest { id, query } = msg else {
-            return Err(SourceError::Protocol(
-                "warehouse -> source carries only QueryRequest",
-            ));
-        };
-        pool_lock(&self.jobs)
-            .0
-            .push_back(PoolJob { seq, id, query });
+    /// Enqueue a validated job for the workers.
+    fn enqueue(&self, job: PoolJob) {
+        pool_lock(&self.jobs).0.push_back(job);
         self.jobs_cv.notify_one();
-        Ok(())
     }
 
     /// Remove and return every completed answer that is next in FIFO
@@ -666,7 +777,8 @@ mod tests {
             ServeStats {
                 updates: 2,
                 notifications: 1,
-                answers: 1
+                answers: 1,
+                ..ServeStats::default()
             }
         );
 
@@ -732,6 +844,59 @@ mod tests {
         // Worker reads are re-charged to the main meter: 4 copies of the
         // query cost exactly 4x the serial single-query reads.
         assert_eq!(reads, 4 * serial_reads);
+    }
+
+    /// A duplicate query id must be answered with the *original* answer
+    /// bytes (replay cache), not a fresh evaluation on the current state
+    /// — even if the base relations changed in between.
+    #[test]
+    fn duplicate_query_replayed_idempotently() {
+        use eca_wire::{InMemoryFifo, TransferMeter, Transport};
+
+        let (mut src_end, mut wh_end) = InMemoryFifo::pair(TransferMeter::new());
+        let (mut s, view) = example_source(Scenario::Indexed);
+
+        let q = WireQuery::from_query(&view.as_query());
+        // The same query id delivered three times in a row, with a
+        // state-changing update queued *between* the duplicates. A
+        // re-evaluation would see the extra r1 tuple; the replay cache
+        // must not.
+        for _ in 0..3 {
+            wh_end
+                .send(&Message::QueryRequest {
+                    id: QueryId(7),
+                    query: q.clone(),
+                })
+                .unwrap();
+        }
+        let stats = s.serve(&mut src_end, &[]).unwrap();
+        assert_eq!(stats.answers, 1);
+        assert_eq!(stats.duplicates, 2);
+        assert_eq!(s.queries_answered(), 1, "evaluated exactly once");
+
+        let mut answers = Vec::new();
+        while let Some(msg) = wh_end.recv().unwrap() {
+            let Message::QueryAnswer { id, answer } = msg else {
+                panic!("expected answers only");
+            };
+            assert_eq!(id, QueryId(7));
+            answers.push(answer);
+        }
+        assert_eq!(answers.len(), 3);
+        assert_eq!(answers[0], answers[1]);
+        assert_eq!(answers[1], answers[2]);
+    }
+
+    /// The replay cache is bounded: an id evicted after
+    /// `REPLAY_CACHE_CAP` newer answers is re-evaluated as fresh.
+    #[test]
+    fn replay_cache_is_bounded() {
+        let mut cache = ReplayCache::new();
+        for i in 0..=(REPLAY_CACHE_CAP as u64) {
+            cache.put(QueryId(i), SignedBag::new());
+        }
+        assert!(cache.get(QueryId(0)).is_none(), "oldest entry evicted");
+        assert!(cache.get(QueryId(1)).is_some());
     }
 
     #[test]

@@ -52,11 +52,9 @@ impl Shard {
             let emitted = self.views[idx].maintainer.on_update(update)?;
             self.record_states(idx);
             for q in emitted {
-                let id = self.session.register(idx, q.id);
-                out.push(Message::QueryRequest {
-                    id,
-                    query: WireQuery::from_query(&q.query),
-                });
+                let query = WireQuery::from_query(&q.query);
+                let id = self.session.register(idx, q.id, query.clone());
+                out.push(Message::QueryRequest { id, query });
             }
         }
         Ok(out)
@@ -75,11 +73,9 @@ impl Shard {
         self.record_states(route.view);
         let mut out = Vec::new();
         for q in emitted {
-            let id = self.session.register(route.view, q.id);
-            out.push(Message::QueryRequest {
-                id,
-                query: WireQuery::from_query(&q.query),
-            });
+            let query = WireQuery::from_query(&q.query);
+            let id = self.session.register(route.view, q.id, query.clone());
+            out.push(Message::QueryRequest { id, query });
         }
         Ok(out)
     }
@@ -115,6 +111,9 @@ pub struct ConcurrentWarehouse {
     shards: Vec<Mutex<Shard>>,
     /// Global [`ViewId`] → (shard, shard-local index).
     view_index: Vec<(usize, usize)>,
+    /// Longest silence a pump tolerates while its shard has queries
+    /// outstanding before declaring the source stalled.
+    stall_timeout: std::time::Duration,
 }
 
 /// Shard-lock helper: recovers from poisoning so a panicked pump thread
@@ -162,6 +161,7 @@ impl Warehouse {
             names,
             shards: shards.into_iter().map(Mutex::new).collect(),
             view_index,
+            stall_timeout: std::time::Duration::from_secs(30),
         }
     }
 }
@@ -170,6 +170,15 @@ impl ConcurrentWarehouse {
     /// Number of source shards.
     pub fn source_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Change the pump stall timeout (default 30 s): the longest silence
+    /// a pump thread tolerates while queries are outstanding before it
+    /// gives up with [`WarehouseError::SourceStalled`]. Tests drop this
+    /// to milliseconds so a wedged peer fails fast instead of hanging
+    /// the suite.
+    pub fn set_stall_timeout(&mut self, timeout: std::time::Duration) {
+        self.stall_timeout = timeout;
     }
 
     /// The name a source was registered under.
@@ -211,7 +220,11 @@ impl ConcurrentWarehouse {
     ///
     /// # Errors
     /// [`WarehouseError::SourceHungUp`] if the peer disconnects before
-    /// the shard settles; transport, routing and maintainer failures.
+    /// the shard settles; [`WarehouseError::SourceStalled`] if nothing
+    /// arrives for a full stall timeout while the shard is unsettled (a
+    /// wedged channel must not hang the pump thread forever — see
+    /// [`ConcurrentWarehouse::set_stall_timeout`]); transport, routing
+    /// and maintainer failures.
     pub fn pump(
         &self,
         source: SourceId,
@@ -225,8 +238,13 @@ impl ConcurrentWarehouse {
             if notifications >= expected_notifications && lock(shard).is_quiescent() {
                 return Ok(processed);
             }
-            let Some(msg) = transport.recv()? else {
-                return Err(WarehouseError::SourceHungUp { source: source.0 });
+            let msg = match transport.recv_timeout(self.stall_timeout) {
+                Ok(Some(msg)) => msg,
+                Ok(None) => return Err(WarehouseError::SourceHungUp { source: source.0 }),
+                Err(eca_wire::TransportError::Timeout) => {
+                    return Err(WarehouseError::SourceStalled { source: source.0 })
+                }
+                Err(e) => return Err(e.into()),
             };
             processed += 1;
             let replies = match msg {
@@ -238,6 +256,13 @@ impl ConcurrentWarehouse {
                 Message::QueryRequest { .. } => {
                     return Err(WarehouseError::UnexpectedMessage {
                         kind: "QueryRequest",
+                    })
+                }
+                // Session-layer envelopes are consumed by `ReliableLink`;
+                // one surfacing here means the channel is mis-stacked.
+                Message::Frame { .. } | Message::Ack { .. } | Message::Hello { .. } => {
+                    return Err(WarehouseError::UnexpectedMessage {
+                        kind: "session-layer",
                     })
                 }
             };

@@ -23,13 +23,16 @@
 pub mod concurrent;
 pub mod session;
 
+use std::collections::BTreeSet;
+use std::time::Duration;
+
 use eca_core::maintainer::OutboundQuery;
 use eca_core::{CoreError, QueryId, ViewMaintainer};
 use eca_relational::{SignedBag, Update};
 use eca_wire::{Message, Transport, TransportError, WireQuery};
 
 pub use concurrent::ConcurrentWarehouse;
-pub use session::{Route, Session};
+pub use session::{PendingQuery, Route, RouteKind, Session};
 
 /// Handle to a registered source channel.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -63,6 +66,14 @@ pub enum WarehouseError {
         /// The offending source's shard index.
         source: usize,
     },
+    /// A blocking pump waited its full stall timeout without receiving a
+    /// message while queries were still outstanding. The channel may be
+    /// wedged; the caller should reset it and run
+    /// [`Warehouse::on_reset`].
+    SourceStalled {
+        /// The offending source's index.
+        source: usize,
+    },
 }
 
 impl std::fmt::Display for WarehouseError {
@@ -76,6 +87,12 @@ impl std::fmt::Display for WarehouseError {
             WarehouseError::Transport(e) => write!(f, "transport error: {e}"),
             WarehouseError::SourceHungUp { source } => {
                 write!(f, "source #{source} hung up before its shard settled")
+            }
+            WarehouseError::SourceStalled { source } => {
+                write!(
+                    f,
+                    "source #{source} sent nothing for a full stall timeout with queries pending"
+                )
             }
         }
     }
@@ -112,9 +129,34 @@ struct SourceEntry {
     views: Vec<ViewId>,
 }
 
+/// Health of a hosted view with respect to channel faults.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ViewStatus {
+    /// Normal incremental maintenance.
+    Active,
+    /// The view lost state it cannot recover incrementally (exhausted
+    /// retries, unsafe re-issue, or lost notifications) and is waiting
+    /// for the answer to a full-view resync query. Updates are skipped
+    /// until the resync answer installs `V(ss)` via
+    /// [`eca_core::ViewMaintainer::reset_to`].
+    Degraded,
+}
+
+/// Recovery activity counters (monotonic over the warehouse's life).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// In-flight queries re-issued under a new epoch after resets.
+    pub reissued: u64,
+    /// Full-view resyncs started (views degraded).
+    pub resyncs_started: u64,
+    /// Resync answers installed (views returned to [`ViewStatus::Active`]).
+    pub resyncs_completed: u64,
+}
+
 struct ViewEntry {
     source: SourceId,
     maintainer: Box<dyn ViewMaintainer>,
+    status: ViewStatus,
     /// `MV` after the initial state and each event that reached this
     /// view, including every intermediate state a maintainer reports via
     /// [`ViewMaintainer::drain_intermediate_states`] — the history the
@@ -127,6 +169,8 @@ pub struct Warehouse {
     sources: Vec<SourceEntry>,
     views: Vec<ViewEntry>,
     record_history: bool,
+    max_retries: u32,
+    recovery: RecoveryStats,
 }
 
 impl Default for Warehouse {
@@ -142,7 +186,20 @@ impl Warehouse {
             sources: Vec::new(),
             views: Vec::new(),
             record_history: true,
+            max_retries: 3,
+            recovery: RecoveryStats::default(),
         }
+    }
+
+    /// How many times an in-flight query may be re-issued across channel
+    /// resets before its view is degraded to a full resync (default 3).
+    pub fn set_max_retries(&mut self, n: u32) {
+        self.max_retries = n;
+    }
+
+    /// Recovery activity so far.
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.recovery
     }
 
     /// Toggle per-event state-history recording (on by default). The
@@ -180,6 +237,7 @@ impl Warehouse {
         self.views.push(ViewEntry {
             source,
             maintainer,
+            status: ViewStatus::Active,
             states: vec![initial],
         });
         let id = ViewId(self.views.len() - 1);
@@ -230,10 +288,34 @@ impl Warehouse {
         &self.sources[source.0].views
     }
 
-    /// Whether every view is quiescent and no query is outstanding.
+    /// The fault status of a view.
+    pub fn view_status(&self, view: ViewId) -> ViewStatus {
+        self.views[view.0].status
+    }
+
+    /// The current epoch of a source channel.
+    pub fn epoch(&self, source: SourceId) -> u64 {
+        self.sources[source.0].session.epoch()
+    }
+
+    /// Whether every view is quiescent (and healthy) and no query is
+    /// outstanding.
     pub fn is_quiescent(&self) -> bool {
         self.sources.iter().all(|s| s.session.pending() == 0)
-            && self.views.iter().all(|v| v.maintainer.is_quiescent())
+            && self
+                .views
+                .iter()
+                .all(|v| v.status == ViewStatus::Active && v.maintainer.is_quiescent())
+    }
+
+    /// Whether one source's channel is settled: nothing pending on its
+    /// session and every view over it healthy and quiescent.
+    pub fn source_quiescent(&self, source: SourceId) -> bool {
+        self.sources[source.0].session.pending() == 0
+            && self.sources[source.0].views.iter().all(|v| {
+                self.views[v.0].status == ViewStatus::Active
+                    && self.views[v.0].maintainer.is_quiescent()
+            })
     }
 
     /// Record the state(s) view `idx` reached during the event just
@@ -264,7 +346,11 @@ impl Warehouse {
         emitted
             .into_iter()
             .map(|q| OutboundQuery {
-                id: self.sources[source.0].session.register(view_idx, q.id),
+                id: self.sources[source.0].session.register(
+                    view_idx,
+                    q.id,
+                    WireQuery::from_query(&q.query),
+                ),
                 query: q.query,
             })
             .collect()
@@ -288,6 +374,13 @@ impl Warehouse {
         // view-index order, so fan-out order is unchanged.
         for k in 0..self.sources[source.0].views.len() {
             let idx = self.sources[source.0].views[k].0;
+            if self.views[idx].status == ViewStatus::Degraded {
+                // Skip: a notification arriving before the resync answer
+                // was *sent* before that answer (per-channel FIFO), so
+                // its update executed before the resync query was
+                // evaluated and is already inside the coming V(ss).
+                continue;
+            }
             let emitted = self.views[idx].maintainer.on_update(update)?;
             self.record_states(idx);
             out.extend(self.register_outbound(source, idx, emitted));
@@ -312,11 +405,107 @@ impl Warehouse {
             return Err(WarehouseError::UnknownSource { id: source.0 });
         }
         let route = self.sources[source.0].session.take(id)?;
+        if route.kind == RouteKind::Resync {
+            // The answer is a fresh V(ss): install it wholesale and
+            // resume incremental maintenance (Alg. D.1's MV ← A).
+            let entry = &mut self.views[route.view];
+            entry.maintainer.reset_to(answer)?;
+            entry.status = ViewStatus::Active;
+            self.recovery.resyncs_completed += 1;
+            self.record_states(route.view);
+            return Ok(Vec::new());
+        }
         let emitted = self.views[route.view]
             .maintainer
             .on_answer(route.local, answer)?;
         self.record_states(route.view);
         Ok(self.register_outbound(source, route.view, emitted))
+    }
+
+    /// React to a reset of `source`'s channel: bump the session epoch
+    /// (retiring every in-flight global id, so stale-epoch answers are
+    /// rejected before touching any maintainer) and decide, per view, how
+    /// to recover. `notifications_lost` distinguishes the two severities:
+    ///
+    /// * `false` — a connection reset with no data loss on our side
+    ///   (e.g. the session layer retransmits over a new connection).
+    ///   Pending queries of compensation-safe views are re-issued under
+    ///   fresh ids (the §4 compensation argument holds no matter how
+    ///   late a query is evaluated, because it stays in `UQS` and every
+    ///   intervening update compensates it). A view is instead
+    ///   **degraded** to a full resync when a query exhausted
+    ///   `max_retries` or its algorithm says re-issue is unsafe
+    ///   ([`eca_core::ViewMaintainer::reissue_safe`]).
+    /// * `true` — a source restart: update notifications may have been
+    ///   lost, so incremental state is unsalvageable and **every** view
+    ///   over the source degrades to a resync.
+    ///
+    /// Degraded views skip updates until their resync answer arrives;
+    /// the answer installs `V(ss)` wholesale (RV semantics, Alg. D.1) —
+    /// sound because per-channel FIFO puts it after every notification
+    /// whose update the evaluation saw. Resync queries are always
+    /// re-issued on later resets (never capped): resyncing is already
+    /// the recovery of last resort.
+    ///
+    /// Returns the query messages to send on the (fresh) channel.
+    ///
+    /// # Errors
+    /// [`WarehouseError::UnknownSource`] for an unregistered handle.
+    pub fn on_reset(
+        &mut self,
+        source: SourceId,
+        notifications_lost: bool,
+    ) -> Result<Vec<Message>, WarehouseError> {
+        if source.0 >= self.sources.len() {
+            return Err(WarehouseError::UnknownSource { id: source.0 });
+        }
+        let drained = self.sources[source.0].session.bump_epoch();
+
+        // Pass 1: which views must fall back to a full resync?
+        let mut degrade: BTreeSet<usize> = BTreeSet::new();
+        if notifications_lost {
+            degrade.extend(self.sources[source.0].views.iter().map(|v| v.0));
+        }
+        for pq in &drained {
+            if pq.route.kind == RouteKind::Update
+                && (!self.views[pq.route.view].maintainer.reissue_safe()
+                    || pq.retries + 1 > self.max_retries)
+            {
+                degrade.insert(pq.route.view);
+            }
+        }
+
+        // Pass 2: re-issue survivors (and in-flight resyncs) in the old
+        // emission order; drop maintenance queries of degraded views.
+        let mut out = Vec::new();
+        let mut resyncing: BTreeSet<usize> = BTreeSet::new();
+        for pq in drained {
+            let (kind, view) = (pq.route.kind, pq.route.view);
+            if kind == RouteKind::Update && degrade.contains(&view) {
+                continue;
+            }
+            if kind == RouteKind::Resync {
+                resyncing.insert(view);
+            }
+            let (id, query) = self.sources[source.0].session.reissue(pq);
+            self.recovery.reissued += 1;
+            out.push(Message::QueryRequest { id, query });
+        }
+
+        // Pass 3: newly degraded views get marked and sent one resync.
+        for idx in degrade {
+            self.views[idx].status = ViewStatus::Degraded;
+            if resyncing.contains(&idx) {
+                continue; // its resync from a prior reset was re-issued
+            }
+            let query = WireQuery::from_query(&self.views[idx].maintainer.view().as_query());
+            let id = self.sources[source.0]
+                .session
+                .register_resync(idx, query.clone());
+            self.recovery.resyncs_started += 1;
+            out.push(Message::QueryRequest { id, query });
+        }
+        Ok(out)
     }
 
     /// Process one decoded inbound message from `source`, returning the
@@ -337,6 +526,13 @@ impl Warehouse {
             Message::QueryRequest { .. } => {
                 return Err(WarehouseError::UnexpectedMessage {
                     kind: "QueryRequest",
+                })
+            }
+            // Session-layer envelopes are consumed by `ReliableLink`;
+            // one surfacing here means the channel is mis-stacked.
+            Message::Frame { .. } | Message::Ack { .. } | Message::Hello { .. } => {
+                return Err(WarehouseError::UnexpectedMessage {
+                    kind: "session-layer",
                 })
             }
         };
@@ -363,6 +559,52 @@ impl Warehouse {
     ) -> Result<usize, WarehouseError> {
         let mut processed = 0;
         while let Some(msg) = transport.try_recv()? {
+            if let Message::QueryAnswer { answer, .. } = &msg {
+                transport.meter().record_answer_payload(
+                    answer.encoded_len() as u64,
+                    answer.pos_len() + answer.neg_len(),
+                );
+            }
+            for reply in self.on_message(source, msg)? {
+                transport.send(&reply)?;
+            }
+            processed += 1;
+        }
+        Ok(processed)
+    }
+
+    /// Pump `source`'s transport until `expected_notifications` update
+    /// notifications have arrived and the channel is settled
+    /// ([`Warehouse::source_quiescent`]), blocking at most `stall` for
+    /// each message. Returns the number of messages processed.
+    ///
+    /// # Errors
+    /// [`WarehouseError::SourceStalled`] when nothing arrives for a full
+    /// `stall` while queries are outstanding (the fault-recovery signal —
+    /// reset the channel and call [`Warehouse::on_reset`]);
+    /// [`WarehouseError::SourceHungUp`] on disconnect before settling;
+    /// transport, routing and maintainer failures.
+    pub fn pump_until_settled(
+        &mut self,
+        source: SourceId,
+        transport: &mut dyn Transport,
+        expected_notifications: u64,
+        stall: Duration,
+    ) -> Result<usize, WarehouseError> {
+        let mut notifications = 0u64;
+        let mut processed = 0;
+        while notifications < expected_notifications || !self.source_quiescent(source) {
+            let msg = match transport.recv_timeout(stall) {
+                Ok(Some(msg)) => msg,
+                Ok(None) => return Err(WarehouseError::SourceHungUp { source: source.0 }),
+                Err(TransportError::Timeout) => {
+                    return Err(WarehouseError::SourceStalled { source: source.0 })
+                }
+                Err(e) => return Err(e.into()),
+            };
+            if matches!(msg, Message::UpdateNotification { .. }) {
+                notifications += 1;
+            }
             if let Message::QueryAnswer { answer, .. } = &msg {
                 transport.meter().record_answer_payload(
                     answer.encoded_len() as u64,
@@ -670,6 +912,160 @@ mod tests {
             wh.on_message(src, msg),
             Err(WarehouseError::UnexpectedMessage { .. })
         ));
+    }
+
+    /// A lossless reset mid-flight: the epoch bumps, stale answers are
+    /// rejected, pending ECA queries are re-issued under fresh ids, and
+    /// the view still converges.
+    #[test]
+    fn reset_reissues_pending_queries_and_rejects_stale_answers() {
+        let (mut wh, src, i1, _, v1, _, mut db) = hub_over_one_source();
+        let u = Update::insert("r2", Tuple::ints([2, 8]));
+        db.apply(&u);
+        let queries = wh.on_update(src, &u).unwrap();
+        assert_eq!(wh.epoch(src), 0);
+
+        let reissued = wh.on_reset(src, false).unwrap();
+        assert_eq!(wh.epoch(src), 1);
+        assert_eq!(reissued.len(), queries.len());
+        assert_eq!(wh.recovery_stats().reissued, queries.len() as u64);
+        assert_eq!(wh.recovery_stats().resyncs_started, 0);
+
+        // An answer addressed to a dead-epoch id never touches UQS.
+        assert!(matches!(
+            wh.on_answer(src, queries[0].id, SignedBag::new()),
+            Err(WarehouseError::Core(CoreError::UnknownQuery { .. }))
+        ));
+
+        // Answer the re-issued queries (same bodies, new ids).
+        let catalog: Vec<_> = [("r1", ["W", "X"]), ("r2", ["X", "Y"]), ("r3", ["Y", "Z"])]
+            .iter()
+            .map(|(r, c)| Schema::new(*r, c))
+            .collect();
+        for msg in reissued {
+            let Message::QueryRequest { id, query } = msg else {
+                panic!("reset must re-emit QueryRequests");
+            };
+            let answer = query.to_query(&catalog).unwrap().eval(&db).unwrap();
+            wh.on_answer(src, id, answer).unwrap();
+        }
+        assert!(wh.is_quiescent());
+        assert_eq!(*wh.materialized(i1), v1.eval(&db).unwrap());
+    }
+
+    /// Exhausted retries degrade the view to a full resync: updates are
+    /// skipped while degraded, the resync answer is installed wholesale,
+    /// and maintenance resumes.
+    #[test]
+    fn retry_exhaustion_degrades_then_resync_restores() {
+        let (mut wh, src, i1, i2, v1, _, mut db) = hub_over_one_source();
+        wh.set_max_retries(0); // first reset already exceeds the cap
+        let u = Update::insert("r2", Tuple::ints([2, 8]));
+        db.apply(&u);
+        let queries = wh.on_update(src, &u).unwrap();
+        assert_eq!(queries.len(), 2);
+
+        let out = wh.on_reset(src, false).unwrap();
+        // Both views degrade; each gets exactly one resync query.
+        assert_eq!(out.len(), 2);
+        assert_eq!(wh.view_status(i1), ViewStatus::Degraded);
+        assert_eq!(wh.view_status(i2), ViewStatus::Degraded);
+        assert_eq!(wh.recovery_stats().resyncs_started, 2);
+        assert!(!wh.is_quiescent());
+
+        // Updates arriving while degraded are skipped (their effects are
+        // inside the coming V(ss)).
+        let u2 = Update::insert("r1", Tuple::ints([4, 2]));
+        db.apply(&u2);
+        assert!(wh.on_update(src, &u2).unwrap().is_empty());
+
+        let catalog: Vec<_> = [("r1", ["W", "X"]), ("r2", ["X", "Y"]), ("r3", ["Y", "Z"])]
+            .iter()
+            .map(|(r, c)| Schema::new(*r, c))
+            .collect();
+        for msg in out {
+            let Message::QueryRequest { id, query } = msg else {
+                panic!("resyncs travel as QueryRequests");
+            };
+            let answer = query.to_query(&catalog).unwrap().eval(&db).unwrap();
+            assert!(wh.on_answer(src, id, answer).unwrap().is_empty());
+        }
+        assert_eq!(wh.view_status(i1), ViewStatus::Active);
+        assert_eq!(wh.recovery_stats().resyncs_completed, 2);
+        assert!(wh.is_quiescent());
+        assert_eq!(*wh.materialized(i1), v1.eval(&db).unwrap());
+
+        // Incremental maintenance resumes normally after the resync.
+        let u3 = Update::insert("r2", Tuple::ints([2, 9]));
+        db.apply(&u3);
+        let qs = wh.on_update(src, &u3).unwrap();
+        assert_eq!(qs.len(), 2);
+        for q in &qs {
+            wh.on_answer(src, q.id, q.query.eval(&db).unwrap()).unwrap();
+        }
+        assert_eq!(*wh.materialized(i1), v1.eval(&db).unwrap());
+    }
+
+    /// A source restart (possible lost notifications) degrades every view
+    /// over that source even with zero queries in flight.
+    #[test]
+    fn lost_notifications_degrade_all_views() {
+        let (mut wh, src, i1, i2, ..) = hub_over_one_source();
+        assert!(wh.is_quiescent());
+        let out = wh.on_reset(src, true).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(wh.view_status(i1), ViewStatus::Degraded);
+        assert_eq!(wh.view_status(i2), ViewStatus::Degraded);
+        assert_eq!(wh.recovery_stats().reissued, 0);
+    }
+
+    /// Basic's queries must not be re-evaluated at later source states
+    /// (`reissue_safe() == false`): any reset degrades it straight to a
+    /// resync instead of re-issuing.
+    #[test]
+    fn unsafe_reissue_goes_straight_to_resync() {
+        let (v1, _) = two_views();
+        let db = {
+            let mut db = BaseDb::new();
+            db.register("r1");
+            db.register("r2");
+            db.insert("r1", Tuple::ints([1, 2]));
+            db
+        };
+        let mut wh = Warehouse::new();
+        let src = wh.add_source("src");
+        let id = wh
+            .add_view(
+                src,
+                AlgorithmKind::Basic
+                    .instantiate(&v1, v1.eval(&db).unwrap())
+                    .unwrap(),
+            )
+            .unwrap();
+        let mut db = db;
+        let u = Update::insert("r2", Tuple::ints([2, 3]));
+        db.apply(&u);
+        let qs = wh.on_update(src, &u).unwrap();
+        assert_eq!(qs.len(), 1);
+
+        let out = wh.on_reset(src, false).unwrap();
+        assert_eq!(wh.view_status(id), ViewStatus::Degraded);
+        assert_eq!(wh.recovery_stats().reissued, 0, "Basic never re-issues");
+        assert_eq!(out.len(), 1, "one resync query only");
+    }
+
+    /// A second reset while a resync is in flight re-issues the resync
+    /// (uncapped) rather than stacking another one.
+    #[test]
+    fn resync_survives_repeated_resets() {
+        let (mut wh, src, i1, ..) = hub_over_one_source();
+        wh.on_reset(src, true).unwrap();
+        let again = wh.on_reset(src, true).unwrap();
+        assert_eq!(again.len(), 2, "one re-issued resync per view");
+        assert_eq!(wh.recovery_stats().resyncs_started, 2, "not restarted");
+        assert_eq!(wh.recovery_stats().reissued, 2, "resyncs re-issued");
+        assert_eq!(wh.view_status(i1), ViewStatus::Degraded);
+        assert_eq!(wh.epoch(src), 2);
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Per-source sessions: query-id allocation and strict answer demux.
+//! Per-source sessions: query-id allocation, epochs and strict answer
+//! demux.
 //!
 //! Every source the warehouse talks to gets its own [`Session`] with its
 //! own [`QueryIdGen`] and pending-query FIFO. Maintainers allocate
@@ -7,26 +8,66 @@
 //! channel to the source, and demultiplexes each answer **strictly by
 //! [`QueryId`]** — an answer bearing an id that is not pending is rejected
 //! before any maintainer state (`UQS`, `COLLECT`) can be touched.
+//!
+//! Sessions also carry an **epoch** counter, bumped on every channel
+//! reset ([`Session::bump_epoch`]). Global ids are unique across epochs
+//! (the generator is never rewound), so an answer addressed to a query of
+//! a dead epoch routes to a retired id and is rejected by the same strict
+//! demux — stale-epoch answers can never touch maintainer state. Each
+//! pending query keeps its full [`WireQuery`] body and a retry count so
+//! the warehouse can re-issue in-flight queries of a dead epoch under
+//! fresh ids.
 
 use std::collections::{BTreeMap, VecDeque};
 
 use eca_core::maintainer::QueryIdGen;
 use eca_core::{CoreError, QueryId};
+use eca_wire::WireQuery;
+
+/// Why a pending query was sent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RouteKind {
+    /// An incremental maintenance query emitted by a maintainer's
+    /// `on_update`/`on_answer` (answer is delivered to the maintainer
+    /// under its local id).
+    Update,
+    /// A full-view recomputation issued by the warehouse's recovery
+    /// policy (answer is installed wholesale via
+    /// [`eca_core::ViewMaintainer::reset_to`]).
+    Resync,
+}
 
 /// Where a pending query came from.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Route {
     /// Index of the owning view in the warehouse's view table.
     pub view: usize,
-    /// The maintainer-local id the answer must be delivered under.
+    /// The maintainer-local id the answer must be delivered under
+    /// (meaningless for [`RouteKind::Resync`] queries, which bypass the
+    /// maintainer's id space).
     pub local: QueryId,
+    /// Why the query was sent.
+    pub kind: RouteKind,
+}
+
+/// One outstanding query, with everything needed to re-issue it after a
+/// channel reset.
+#[derive(Clone, Debug)]
+pub struct PendingQuery {
+    /// Demux destination.
+    pub route: Route,
+    /// The self-contained query body, kept so a reset can re-send it.
+    pub query: WireQuery,
+    /// How many times this query has been re-issued already.
+    pub retries: u32,
 }
 
 /// The warehouse-side state of one source channel.
 #[derive(Debug, Default)]
 pub struct Session {
     ids: QueryIdGen,
-    routing: BTreeMap<QueryId, Route>,
+    epoch: u64,
+    pending: BTreeMap<QueryId, PendingQuery>,
     /// Global ids in emission order — the FIFO the paper's §3 ordering
     /// assumption says answers will respect. Demux never *relies* on it
     /// (answers route by id), but it names the oldest outstanding query
@@ -35,19 +76,62 @@ pub struct Session {
 }
 
 impl Session {
-    /// A fresh session with no outstanding queries.
+    /// A fresh session with no outstanding queries, at epoch 0.
     pub fn new() -> Self {
         Session {
             ids: QueryIdGen::new(),
-            routing: BTreeMap::new(),
+            epoch: 0,
+            pending: BTreeMap::new(),
             fifo: VecDeque::new(),
         }
     }
 
-    /// Allocate a global id for a query emitted by `view` under `local`.
-    pub fn register(&mut self, view: usize, local: QueryId) -> QueryId {
+    /// The current channel epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Allocate a global id for a maintenance query emitted by `view`
+    /// under `local`, remembering its body for possible re-issue.
+    pub fn register(&mut self, view: usize, local: QueryId, query: WireQuery) -> QueryId {
+        self.insert(PendingQuery {
+            route: Route {
+                view,
+                local,
+                kind: RouteKind::Update,
+            },
+            query,
+            retries: 0,
+        })
+    }
+
+    /// Allocate a global id for a recovery resync of `view` (the full
+    /// view expression; its answer will be installed via `reset_to`).
+    pub fn register_resync(&mut self, view: usize, query: WireQuery) -> QueryId {
+        self.insert(PendingQuery {
+            route: Route {
+                view,
+                local: QueryId(0),
+                kind: RouteKind::Resync,
+            },
+            query,
+            retries: 0,
+        })
+    }
+
+    /// Re-issue a query drained by [`Session::bump_epoch`] under a fresh
+    /// global id, counting the retry. Returns the new id and a copy of
+    /// the body to put on the wire.
+    pub fn reissue(&mut self, mut pq: PendingQuery) -> (QueryId, WireQuery) {
+        pq.retries += 1;
+        let body = pq.query.clone();
+        let id = self.insert(pq);
+        (id, body)
+    }
+
+    fn insert(&mut self, pq: PendingQuery) -> QueryId {
         let global = self.ids.fresh();
-        self.routing.insert(global, Route { view, local });
+        self.pending.insert(global, pq);
         self.fifo.push_back(global);
         global
     }
@@ -55,21 +139,48 @@ impl Session {
     /// Resolve and retire a pending global id.
     ///
     /// # Errors
-    /// [`CoreError::UnknownQuery`] when `id` was never issued or is
-    /// already answered; the session (and every maintainer behind it) is
-    /// left untouched.
+    /// [`CoreError::UnknownQuery`] when `id` was never issued, is already
+    /// answered, or belongs to a dead epoch (its entry was drained by
+    /// [`Session::bump_epoch`]); the session (and every maintainer behind
+    /// it) is left untouched.
     pub fn take(&mut self, id: QueryId) -> Result<Route, CoreError> {
-        let route = self
-            .routing
+        let pq = self
+            .pending
             .remove(&id)
             .ok_or(CoreError::UnknownQuery { id: id.0 })?;
         self.fifo.retain(|&q| q != id);
-        Ok(route)
+        Ok(pq.route)
+    }
+
+    /// Start a new epoch after a channel reset: every in-flight query is
+    /// drained (in emission order) and returned to the caller, who
+    /// decides per query whether to [`Session::reissue`] it or abandon
+    /// its view to a resync. Once drained, answers to the old ids are
+    /// rejected by [`Session::take`] — stale-epoch answers cannot reach
+    /// maintainer state.
+    pub fn bump_epoch(&mut self) -> Vec<PendingQuery> {
+        self.epoch += 1;
+        let mut drained = Vec::with_capacity(self.fifo.len());
+        for id in std::mem::take(&mut self.fifo) {
+            if let Some(pq) = self.pending.remove(&id) {
+                drained.push(pq);
+            }
+        }
+        self.pending.clear();
+        drained
+    }
+
+    /// Retire every pending query owned by `view` (used when the view is
+    /// degraded to a resync outside of an epoch bump).
+    pub fn purge_view(&mut self, view: usize) {
+        self.pending.retain(|_, pq| pq.route.view != view);
+        let live = &self.pending;
+        self.fifo.retain(|id| live.contains_key(id));
     }
 
     /// Number of outstanding queries on this channel.
     pub fn pending(&self) -> usize {
-        self.routing.len()
+        self.pending.len()
     }
 
     /// The oldest outstanding global id, if any.
@@ -82,30 +193,33 @@ impl Session {
 mod tests {
     use super::*;
 
+    /// A minimal stand-in query body (sessions never interpret it).
+    fn q() -> WireQuery {
+        WireQuery {
+            relations: Vec::new(),
+            cond: eca_relational::Predicate::True,
+            proj: Vec::new(),
+            terms: Vec::new(),
+        }
+    }
+
     #[test]
     fn ids_are_global_and_fifo_tracked() {
         let mut s = Session::new();
-        let a = s.register(0, QueryId(1));
-        let b = s.register(1, QueryId(1));
+        let a = s.register(0, QueryId(1), q());
+        let b = s.register(1, QueryId(1), q());
         assert_ne!(a, b);
         assert_eq!(s.pending(), 2);
         assert_eq!(s.oldest_pending(), Some(a));
 
+        let ra = s.take(a).unwrap();
         assert_eq!(
-            s.take(a).unwrap(),
-            Route {
-                view: 0,
-                local: QueryId(1)
-            }
+            (ra.view, ra.local, ra.kind),
+            (0, QueryId(1), RouteKind::Update)
         );
         assert_eq!(s.oldest_pending(), Some(b));
-        assert_eq!(
-            s.take(b).unwrap(),
-            Route {
-                view: 1,
-                local: QueryId(1)
-            }
-        );
+        let rb = s.take(b).unwrap();
+        assert_eq!((rb.view, rb.local), (1, QueryId(1)));
         assert_eq!(s.pending(), 0);
     }
 
@@ -119,7 +233,7 @@ mod tests {
         let mut expected = BTreeMap::new();
         for r in 0..rounds {
             for v in 0..views {
-                let global = s.register(v, QueryId(r + 1));
+                let global = s.register(v, QueryId(r + 1), q());
                 assert!(
                     expected.insert(global, (v, QueryId(r + 1))).is_none(),
                     "global ids must never repeat"
@@ -145,12 +259,53 @@ mod tests {
     #[test]
     fn unknown_and_duplicate_ids_are_rejected() {
         let mut s = Session::new();
-        let a = s.register(0, QueryId(1));
+        let a = s.register(0, QueryId(1), q());
         assert!(matches!(
             s.take(QueryId(99)),
             Err(CoreError::UnknownQuery { id: 99 })
         ));
         s.take(a).unwrap();
         assert!(matches!(s.take(a), Err(CoreError::UnknownQuery { .. })));
+    }
+
+    #[test]
+    fn bump_epoch_drains_in_order_and_retires_old_ids() {
+        let mut s = Session::new();
+        assert_eq!(s.epoch(), 0);
+        let a = s.register(0, QueryId(1), q());
+        let b = s.register(1, QueryId(1), q());
+        let r = s.register_resync(2, q());
+
+        let drained = s.bump_epoch();
+        assert_eq!(s.epoch(), 1);
+        assert_eq!(drained.len(), 3);
+        assert_eq!(drained[0].route.view, 0);
+        assert_eq!(drained[1].route.view, 1);
+        assert_eq!(drained[2].route.kind, RouteKind::Resync);
+        assert_eq!(s.pending(), 0);
+
+        // Stale-epoch answers (old global ids) are rejected strictly.
+        for id in [a, b, r] {
+            assert!(matches!(s.take(id), Err(CoreError::UnknownQuery { .. })));
+        }
+
+        // Re-issue under the new epoch: fresh ids, retry counted.
+        let (a2, _) = s.reissue(drained[0].clone());
+        assert!(a2 > r, "ids keep growing across epochs");
+        let route = s.take(a2).unwrap();
+        assert_eq!((route.view, route.local), (0, QueryId(1)));
+    }
+
+    #[test]
+    fn purge_view_drops_only_that_views_queries() {
+        let mut s = Session::new();
+        let a = s.register(0, QueryId(1), q());
+        let _b = s.register(1, QueryId(1), q());
+        let c = s.register(0, QueryId(2), q());
+        s.purge_view(0);
+        assert_eq!(s.pending(), 1);
+        assert!(s.take(a).is_err());
+        assert!(s.take(c).is_err());
+        assert_eq!(s.oldest_pending(), Some(QueryId(2)));
     }
 }

@@ -14,19 +14,29 @@
 //! * [`TransferMeter`] — per-direction message/byte accounting,
 //! * [`Transport`] — the channel abstraction of §3 (reliable, FIFO per
 //!   direction), with a deterministic in-process pair ([`InMemoryFifo`])
-//!   and a framed TCP implementation ([`TcpTransport`]).
+//!   and a framed TCP implementation ([`TcpTransport`]),
+//! * [`FaultyTransport`] — a seed-driven decorator that *violates* the §2
+//!   channel assumptions on purpose (drops, duplicates, reorders,
+//!   corruption, resets) for chaos testing,
+//! * [`ReliableLink`] — the session layer that restores exactly-once
+//!   FIFO delivery over an arbitrary transport via sequence numbers,
+//!   cumulative acks and virtual-clock retransmission.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod fault;
 pub mod message;
 pub mod meter;
+pub mod reliable;
 pub mod transport;
 
 pub use codec::{DecodeError, Decoder, Encoder};
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultyTransport};
 pub use message::{Message, WireQuery, WireTerm};
 pub use meter::{Direction, TransferMeter};
+pub use reliable::{fnv1a_checksum, LinkStats, ReliableConfig, ReliableLink};
 pub use transport::{
     read_frame, write_frame, InMemoryFifo, Readiness, Role, SharedFifo, TcpTransport, Transport,
     TransportError,

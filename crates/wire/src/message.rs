@@ -127,6 +127,34 @@ pub enum Message {
         /// The signed answer relation.
         answer: SignedBag,
     },
+    /// Session layer: a sequenced envelope around one encoded application
+    /// message, as produced by `ReliableLink`. The payload checksum lets
+    /// the receiver detect corruption and treat the frame as dropped, to
+    /// be healed by retransmission.
+    Frame {
+        /// Session epoch the sender believes is current.
+        epoch: u64,
+        /// Monotonic per-link sequence number (0-based).
+        seq: u64,
+        /// FNV-1a over `payload`.
+        checksum: u64,
+        /// The encoded inner [`Message`].
+        payload: Bytes,
+    },
+    /// Session layer: cumulative acknowledgement — every frame with
+    /// `seq < next` has been received in order.
+    Ack {
+        /// Session epoch the sender believes is current.
+        epoch: u64,
+        /// The next sequence number the receiver expects.
+        next: u64,
+    },
+    /// Session layer: announce an epoch, e.g. when a peer reconnects and
+    /// the warehouse opens a fresh session generation.
+    Hello {
+        /// The announced epoch.
+        epoch: u64,
+    },
 }
 
 impl Message {
@@ -147,6 +175,27 @@ impl Message {
                 e.put_u8(2);
                 e.put_u64(id.0);
                 e.put_bag(answer);
+            }
+            Message::Frame {
+                epoch,
+                seq,
+                checksum,
+                payload,
+            } => {
+                e.put_u8(3);
+                e.put_u64(*epoch);
+                e.put_u64(*seq);
+                e.put_u64(*checksum);
+                e.put_bytes(payload);
+            }
+            Message::Ack { epoch, next } => {
+                e.put_u8(4);
+                e.put_u64(*epoch);
+                e.put_u64(*next);
+            }
+            Message::Hello { epoch } => {
+                e.put_u8(5);
+                e.put_u64(*epoch);
             }
         }
         e.finish()
@@ -169,6 +218,19 @@ impl Message {
             2 => Message::QueryAnswer {
                 id: QueryId(d.get_u64()?),
                 answer: d.get_bag()?,
+            },
+            3 => Message::Frame {
+                epoch: d.get_u64()?,
+                seq: d.get_u64()?,
+                checksum: d.get_u64()?,
+                payload: d.get_bytes()?,
+            },
+            4 => Message::Ack {
+                epoch: d.get_u64()?,
+                next: d.get_u64()?,
+            },
+            5 => Message::Hello {
+                epoch: d.get_u64()?,
             },
             tag => {
                 return Err(DecodeError::BadTag {
@@ -523,6 +585,31 @@ mod tests {
             query: WireQuery::from_query(&view.as_query()),
         };
         assert_eq!(Message::decode(m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn session_layer_roundtrips() {
+        let inner = Message::UpdateNotification {
+            update: Update::insert("r2", Tuple::ints([2, 3])),
+        };
+        for m in [
+            Message::Frame {
+                epoch: 3,
+                seq: 41,
+                checksum: 0xdead_beef_cafe_f00d,
+                payload: inner.encode(),
+            },
+            Message::Frame {
+                epoch: 0,
+                seq: 0,
+                checksum: 0,
+                payload: Bytes::new(),
+            },
+            Message::Ack { epoch: 2, next: 17 },
+            Message::Hello { epoch: 9 },
+        ] {
+            assert_eq!(Message::decode(m.encode()).unwrap(), m);
+        }
     }
 
     #[test]

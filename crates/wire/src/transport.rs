@@ -83,6 +83,9 @@ pub enum TransportError {
     Decode(DecodeError),
     /// An I/O fault on the underlying medium.
     Io(std::io::Error),
+    /// A bounded wait ([`Transport::recv_timeout`]) elapsed with the peer
+    /// still connected but silent — the channel may be wedged.
+    Timeout,
 }
 
 impl std::fmt::Display for TransportError {
@@ -91,6 +94,7 @@ impl std::fmt::Display for TransportError {
             TransportError::Closed => write!(f, "transport closed by peer"),
             TransportError::Decode(e) => write!(f, "inbound frame failed to decode: {e}"),
             TransportError::Io(e) => write!(f, "transport I/O error: {e}"),
+            TransportError::Timeout => write!(f, "timed out waiting for inbound message"),
         }
     }
 }
@@ -100,7 +104,7 @@ impl std::error::Error for TransportError {
         match self {
             TransportError::Decode(e) => Some(e),
             TransportError::Io(e) => Some(e),
-            TransportError::Closed => None,
+            TransportError::Closed | TransportError::Timeout => None,
         }
     }
 }
@@ -165,6 +169,37 @@ pub trait Transport {
     /// # Errors
     /// [`TransportError::Decode`] on a malformed frame.
     fn recv(&mut self) -> Result<Option<Message>, TransportError>;
+
+    /// Block until an inbound message arrives or `timeout` elapses.
+    ///
+    /// `Ok(None)` means the peer hung up cleanly. A wedged peer — still
+    /// connected but silent past the deadline — yields
+    /// [`TransportError::Timeout`] instead of hanging the caller forever,
+    /// which is the failure mode a plain [`Transport::recv`] cannot
+    /// escape. The default implementation polls with a short sleep;
+    /// transports with real blocking primitives override it.
+    ///
+    /// # Errors
+    /// [`TransportError::Timeout`] when the deadline passes;
+    /// [`TransportError::Decode`] on a malformed frame.
+    fn recv_timeout(
+        &mut self,
+        timeout: std::time::Duration,
+    ) -> Result<Option<Message>, TransportError> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if let Some(msg) = self.try_recv()? {
+                return Ok(Some(msg));
+            }
+            if self.poll()? == Readiness::Closed {
+                return Ok(None);
+            }
+            if std::time::Instant::now() >= deadline {
+                return Err(TransportError::Timeout);
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    }
 
     /// Whether an inbound message is available now (may decode and buffer
     /// one frame internally).
@@ -322,6 +357,21 @@ impl Transport for InMemoryFifo {
         // message pending", which a deterministic driver interprets via
         // `has_inbound` anyway.
         self.try_recv()
+    }
+
+    fn recv_timeout(
+        &mut self,
+        _timeout: std::time::Duration,
+    ) -> Result<Option<Message>, TransportError> {
+        // Single-threaded: nothing can arrive while we wait, so an empty
+        // queue times out immediately rather than sleeping pointlessly.
+        if let Some(msg) = self.try_recv()? {
+            return Ok(Some(msg));
+        }
+        if self.poll()? == Readiness::Closed {
+            return Ok(None);
+        }
+        Err(TransportError::Timeout)
     }
 
     fn has_inbound(&mut self) -> bool {
@@ -486,6 +536,34 @@ impl Transport for SharedFifo {
         }
     }
 
+    fn recv_timeout(
+        &mut self,
+        timeout: std::time::Duration,
+    ) -> Result<Option<Message>, TransportError> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut link = self.lock();
+        loop {
+            if let Some(payload) = link.queue_mut(self.role.inbound()).pop_front() {
+                drop(link);
+                return Ok(Some(Message::decode(payload)?));
+            }
+            if !link.open(self.role.other()) {
+                return Ok(None); // peer hung up cleanly
+            }
+            let now = std::time::Instant::now();
+            let Some(remaining) = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
+            else {
+                return Err(TransportError::Timeout);
+            };
+            link = match self.link.1.wait_timeout(link, remaining) {
+                Ok((guard, _)) => guard,
+                Err(poisoned) => poisoned.into_inner().0,
+            };
+        }
+    }
+
     fn has_inbound(&mut self) -> bool {
         !self.lock().queue_mut(self.role.inbound()).is_empty()
     }
@@ -529,6 +607,10 @@ pub struct TcpTransport {
     inbound: mpsc::Receiver<Result<Bytes, std::io::Error>>,
     /// Frames observed by `has_inbound` (already metered) awaiting decode.
     peeked: VecDeque<Bytes>,
+    /// A reader-thread I/O fault observed by a probe before any `recv`
+    /// asked for it. Surfaced (once) by the next receive or poll, so a
+    /// mid-stream error is never mistaken for clean EOF.
+    fault: Option<std::io::Error>,
     meter: TransferMeter,
     /// Set by [`TcpTransport::close`]/drop before the socket shutdown so
     /// the reader thread exits its loop even if a frame races the
@@ -574,6 +656,7 @@ impl TcpTransport {
             writer: stream,
             inbound: rx,
             peeked: VecDeque::new(),
+            fault: None,
             meter,
             shutdown,
             reader: Some(reader),
@@ -610,6 +693,11 @@ impl TcpTransport {
         self.meter.record(self.role.inbound(), frame.len() as u64);
         Ok(Message::decode(frame)?)
     }
+
+    /// Surface a stashed reader-thread fault, if one is waiting.
+    fn take_fault(&mut self) -> Option<TransportError> {
+        self.fault.take().map(TransportError::Io)
+    }
 }
 
 impl Transport for TcpTransport {
@@ -628,6 +716,9 @@ impl Transport for TcpTransport {
             // Already metered by `has_inbound`.
             return Ok(Some(Message::decode(frame)?));
         }
+        if let Some(fault) = self.take_fault() {
+            return Err(fault);
+        }
         match self.inbound.try_recv() {
             Ok(Ok(frame)) => Ok(Some(self.accept(frame)?)),
             Ok(Err(e)) => Err(TransportError::Io(e)),
@@ -639,10 +730,31 @@ impl Transport for TcpTransport {
         if let Some(frame) = self.peeked.pop_front() {
             return Ok(Some(Message::decode(frame)?));
         }
+        if let Some(fault) = self.take_fault() {
+            return Err(fault);
+        }
         match self.inbound.recv() {
             Ok(Ok(frame)) => Ok(Some(self.accept(frame)?)),
             Ok(Err(e)) => Err(TransportError::Io(e)),
             Err(mpsc::RecvError) => Ok(None), // peer hung up cleanly
+        }
+    }
+
+    fn recv_timeout(
+        &mut self,
+        timeout: std::time::Duration,
+    ) -> Result<Option<Message>, TransportError> {
+        if let Some(frame) = self.peeked.pop_front() {
+            return Ok(Some(Message::decode(frame)?));
+        }
+        if let Some(fault) = self.take_fault() {
+            return Err(fault);
+        }
+        match self.inbound.recv_timeout(timeout) {
+            Ok(Ok(frame)) => Ok(Some(self.accept(frame)?)),
+            Ok(Err(e)) => Err(TransportError::Io(e)),
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(TransportError::Timeout),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Ok(None), // peer hung up cleanly
         }
     }
 
@@ -656,13 +768,22 @@ impl Transport for TcpTransport {
                 self.peeked.push_back(frame);
                 true
             }
-            _ => false,
+            // Stash — not swallow — a reader fault seen by this probe, so
+            // the next receive reports it instead of reading clean EOF.
+            Ok(Err(e)) => {
+                self.fault = Some(e);
+                false
+            }
+            Err(_) => false,
         }
     }
 
     fn poll(&mut self) -> Result<Readiness, TransportError> {
         if !self.peeked.is_empty() {
             return Ok(Readiness::Ready);
+        }
+        if let Some(fault) = self.take_fault() {
+            return Err(fault);
         }
         match self.inbound.try_recv() {
             Ok(Ok(frame)) => {
@@ -921,6 +1042,106 @@ mod tests {
             src.close();
             drop(src); // close() then drop: second close is a no-op
         }
+    }
+
+    #[test]
+    fn in_memory_recv_timeout_never_sleeps() {
+        let (mut src, wh) = InMemoryFifo::pair(TransferMeter::new());
+        // Empty but connected: immediate Timeout (nothing can arrive).
+        assert!(matches!(
+            src.recv_timeout(std::time::Duration::from_secs(60)),
+            Err(TransportError::Timeout)
+        ));
+        drop(wh);
+        // Peer gone: clean hang-up, not a timeout.
+        assert_eq!(
+            src.recv_timeout(std::time::Duration::from_secs(60))
+                .unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn shared_fifo_recv_timeout_times_out_then_delivers() {
+        let (mut src, mut wh) = SharedFifo::pair(TransferMeter::new());
+        // Wedged peer: connected but silent.
+        assert!(matches!(
+            wh.recv_timeout(std::time::Duration::from_millis(20)),
+            Err(TransportError::Timeout)
+        ));
+        let sender = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            src.send(&notification(7)).unwrap();
+            src
+        });
+        assert_eq!(
+            wh.recv_timeout(std::time::Duration::from_secs(5)).unwrap(),
+            Some(notification(7))
+        );
+        let src = sender.join().unwrap();
+        drop(src);
+        // After hang-up the bounded wait reports None, like recv().
+        assert_eq!(
+            wh.recv_timeout(std::time::Duration::from_secs(5)).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn tcp_recv_timeout_on_wedged_peer() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut wh = TcpTransport::new(stream, Role::Warehouse, TransferMeter::new()).unwrap();
+            // Wedge: hold the connection open, send nothing, until told.
+            wh.recv().unwrap()
+        });
+        let mut src = TcpTransport::connect(addr, Role::Source, TransferMeter::new()).unwrap();
+        assert!(matches!(
+            src.recv_timeout(std::time::Duration::from_millis(30)),
+            Err(TransportError::Timeout)
+        ));
+        src.send(&notification(1)).unwrap(); // release the server
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn tcp_reader_fault_survives_has_inbound_probe() {
+        use std::io::Write as _;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            // A frame header promising 100 bytes, then only 3, then a
+            // hard close: a truncated frame, not clean EOF.
+            stream.write_all(&100u32.to_be_bytes()).unwrap();
+            stream.write_all(&[1, 2, 3]).unwrap();
+            stream.flush().unwrap();
+        });
+        let mut src = TcpTransport::connect(addr, Role::Source, TransferMeter::new()).unwrap();
+        server.join().unwrap();
+        // Probe until the reader thread has observed the truncation. The
+        // probe itself must not swallow the fault...
+        loop {
+            if src.has_inbound() {
+                panic!("no complete frame should ever arrive");
+            }
+            if src.fault.is_some() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        // ...so the next receive reports Io (with the real ErrorKind)
+        // rather than the clean-EOF `Ok(None)`.
+        match src.recv() {
+            Err(TransportError::Io(e)) => {
+                assert_eq!(e.kind(), std::io::ErrorKind::UnexpectedEof);
+            }
+            other => panic!("expected Io fault, got {other:?}"),
+        }
+        // The fault is reported once; afterwards the channel reads closed.
+        assert_eq!(src.recv().unwrap(), None);
     }
 
     #[test]
