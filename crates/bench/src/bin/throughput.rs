@@ -1,21 +1,37 @@
-//! End-to-end throughput sweep: serial vs concurrent warehouse runtime.
+//! End-to-end throughput sweep: serial vs concurrent warehouse runtime,
+//! plus the thread-per-source vs reactor scaling curve.
 //!
 //! Writes `results/throughput.json` and the repo-root
-//! `BENCH_throughput.json`, prints a summary table, and exits non-zero
+//! `BENCH_throughput.json`, prints summary tables, and exits non-zero
 //! if the concurrent runtime is not faster than serial on every
-//! scenario (the CI gate).
+//! scenario, or the reactor does not beat thread-per-source at ≥32
+//! sources (the CI gates).
 //!
 //! ```text
-//! throughput [--smoke] [--io-latency-us N] [--out PATH] [--root PATH]
+//! throughput [--smoke] [--scaling-smoke] [--workers N]
+//!            [--reactor-workers N] [--io-latency-us N]
+//!            [--out PATH] [--root PATH]
 //! ```
+//!
+//! `--workers` sizes the source-side answer pool of the serial-vs-
+//! concurrent sweep; `--reactor-workers` sizes the reactor pool of the
+//! scaling sweep (default 2 — on few cores a small pool wins, and every
+//! scaling point records the value used).
+//!
+//! `--scaling-smoke` runs *only* the reduced scaling gate (32 sources,
+//! threaded vs reactor) and skips the artifact files — the fast CI
+//! check that the reactor's advantage has not regressed.
 
 use std::path::PathBuf;
 use std::time::Duration;
 
-use eca_bench::throughput::{report, sweep};
+use eca_bench::throughput::{report, scaling_sweep, sweep, ScalingResult};
 
 struct Args {
     smoke: bool,
+    scaling_smoke: bool,
+    workers: usize,
+    reactor_workers: usize,
     io_latency: Duration,
     out: PathBuf,
     root: PathBuf,
@@ -27,6 +43,9 @@ fn parse_args() -> Args {
     // counts blocks; this prices them.
     let mut parsed = Args {
         smoke: false,
+        scaling_smoke: false,
+        workers: 8,
+        reactor_workers: 2,
         io_latency: Duration::from_micros(1000),
         out: PathBuf::from("results/throughput.json"),
         root: PathBuf::from("BENCH_throughput.json"),
@@ -35,6 +54,27 @@ fn parse_args() -> Args {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => parsed.smoke = true,
+            "--scaling-smoke" => parsed.scaling_smoke = true,
+            "--workers" => {
+                parsed.workers = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&w| w > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--workers requires a positive integer argument");
+                        std::process::exit(2);
+                    });
+            }
+            "--reactor-workers" => {
+                parsed.reactor_workers = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&w| w > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--reactor-workers requires a positive integer argument");
+                        std::process::exit(2);
+                    });
+            }
             "--io-latency-us" => {
                 let us: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
                     eprintln!("--io-latency-us requires an integer argument");
@@ -63,10 +103,54 @@ fn parse_args() -> Args {
     parsed
 }
 
+fn print_scaling(scaling: &[ScalingResult]) {
+    println!(
+        "{:>7} {:>6} {:>7} {:>7} {:>12} {:>12} {:>8}",
+        "sources", "views", "updates", "workers", "threaded u/s", "reactor u/s", "speedup"
+    );
+    for r in scaling {
+        println!(
+            "{:>7} {:>6} {:>7} {:>7} {:>12.0} {:>12.0} {:>7.2}x",
+            r.config.sources,
+            r.config.total_views(),
+            r.config.updates_per_source,
+            r.config.workers,
+            r.threaded.updates_per_sec,
+            r.reactor.updates_per_sec,
+            r.speedup()
+        );
+    }
+}
+
+/// The reactor must beat thread-per-source wherever 32+ sources run.
+fn gate_scaling(scaling: &[ScalingResult]) -> bool {
+    let slow: Vec<_> = scaling
+        .iter()
+        .filter(|r| r.config.sources >= 32 && r.speedup() <= 1.0)
+        .collect();
+    for r in &slow {
+        eprintln!(
+            "FAIL: reactor not faster than thread-per-source at {} sources ({:.2}x)",
+            r.config.sources,
+            r.speedup()
+        );
+    }
+    slow.is_empty()
+}
+
 fn main() {
     let args = parse_args();
-    let results = sweep(args.smoke, args.io_latency);
 
+    if args.scaling_smoke {
+        let scaling = scaling_sweep(true, args.reactor_workers);
+        print_scaling(&scaling);
+        if !gate_scaling(&scaling) {
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let results = sweep(args.smoke, args.io_latency, args.workers);
     println!(
         "{:>7} {:>5} {:>7} {:>12} {:>12} {:>8}",
         "sources", "views", "updates", "serial u/s", "conc u/s", "speedup"
@@ -83,7 +167,10 @@ fn main() {
         );
     }
 
-    let doc = report(&results).pretty();
+    let scaling = scaling_sweep(args.smoke, args.reactor_workers);
+    print_scaling(&scaling);
+
+    let doc = report(&results, &scaling).pretty();
     if let Some(dir) = args.out.parent() {
         std::fs::create_dir_all(dir).expect("create results dir");
     }
@@ -91,12 +178,17 @@ fn main() {
     std::fs::write(&args.root, &doc).expect("write root artifact");
     println!("wrote {} and {}", args.out.display(), args.root.display());
 
+    let mut failed = false;
     let slow: Vec<_> = results.iter().filter(|r| r.speedup() <= 1.0).collect();
     if !slow.is_empty() {
         eprintln!(
             "FAIL: concurrent runtime not faster than serial on {} scenario(s)",
             slow.len()
         );
+        failed = true;
+    }
+    failed |= !gate_scaling(&scaling);
+    if failed {
         std::process::exit(1);
     }
 }

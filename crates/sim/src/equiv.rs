@@ -1,0 +1,349 @@
+//! Runtime-equivalence harness: one deployment, three runtimes, one
+//! verdict.
+//!
+//! The §3 correctness argument never mentions threads: it needs FIFO
+//! delivery per channel and atomic per-event state transitions. All
+//! three warehouse runtimes — the serial [`Warehouse`], the
+//! thread-per-source [`eca_warehouse::ConcurrentWarehouse`], and the
+//! worker-pool [`eca_warehouse::ReactorWarehouse`] — promise exactly
+//! that, and the `serve` protocol (whole script first, then answers in
+//! query order) makes each channel's event sequence *deterministic*: the
+//! warehouse sees `U_1 … U_n` then `A_1 … A_m` per source regardless of
+//! scheduling. So every observable that is a function of per-source
+//! event order — view state histories, final materializations, message
+//! and byte meters — must be **byte-identical** across runtimes, and
+//! this module exists to assert precisely that on real deployments
+//! (`tests/golden_trace.rs` pins the fingerprints).
+
+use eca_core::maintainer::ViewMaintainer;
+use eca_relational::{SignedBag, Update};
+use eca_source::{serve_fleet, FleetMember, Source};
+use eca_warehouse::{SourceId, ViewId, Warehouse};
+use eca_wire::{Message, SharedFifo, TransferMeter, Transport};
+
+use crate::SimError;
+
+/// One autonomous site of an equivalence deployment.
+pub struct EquivSource {
+    /// The source site, already loaded.
+    pub source: Source,
+    /// Its update script.
+    pub script: Vec<Update>,
+    /// Maintainers for the views hosted over this source.
+    pub maintainers: Vec<Box<dyn ViewMaintainer>>,
+}
+
+/// A whole deployment: sites plus the views over them. Built fresh (via
+/// a closure) for every runtime, since maintainers are consumed.
+pub struct EquivCase {
+    /// The deployment's sites in registration order.
+    pub sources: Vec<EquivSource>,
+}
+
+/// The per-link meter counters that must agree across runtimes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MeterCounts {
+    /// Messages source → warehouse (notifications + answers).
+    pub messages_s2w: u64,
+    /// Messages warehouse → source (queries).
+    pub messages_w2s: u64,
+    /// Bytes source → warehouse.
+    pub bytes_s2w: u64,
+    /// Bytes warehouse → source.
+    pub bytes_w2s: u64,
+    /// Answer payload bytes (the paper's `B`).
+    pub answer_bytes: u64,
+    /// Answer payload tuple occurrences.
+    pub answer_tuples: u64,
+}
+
+impl MeterCounts {
+    fn of(meter: &TransferMeter) -> MeterCounts {
+        MeterCounts {
+            messages_s2w: meter.messages_s2w(),
+            messages_w2s: meter.messages_w2s(),
+            bytes_s2w: meter.bytes_s2w(),
+            bytes_w2s: meter.bytes_w2s(),
+            answer_bytes: meter.answer_bytes(),
+            answer_tuples: meter.answer_tuples(),
+        }
+    }
+}
+
+/// Everything one runtime produced that §3 says must not depend on
+/// scheduling.
+#[derive(Debug, PartialEq)]
+pub struct EquivOutcome {
+    /// Per view (registration order): every `MV` state it passed
+    /// through, initial state first.
+    pub view_states: Vec<Vec<SignedBag>>,
+    /// Per view: the final materialization.
+    pub finals: Vec<SignedBag>,
+    /// Per source: the link meters.
+    pub meters: Vec<MeterCounts>,
+}
+
+impl EquivOutcome {
+    /// A stable rendering for fingerprinting (FNV over this string is
+    /// what the golden tests pin).
+    pub fn render(&self) -> String {
+        format!(
+            "states{:?}|finals{:?}|meters{:?}",
+            self.view_states, self.finals, self.meters
+        )
+    }
+}
+
+/// All three runtimes' outcomes for one deployment.
+#[derive(Debug)]
+pub struct EquivTriple {
+    /// The serial single-threaded reference.
+    pub serial: EquivOutcome,
+    /// Thread-per-source (`ConcurrentWarehouse::pump_all`).
+    pub concurrent: EquivOutcome,
+    /// Worker-pool reactor (`ReactorWarehouse::run`).
+    pub reactor: EquivOutcome,
+}
+
+impl EquivTriple {
+    /// Whether the three runtimes agree on every observable.
+    pub fn agree(&self) -> bool {
+        self.serial == self.concurrent && self.serial == self.reactor
+    }
+}
+
+/// Wire a fresh case into a warehouse + transports, returning everything
+/// a runtime driver needs.
+struct Wired {
+    warehouse: Warehouse,
+    sources: Vec<Source>,
+    scripts: Vec<Vec<Update>>,
+    src_ends: Vec<SharedFifo>,
+    wh_ends: Vec<SharedFifo>,
+    meters: Vec<TransferMeter>,
+    view_ids: Vec<ViewId>,
+}
+
+fn wire(case: EquivCase) -> Result<Wired, SimError> {
+    let mut w = Wired {
+        warehouse: Warehouse::new(),
+        sources: Vec::new(),
+        scripts: Vec::new(),
+        src_ends: Vec::new(),
+        wh_ends: Vec::new(),
+        meters: Vec::new(),
+        view_ids: Vec::new(),
+    };
+    for (s, site) in case.sources.into_iter().enumerate() {
+        let src = w.warehouse.add_source(format!("s{s}"));
+        for maintainer in site.maintainers {
+            w.view_ids.push(w.warehouse.add_view(src, maintainer)?);
+        }
+        let meter = TransferMeter::new();
+        let (src_end, wh_end) = SharedFifo::pair(meter.clone());
+        w.sources.push(site.source);
+        w.scripts.push(site.script);
+        w.src_ends.push(src_end);
+        w.wh_ends.push(wh_end);
+        w.meters.push(meter);
+    }
+    Ok(w)
+}
+
+fn outcome_of(
+    view_states: Vec<Vec<SignedBag>>,
+    finals: Vec<SignedBag>,
+    meters: &[TransferMeter],
+) -> EquivOutcome {
+    EquivOutcome {
+        view_states,
+        finals,
+        meters: meters.iter().map(MeterCounts::of).collect(),
+    }
+}
+
+/// Serial reference: one thread interleaves script execution, warehouse
+/// pumping and source answering. `Warehouse::pump` records answer
+/// payloads on the shared meter, so the source side must not.
+fn run_serial(case: EquivCase) -> Result<EquivOutcome, SimError> {
+    let mut w = wire(case)?;
+    for s in 0..w.sources.len() {
+        for u in &w.scripts[s].clone() {
+            if w.sources[s].execute_update(u) {
+                w.src_ends[s].send(&Message::UpdateNotification { update: u.clone() })?;
+            }
+        }
+    }
+    loop {
+        let mut progress = false;
+        for s in 0..w.sources.len() {
+            progress |= w.warehouse.pump(SourceId(s), &mut w.wh_ends[s])? > 0;
+            while let Some(msg) = w.src_ends[s].try_recv()? {
+                let Message::QueryRequest { id, query } = msg else {
+                    return Err(SimError::Protocol("s2w never carries QueryRequest"));
+                };
+                let answer = w.sources[s].answer(&query)?;
+                w.src_ends[s].send(&Message::QueryAnswer { id, answer })?;
+                progress = true;
+            }
+        }
+        if !progress && w.warehouse.is_quiescent() {
+            break;
+        }
+    }
+    let states = w
+        .view_ids
+        .iter()
+        .map(|id| w.warehouse.view_states(*id).to_vec())
+        .collect();
+    let finals = w
+        .view_ids
+        .iter()
+        .map(|id| w.warehouse.materialized(*id).clone())
+        .collect();
+    Ok(outcome_of(states, finals, &w.meters))
+}
+
+/// Thread-per-source: `pump_all` against one `Source::serve` thread per
+/// site.
+fn run_concurrent(case: EquivCase) -> Result<EquivOutcome, SimError> {
+    let w = wire(case)?;
+    let cw = w.warehouse.into_concurrent();
+    let endpoints: Vec<(SourceId, Box<dyn Transport + Send>, u64)> = w
+        .wh_ends
+        .into_iter()
+        .enumerate()
+        .map(|(s, t)| {
+            (
+                SourceId(s),
+                Box::new(t) as Box<dyn Transport + Send>,
+                w.scripts[s].len() as u64,
+            )
+        })
+        .collect();
+    std::thread::scope(|scope| -> Result<(), SimError> {
+        for ((mut source, mut src_end), script) in
+            w.sources.into_iter().zip(w.src_ends).zip(&w.scripts)
+        {
+            scope.spawn(move || {
+                source
+                    .serve(&mut src_end, script)
+                    .expect("equiv source serve failed");
+            });
+        }
+        cw.pump_all(endpoints)?;
+        Ok(())
+    })?;
+    let states = w.view_ids.iter().map(|id| cw.view_states(*id)).collect();
+    let finals = w.view_ids.iter().map(|id| cw.materialized(*id)).collect();
+    Ok(outcome_of(states, finals, &w.meters))
+}
+
+/// Reactor: the whole source fleet multiplexed on one thread against a
+/// fixed worker pool.
+fn run_reactor(case: EquivCase, workers: usize) -> Result<EquivOutcome, SimError> {
+    let w = wire(case)?;
+    let rw = w.warehouse.into_reactor(workers);
+    let endpoints: Vec<(SourceId, Box<dyn Transport + Send>, u64)> = w
+        .wh_ends
+        .into_iter()
+        .enumerate()
+        .map(|(s, t)| {
+            (
+                SourceId(s),
+                Box::new(t) as Box<dyn Transport + Send>,
+                w.scripts[s].len() as u64,
+            )
+        })
+        .collect();
+    let mut members: Vec<FleetMember> = w
+        .sources
+        .into_iter()
+        .zip(w.src_ends)
+        .zip(w.scripts)
+        .map(|((source, src_end), script)| FleetMember {
+            source,
+            transport: Box::new(src_end),
+            script,
+        })
+        .collect();
+    std::thread::scope(|scope| -> Result<(), SimError> {
+        scope.spawn(move || {
+            serve_fleet(&mut members).expect("equiv fleet serve failed");
+        });
+        rw.run(endpoints)?;
+        Ok(())
+    })?;
+    let states = w.view_ids.iter().map(|id| rw.view_states(*id)).collect();
+    let finals = w.view_ids.iter().map(|id| rw.materialized(*id)).collect();
+    Ok(outcome_of(states, finals, &w.meters))
+}
+
+/// Build the same deployment three times (via `build`) and run it under
+/// all three runtimes. `workers` sizes the reactor pool.
+///
+/// # Errors
+/// The first runtime failure, in serial → concurrent → reactor order.
+pub fn run_equivalence(
+    build: &dyn Fn() -> EquivCase,
+    workers: usize,
+) -> Result<EquivTriple, SimError> {
+    Ok(EquivTriple {
+        serial: run_serial(build())?,
+        concurrent: run_concurrent(build())?,
+        reactor: run_reactor(build(), workers)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eca_core::algorithms::AlgorithmKind;
+    use eca_core::ViewDef;
+    use eca_relational::{Predicate, Schema, Tuple};
+    use eca_storage::Scenario;
+
+    fn two_site_case() -> EquivCase {
+        let mut sources = Vec::new();
+        for s in 0..2usize {
+            let (r1, r2) = (format!("r{s}_1"), format!("r{s}_2"));
+            let view = ViewDef::new(
+                format!("V{s}"),
+                vec![Schema::new(&r1, &["W", "X"]), Schema::new(&r2, &["X", "Y"])],
+                Predicate::col_eq(1, 2),
+                vec![0],
+            )
+            .unwrap();
+            let mut source = Source::new(Scenario::Indexed);
+            source
+                .add_relation(Schema::new(&r1, &["W", "X"]), 20, Some("X"), &[])
+                .unwrap();
+            source
+                .add_relation(Schema::new(&r2, &["X", "Y"]), 20, Some("X"), &[])
+                .unwrap();
+            source.load(&r1, [Tuple::ints([1, 2])]).unwrap();
+            let initial = view.eval(&source.snapshot()).unwrap();
+            let maintainer = AlgorithmKind::Eca.instantiate(&view, initial).unwrap();
+            sources.push(EquivSource {
+                source,
+                script: vec![
+                    Update::insert(&r2, Tuple::ints([2, 3])),
+                    Update::insert(&r1, Tuple::ints([4, 2])),
+                ],
+                maintainers: vec![maintainer],
+            });
+        }
+        EquivCase { sources }
+    }
+
+    #[test]
+    fn three_runtimes_agree_on_a_two_site_deployment() {
+        let triple = run_equivalence(&two_site_case, 2).unwrap();
+        assert_eq!(triple.serial, triple.concurrent);
+        assert_eq!(triple.serial, triple.reactor);
+        assert!(triple.agree());
+        // And the run actually did something.
+        assert!(triple.serial.meters[0].answer_bytes > 0);
+        assert!(triple.serial.view_states[0].len() > 1);
+    }
+}

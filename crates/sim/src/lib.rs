@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod equiv;
 pub mod multi;
 pub mod report;
 pub mod trace;
@@ -48,6 +49,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 pub use chaos::{ChaosProfile, ChaosRunReport, ChaosSimulation, ChaosStats, LinkOverhead};
+pub use equiv::{run_equivalence, EquivCase, EquivOutcome, EquivSource, EquivTriple, MeterCounts};
 pub use multi::{MultiRunReport, MultiSimulation, SiteId, SiteReport, ViewRunReport};
 pub use report::RunReport;
 pub use trace::TraceEvent;

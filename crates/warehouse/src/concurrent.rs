@@ -29,15 +29,17 @@ use crate::{SourceId, ViewId, Warehouse, WarehouseError};
 
 /// One view hosted inside a shard. The global [`ViewId`] → (shard,
 /// local) mapping lives in [`ConcurrentWarehouse::view_index`].
-struct ShardView {
-    maintainer: Box<dyn eca_core::ViewMaintainer>,
-    states: Vec<SignedBag>,
+pub(crate) struct ShardView {
+    pub(crate) maintainer: Box<dyn eca_core::ViewMaintainer>,
+    pub(crate) states: Vec<SignedBag>,
 }
 
-/// All warehouse state owned by one source's pump thread.
-struct Shard {
+/// All warehouse state owned by one source's pump thread (or, in the
+/// reactor runtime, by whichever pooled worker currently holds the
+/// station's claim — see `reactor.rs`).
+pub(crate) struct Shard {
     session: Session,
-    views: Vec<ShardView>,
+    pub(crate) views: Vec<ShardView>,
     record_history: bool,
 }
 
@@ -46,7 +48,7 @@ impl Shard {
     /// (they are all over this source by construction). Returned messages
     /// carry session-global ids; `Route.view` holds *shard-local* view
     /// indices.
-    fn on_update(&mut self, update: &Update) -> Result<Vec<Message>, WarehouseError> {
+    pub(crate) fn on_update(&mut self, update: &Update) -> Result<Vec<Message>, WarehouseError> {
         let mut out = Vec::new();
         for idx in 0..self.views.len() {
             let emitted = self.views[idx].maintainer.on_update(update)?;
@@ -61,7 +63,7 @@ impl Shard {
     }
 
     /// A `W_ans` event: demux strictly by id, as in the serial runtime.
-    fn on_answer(
+    pub(crate) fn on_answer(
         &mut self,
         id: QueryId,
         answer: SignedBag,
@@ -94,8 +96,55 @@ impl Shard {
         }
     }
 
-    fn is_quiescent(&self) -> bool {
+    pub(crate) fn is_quiescent(&self) -> bool {
         self.session.pending() == 0 && self.views.iter().all(|v| v.maintainer.is_quiescent())
+    }
+}
+
+/// The sharded-by-source reshaping shared by the concurrent and reactor
+/// runtimes: per-source [`Shard`]s behind their own locks plus the global
+/// [`ViewId`] → (shard, local) routing index.
+pub(crate) struct ShardSet {
+    pub(crate) names: Vec<String>,
+    pub(crate) shards: Vec<Mutex<Shard>>,
+    pub(crate) view_index: Vec<(usize, usize)>,
+}
+
+impl Warehouse {
+    /// Reshape into per-source shards. Per-shard sessions are rebuilt
+    /// (shard-local routing), which is only sound while nothing is
+    /// pending.
+    ///
+    /// # Panics
+    /// If any session has outstanding queries.
+    pub(crate) fn into_shards(self) -> ShardSet {
+        assert!(
+            self.sources.iter().all(|s| s.session.pending() == 0),
+            "sharding a warehouse requires quiescent sessions"
+        );
+        let names: Vec<String> = self.sources.iter().map(|s| s.name.clone()).collect();
+        let mut shards: Vec<Shard> = (0..self.sources.len())
+            .map(|_| Shard {
+                session: Session::new(),
+                views: Vec::new(),
+                record_history: self.record_history,
+            })
+            .collect();
+        let mut view_index = Vec::with_capacity(self.views.len());
+        for (global, entry) in self.views.into_iter().enumerate() {
+            let shard = entry.source.0;
+            view_index.push((shard, shards[shard].views.len()));
+            debug_assert_eq!(view_index.len() - 1, global);
+            shards[shard].views.push(ShardView {
+                maintainer: entry.maintainer,
+                states: entry.states,
+            });
+        }
+        ShardSet {
+            names,
+            shards: shards.into_iter().map(Mutex::new).collect(),
+            view_index,
+        }
     }
 }
 
@@ -119,7 +168,7 @@ pub struct ConcurrentWarehouse {
 /// Shard-lock helper: recovers from poisoning so a panicked pump thread
 /// cannot wedge result accessors (the data is a consistent prefix —
 /// maintainers mutate under the lock one event at a time).
-fn lock(shard: &Mutex<Shard>) -> std::sync::MutexGuard<'_, Shard> {
+pub(crate) fn lock(shard: &Mutex<Shard>) -> std::sync::MutexGuard<'_, Shard> {
     shard
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner)
@@ -135,31 +184,14 @@ impl Warehouse {
     /// # Panics
     /// If any session has outstanding queries.
     pub fn into_concurrent(self) -> ConcurrentWarehouse {
-        assert!(
-            self.sources.iter().all(|s| s.session.pending() == 0),
-            "into_concurrent requires quiescent sessions"
-        );
-        let names: Vec<String> = self.sources.iter().map(|s| s.name.clone()).collect();
-        let mut shards: Vec<Shard> = (0..self.sources.len())
-            .map(|_| Shard {
-                session: Session::new(),
-                views: Vec::new(),
-                record_history: self.record_history,
-            })
-            .collect();
-        let mut view_index = Vec::with_capacity(self.views.len());
-        for (global, entry) in self.views.into_iter().enumerate() {
-            let shard = entry.source.0;
-            view_index.push((shard, shards[shard].views.len()));
-            debug_assert_eq!(view_index.len() - 1, global);
-            shards[shard].views.push(ShardView {
-                maintainer: entry.maintainer,
-                states: entry.states,
-            });
-        }
+        let ShardSet {
+            names,
+            shards,
+            view_index,
+        } = self.into_shards();
         ConcurrentWarehouse {
             names,
-            shards: shards.into_iter().map(Mutex::new).collect(),
+            shards,
             view_index,
             stall_timeout: std::time::Duration::from_secs(30),
         }

@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod concurrent;
+pub mod reactor;
 pub mod session;
 
 use std::collections::BTreeSet;
@@ -32,6 +33,7 @@ use eca_relational::{SignedBag, Update};
 use eca_wire::{Message, Transport, TransportError, WireQuery};
 
 pub use concurrent::ConcurrentWarehouse;
+pub use reactor::ReactorWarehouse;
 pub use session::{PendingQuery, Route, RouteKind, Session};
 
 /// Handle to a registered source channel.

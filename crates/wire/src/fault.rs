@@ -424,6 +424,13 @@ impl<T: Transport> Transport for FaultyTransport<T> {
         self.inner.poll()
     }
 
+    // Wake-ups fire on *raw* arrivals; a frame still held in the delay
+    // queue reads Idle on the re-poll, which a parked loop treats as a
+    // spurious wake-up. Bounded waits make that safe.
+    fn set_waker(&mut self, waker: std::sync::Arc<crate::transport::PollWaker>) -> bool {
+        self.inner.set_waker(waker)
+    }
+
     fn meter(&self) -> &TransferMeter {
         self.inner.meter()
     }

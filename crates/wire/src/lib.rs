@@ -38,6 +38,6 @@ pub use message::{Message, WireQuery, WireTerm};
 pub use meter::{Direction, TransferMeter};
 pub use reliable::{fnv1a_checksum, LinkStats, ReliableConfig, ReliableLink};
 pub use transport::{
-    read_frame, write_frame, InMemoryFifo, Readiness, Role, SharedFifo, TcpTransport, Transport,
-    TransportError,
+    read_frame, write_frame, InMemoryFifo, PollWaker, Readiness, Role, SharedFifo, TcpTransport,
+    Transport, TransportError,
 };

@@ -491,6 +491,13 @@ impl<T: Transport> Transport for ReliableLink<T> {
         self.inner.poll()
     }
 
+    // A wake-up means raw frames arrived; the re-poll runs `service()`,
+    // which acks/filters them into app-level readiness. Retransmission
+    // timers still rely on the caller's bounded waits.
+    fn set_waker(&mut self, waker: std::sync::Arc<crate::transport::PollWaker>) -> bool {
+        self.inner.set_waker(waker)
+    }
+
     fn meter(&self) -> &TransferMeter {
         &self.meter
     }

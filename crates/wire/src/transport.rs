@@ -28,7 +28,7 @@ use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::rc::Rc;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
@@ -121,6 +121,109 @@ impl From<std::io::Error> for TransportError {
     }
 }
 
+/// An eventcount a poll loop parks on while *many* endpoints are idle —
+/// the poll-set primitive the reactor runtime multiplexes transports
+/// with.
+///
+/// A loop that polls N channels needs a way to sleep until **any** of
+/// them becomes ready without racing arrivals that land between the last
+/// poll and the sleep. `PollWaker` closes that race with a generation
+/// counter: the loop snapshots [`PollWaker::epoch`] *before* polling,
+/// then calls [`PollWaker::wait`] with the snapshot — if any
+/// [`PollWaker::notify`] happened after the snapshot (including during
+/// the polls), the wait returns immediately instead of sleeping through
+/// the event.
+///
+/// Register the same waker on every transport in the set via
+/// [`Transport::set_waker`]; senders (and peer hang-ups) notify it.
+///
+/// ```text
+/// let seen = waker.epoch();
+/// for t in &mut transports { match t.poll()? { ... } }
+/// if nothing_ready { waker.wait(seen, idle_bound); }
+/// ```
+#[derive(Default)]
+pub struct PollWaker {
+    /// Event counter, bumped by every notify. Atomic so the notify fast
+    /// path (nobody parked) is one RMW with no lock and no syscall —
+    /// transports call [`PollWaker::notify`] on *every* delivery, and in
+    /// steady state the poll loop is busy, not parked.
+    generation: AtomicU64,
+    /// Parked waiter count; gates the slow path of notify.
+    waiters: AtomicU64,
+    /// Guards only the condvar protocol, never the counter.
+    park: Mutex<()>,
+    cv: Condvar,
+}
+
+impl PollWaker {
+    /// A fresh waker behind an [`Arc`], ready to share across transports
+    /// and threads.
+    pub fn new() -> Arc<PollWaker> {
+        Arc::new(PollWaker::default())
+    }
+
+    /// The current generation. Snapshot this *before* polling the
+    /// transports guarded by this waker.
+    pub fn epoch(&self) -> u64 {
+        self.generation.load(Ordering::SeqCst)
+    }
+
+    /// Record an event and wake every parked waiter. Cheap when nobody
+    /// is parked: one atomic increment, no lock, no syscall.
+    pub fn notify(&self) {
+        self.generation.fetch_add(1, Ordering::SeqCst);
+        if self.waiters.load(Ordering::SeqCst) > 0 {
+            // Taking the park lock orders this notify against a waiter
+            // that has registered but not yet reached `cv.wait`.
+            drop(lock_ignore_poison(&self.park));
+            self.cv.notify_all();
+        }
+    }
+
+    /// Park until a notify lands after generation `seen`, or `timeout`
+    /// elapses. Returns `true` when woken by a notify (or when one had
+    /// already landed), `false` on a plain timeout.
+    ///
+    /// The waiter registers *before* re-checking the epoch (both
+    /// SeqCst), so a notify that misses the waiter count must have
+    /// bumped the generation early enough for the re-check to see it —
+    /// the classic eventcount handshake, no wake-up lost.
+    pub fn wait(&self, seen: u64, timeout: std::time::Duration) -> bool {
+        if self.epoch() != seen {
+            return true;
+        }
+        let deadline = std::time::Instant::now() + timeout;
+        self.waiters.fetch_add(1, Ordering::SeqCst);
+        let mut guard = lock_ignore_poison(&self.park);
+        let woken = loop {
+            if self.epoch() != seen {
+                break true;
+            }
+            let now = std::time::Instant::now();
+            let Some(remaining) = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
+            else {
+                break false;
+            };
+            guard = match self.cv.wait_timeout(guard, remaining) {
+                Ok((g, _)) => g,
+                Err(poisoned) => poisoned.into_inner().0,
+            };
+        };
+        drop(guard);
+        self.waiters.fetch_sub(1, Ordering::SeqCst);
+        woken
+    }
+}
+
+/// Mutex lock that shrugs off poisoning: waker state is a bare counter,
+/// always consistent.
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// What a non-blocking readiness probe observed on an endpoint.
 ///
 /// `poll` is the third leg of the receive API next to `try_recv`
@@ -201,6 +304,30 @@ pub trait Transport {
         }
     }
 
+    /// Take up to `max` immediately-available inbound messages into
+    /// `out`, preserving arrival order. Returns how many were taken; `0`
+    /// means nothing was available right now. The default loops
+    /// [`Transport::try_recv`]; transports with an internal queue
+    /// override it to drain a whole batch under one lock, which is what
+    /// makes a multiplexing poll loop cheap per message.
+    ///
+    /// # Errors
+    /// [`TransportError::Decode`] on a malformed frame (messages drained
+    /// before the fault remain in `out`).
+    fn drain_into(&mut self, out: &mut Vec<Message>, max: usize) -> Result<usize, TransportError> {
+        let mut taken = 0;
+        while taken < max {
+            match self.try_recv()? {
+                Some(msg) => {
+                    out.push(msg);
+                    taken += 1;
+                }
+                None => break,
+            }
+        }
+        Ok(taken)
+    }
+
     /// Whether an inbound message is available now (may decode and buffer
     /// one frame internally).
     fn has_inbound(&mut self) -> bool;
@@ -219,6 +346,15 @@ pub trait Transport {
         } else {
             Ok(Readiness::Idle)
         }
+    }
+
+    /// Register a [`PollWaker`] to be notified whenever a message
+    /// becomes receivable on this endpoint or the peer hangs up, so a
+    /// multiplexing poll loop can park instead of spinning. Returns
+    /// `false` when the transport cannot deliver wake-ups (the default);
+    /// callers then fall back to bounded-sleep polling.
+    fn set_waker(&mut self, _waker: Arc<PollWaker>) -> bool {
+        false
     }
 
     /// The meter charged by this endpoint.
@@ -404,6 +540,13 @@ struct SharedLink {
     w2s: VecDeque<Bytes>,
     source_open: bool,
     warehouse_open: bool,
+    /// Per-direction queue bound ([`SharedFifo::bounded_pair`]); `None`
+    /// means unbounded, the historical behaviour.
+    cap: Option<usize>,
+    /// Wakers registered by each endpoint ([`Transport::set_waker`]),
+    /// notified when a message lands for — or the peer of — that role.
+    source_waker: Option<Arc<PollWaker>>,
+    warehouse_waker: Option<Arc<PollWaker>>,
 }
 
 impl SharedLink {
@@ -425,6 +568,20 @@ impl SharedLink {
         match role {
             Role::Source => self.source_open = false,
             Role::Warehouse => self.warehouse_open = false,
+        }
+    }
+
+    fn waker(&self, role: Role) -> Option<Arc<PollWaker>> {
+        match role {
+            Role::Source => self.source_waker.clone(),
+            Role::Warehouse => self.warehouse_waker.clone(),
+        }
+    }
+
+    fn set_waker(&mut self, role: Role, waker: Arc<PollWaker>) {
+        match role {
+            Role::Source => self.source_waker = Some(waker),
+            Role::Warehouse => self.warehouse_waker = Some(waker),
         }
     }
 }
@@ -456,12 +613,33 @@ impl SharedFifo {
     /// A connected `(source endpoint, warehouse endpoint)` pair sharing
     /// `meter`.
     pub fn pair(meter: TransferMeter) -> (SharedFifo, SharedFifo) {
+        SharedFifo::build(meter, None)
+    }
+
+    /// Like [`SharedFifo::pair`], but each direction's queue holds at
+    /// most `cap` messages: a send against a full queue **blocks** until
+    /// the receiver drains a slot (or errors with
+    /// [`TransportError::Closed`] if the peer hangs up while it waits).
+    /// This is the backpressure primitive — a flooding source stalls
+    /// deterministically instead of growing the warehouse's heap.
+    ///
+    /// # Panics
+    /// If `cap` is zero (no message could ever be sent).
+    pub fn bounded_pair(meter: TransferMeter, cap: usize) -> (SharedFifo, SharedFifo) {
+        assert!(cap > 0, "a zero-capacity channel could never deliver");
+        SharedFifo::build(meter, Some(cap))
+    }
+
+    fn build(meter: TransferMeter, cap: Option<usize>) -> (SharedFifo, SharedFifo) {
         let link = Arc::new((
             Mutex::new(SharedLink {
                 s2w: VecDeque::new(),
                 w2s: VecDeque::new(),
                 source_open: true,
                 warehouse_open: true,
+                cap,
+                source_waker: None,
+                warehouse_waker: None,
             }),
             Condvar::new(),
         ));
@@ -497,33 +675,80 @@ impl Transport for SharedFifo {
 
     fn send(&mut self, msg: &Message) -> Result<(), TransportError> {
         let payload = msg.encode();
-        {
+        let peer_waker = {
             let mut link = self.lock();
-            if !link.open(self.role.other()) {
-                return Err(TransportError::Closed);
+            loop {
+                if !link.open(self.role.other()) {
+                    return Err(TransportError::Closed);
+                }
+                let cap = link.cap;
+                let queue = link.queue_mut(self.role.outbound());
+                if cap.map_or(true, |c| queue.len() < c) {
+                    queue.push_back(payload.clone());
+                    break link.waker(self.role.other());
+                }
+                // Bounded and full: backpressure. Park until the peer
+                // drains a slot (every pop notifies) or hangs up.
+                link = match self.link.1.wait(link) {
+                    Ok(guard) => guard,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
             }
-            link.queue_mut(self.role.outbound())
-                .push_back(payload.clone());
-        }
+        };
         self.meter
             .record(self.role.outbound(), payload.len() as u64);
         self.link.1.notify_all();
+        if let Some(waker) = peer_waker {
+            waker.notify();
+        }
         Ok(())
     }
 
     fn try_recv(&mut self) -> Result<Option<Message>, TransportError> {
-        let popped = self.lock().queue_mut(self.role.inbound()).pop_front();
+        let (popped, bounded) = {
+            let mut link = self.lock();
+            let popped = link.queue_mut(self.role.inbound()).pop_front();
+            (popped, link.cap.is_some())
+        };
         match popped {
-            Some(payload) => Ok(Some(Message::decode(payload)?)),
+            Some(payload) => {
+                if bounded {
+                    self.link.1.notify_all(); // free a sender slot
+                }
+                Ok(Some(Message::decode(payload)?))
+            }
             None => Ok(None),
         }
+    }
+
+    fn drain_into(&mut self, out: &mut Vec<Message>, max: usize) -> Result<usize, TransportError> {
+        // One lock for the whole batch instead of one per message.
+        let (payloads, bounded) = {
+            let mut link = self.lock();
+            let queue = link.queue_mut(self.role.inbound());
+            let take = queue.len().min(max);
+            let payloads: Vec<Bytes> = queue.drain(..take).collect();
+            (payloads, link.cap.is_some())
+        };
+        if bounded && !payloads.is_empty() {
+            self.link.1.notify_all(); // freed sender slots
+        }
+        let taken = payloads.len();
+        for payload in payloads {
+            out.push(Message::decode(payload)?);
+        }
+        Ok(taken)
     }
 
     fn recv(&mut self) -> Result<Option<Message>, TransportError> {
         let mut link = self.lock();
         loop {
             if let Some(payload) = link.queue_mut(self.role.inbound()).pop_front() {
+                let bounded = link.cap.is_some();
                 drop(link);
+                if bounded {
+                    self.link.1.notify_all(); // free a sender slot
+                }
                 return Ok(Some(Message::decode(payload)?));
             }
             if !link.open(self.role.other()) {
@@ -544,7 +769,11 @@ impl Transport for SharedFifo {
         let mut link = self.lock();
         loop {
             if let Some(payload) = link.queue_mut(self.role.inbound()).pop_front() {
+                let bounded = link.cap.is_some();
                 drop(link);
+                if bounded {
+                    self.link.1.notify_all(); // free a sender slot
+                }
                 return Ok(Some(Message::decode(payload)?));
             }
             if !link.open(self.role.other()) {
@@ -579,6 +808,11 @@ impl Transport for SharedFifo {
         }
     }
 
+    fn set_waker(&mut self, waker: Arc<PollWaker>) -> bool {
+        self.lock().set_waker(self.role, waker);
+        true
+    }
+
     fn meter(&self) -> &TransferMeter {
         &self.meter
     }
@@ -586,8 +820,17 @@ impl Transport for SharedFifo {
 
 impl Drop for SharedFifo {
     fn drop(&mut self) {
-        self.lock().close(self.role);
+        let (own, peer) = {
+            let mut link = self.lock();
+            link.close(self.role);
+            (link.waker(self.role), link.waker(self.role.other()))
+        };
         self.link.1.notify_all();
+        // Wake both sides' poll loops: the peer must observe Closed, and
+        // a sender of ours parked on backpressure must observe the error.
+        for waker in [own, peer].into_iter().flatten() {
+            waker.notify();
+        }
     }
 }
 
@@ -616,6 +859,10 @@ pub struct TcpTransport {
     /// the reader thread exits its loop even if a frame races the
     /// shutdown onto the wire.
     shutdown: Arc<AtomicBool>,
+    /// Waker slot shared with the reader thread: notified per inbound
+    /// frame and when the reader exits (EOF/fault), so a parked poll
+    /// loop re-polls and observes Ready or Closed.
+    waker: Arc<Mutex<Option<Arc<PollWaker>>>>,
     reader: Option<JoinHandle<()>>,
 }
 
@@ -629,27 +876,41 @@ impl TcpTransport {
         let (tx, rx) = mpsc::channel();
         let shutdown = Arc::new(AtomicBool::new(false));
         let reader_shutdown = Arc::clone(&shutdown);
+        let waker: Arc<Mutex<Option<Arc<PollWaker>>>> = Arc::new(Mutex::new(None));
+        let reader_waker = Arc::clone(&waker);
+        let notify = move |w: &Mutex<Option<Arc<PollWaker>>>| {
+            if let Some(waker) = lock_ignore_poison(w).clone() {
+                waker.notify();
+            }
+        };
         let reader = std::thread::Builder::new()
             .name(format!("eca-wire-reader-{role:?}"))
-            .spawn(move || loop {
-                if reader_shutdown.load(Ordering::Acquire) {
-                    break; // endpoint closing: stop even if bytes raced in
-                }
-                match read_frame(&mut read_half) {
-                    Ok(Some(frame)) => {
-                        if tx.send(Ok(frame)).is_err() {
-                            break; // transport dropped
-                        }
+            .spawn(move || {
+                loop {
+                    if reader_shutdown.load(Ordering::Acquire) {
+                        break; // endpoint closing: stop even if bytes raced in
                     }
-                    Ok(None) => break, // clean EOF
-                    Err(TransportError::Io(e)) => {
-                        if !reader_shutdown.load(Ordering::Acquire) {
-                            let _ = tx.send(Err(e));
+                    match read_frame(&mut read_half) {
+                        Ok(Some(frame)) => {
+                            if tx.send(Ok(frame)).is_err() {
+                                break; // transport dropped
+                            }
+                            notify(&reader_waker);
                         }
-                        break;
+                        Ok(None) => break, // clean EOF
+                        Err(TransportError::Io(e)) => {
+                            if !reader_shutdown.load(Ordering::Acquire) {
+                                let _ = tx.send(Err(e));
+                            }
+                            break;
+                        }
+                        Err(_) => break, // read_frame only raises Io
                     }
-                    Err(_) => break, // read_frame only raises Io
                 }
+                // Dropping `tx` flips poll() to Closed; wake any parked
+                // loop so it observes the hang-up.
+                drop(tx);
+                notify(&reader_waker);
             })?;
         Ok(TcpTransport {
             role,
@@ -659,6 +920,7 @@ impl TcpTransport {
             fault: None,
             meter,
             shutdown,
+            waker,
             reader: Some(reader),
         })
     }
@@ -797,6 +1059,11 @@ impl Transport for TcpTransport {
             // fault). Nothing further will ever arrive.
             Err(mpsc::TryRecvError::Disconnected) => Ok(Readiness::Closed),
         }
+    }
+
+    fn set_waker(&mut self, waker: Arc<PollWaker>) -> bool {
+        *lock_ignore_poison(&self.waker) = Some(waker);
+        true
     }
 
     fn meter(&self) -> &TransferMeter {
@@ -980,6 +1247,113 @@ mod tests {
         assert_eq!(src2.poll().unwrap(), Readiness::Ready);
         assert_eq!(src2.recv().unwrap(), Some(notification(9)));
         assert_eq!(src2.recv().unwrap(), None);
+    }
+
+    #[test]
+    fn bounded_fifo_send_blocks_until_receiver_drains() {
+        let (mut src, mut wh) = SharedFifo::bounded_pair(TransferMeter::new(), 2);
+        src.send(&notification(1)).unwrap();
+        src.send(&notification(2)).unwrap();
+        // Queue full: the third send must park until a slot frees.
+        let third = std::thread::spawn(move || {
+            src.send(&notification(3)).unwrap();
+            src
+        });
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert!(!third.is_finished(), "send must block at capacity");
+        assert_eq!(wh.recv().unwrap(), Some(notification(1)));
+        let mut src = third.join().unwrap(); // unblocked by the pop
+        assert_eq!(wh.recv().unwrap(), Some(notification(2)));
+        assert_eq!(wh.recv().unwrap(), Some(notification(3)));
+        // Directions are bounded independently; w2s still has room.
+        wh.send(&notification(9)).unwrap();
+        assert_eq!(src.recv().unwrap(), Some(notification(9)));
+    }
+
+    #[test]
+    fn bounded_fifo_send_errors_when_peer_drops_mid_wait() {
+        let (mut src, wh) = SharedFifo::bounded_pair(TransferMeter::new(), 1);
+        src.send(&notification(1)).unwrap();
+        let blocked = std::thread::spawn(move || src.send(&notification(2)));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(wh); // peer gone: the parked sender must error, not hang
+        assert!(matches!(
+            blocked.join().unwrap(),
+            Err(TransportError::Closed)
+        ));
+    }
+
+    #[test]
+    fn poll_waker_wait_returns_immediately_after_missed_notify() {
+        let waker = PollWaker::new();
+        let seen = waker.epoch();
+        waker.notify(); // lands between epoch() and wait(): must not be lost
+        let start = std::time::Instant::now();
+        assert!(waker.wait(seen, std::time::Duration::from_secs(5)));
+        assert!(start.elapsed() < std::time::Duration::from_secs(1));
+        // No event since: a fresh snapshot times out.
+        let seen = waker.epoch();
+        assert!(!waker.wait(seen, std::time::Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn shared_fifo_send_notifies_registered_waker() {
+        let (mut src, mut wh) = SharedFifo::pair(TransferMeter::new());
+        let waker = PollWaker::new();
+        assert!(wh.set_waker(Arc::clone(&waker)));
+        let seen = waker.epoch();
+        assert_eq!(wh.poll().unwrap(), Readiness::Idle);
+        let sender = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            src.send(&notification(4)).unwrap();
+            src
+        });
+        assert!(waker.wait(seen, std::time::Duration::from_secs(5)));
+        assert_eq!(wh.poll().unwrap(), Readiness::Ready);
+        assert_eq!(wh.try_recv().unwrap(), Some(notification(4)));
+        // Peer drop also notifies, so a parked loop observes Closed.
+        let seen = waker.epoch();
+        drop(sender.join().unwrap());
+        assert!(waker.wait(seen, std::time::Duration::from_secs(5)));
+        assert_eq!(wh.poll().unwrap(), Readiness::Closed);
+    }
+
+    #[test]
+    fn tcp_reader_notifies_registered_waker() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut wh = TcpTransport::new(stream, Role::Warehouse, TransferMeter::new()).unwrap();
+            wh.send(&notification(1)).unwrap();
+            // Dropped afterwards: the client waker must also see Closed.
+        });
+        let mut src = TcpTransport::connect(addr, Role::Source, TransferMeter::new()).unwrap();
+        let waker = PollWaker::new();
+        assert!(src.set_waker(Arc::clone(&waker)));
+        let mut seen = waker.epoch();
+        loop {
+            match src.poll().unwrap() {
+                Readiness::Ready => break,
+                Readiness::Idle => {
+                    waker.wait(seen, std::time::Duration::from_secs(5));
+                    seen = waker.epoch();
+                }
+                Readiness::Closed => panic!("closed before delivering"),
+            }
+        }
+        assert_eq!(src.try_recv().unwrap(), Some(notification(1)));
+        server.join().unwrap();
+        let mut seen = waker.epoch();
+        loop {
+            match src.poll().unwrap() {
+                Readiness::Closed => break,
+                _ => {
+                    waker.wait(seen, std::time::Duration::from_secs(5));
+                    seen = waker.epoch();
+                }
+            }
+        }
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use eca_core::algorithms::AlgorithmKind;
 use eca_core::ViewDef;
 use eca_relational::{Predicate, Schema, Tuple, Update};
-use eca_sim::{Policy, RunReport, Simulation};
+use eca_sim::{run_equivalence, EquivCase, EquivSource, Policy, RunReport, Simulation};
 use eca_source::Source;
 use eca_storage::Scenario;
 use eca_workload::{Example6, Params, UpdateMix};
@@ -92,6 +92,75 @@ fn example6_sim(kind: AlgorithmKind, seed: u64) -> Simulation {
     Simulation::new(source, warehouse, script).unwrap()
 }
 
+/// The Example 2 deployment as an equivalence case: same relations,
+/// view and script as [`example2_sim`], wired over a real transport for
+/// the three warehouse runtimes.
+fn example2_equiv_case() -> EquivCase {
+    let view = ViewDef::new(
+        "V",
+        vec![
+            Schema::new("r1", &["W", "X"]),
+            Schema::new("r2", &["X", "Y"]),
+        ],
+        Predicate::col_eq(1, 2),
+        vec![0],
+    )
+    .unwrap();
+    let mut source = Source::new(Scenario::Indexed);
+    source
+        .add_relation(Schema::new("r1", &["W", "X"]), 20, Some("X"), &[])
+        .unwrap();
+    source
+        .add_relation(Schema::new("r2", &["X", "Y"]), 20, Some("X"), &[])
+        .unwrap();
+    source.load("r1", [Tuple::ints([1, 2])]).unwrap();
+    let initial = view.eval(&source.snapshot()).unwrap();
+    let maintainer = AlgorithmKind::Eca.instantiate(&view, initial).unwrap();
+    EquivCase {
+        sources: vec![EquivSource {
+            source,
+            script: vec![
+                Update::insert("r2", Tuple::ints([2, 3])),
+                Update::insert("r1", Tuple::ints([4, 2])),
+            ],
+            maintainers: vec![maintainer],
+        }],
+    }
+}
+
+/// The Example 6 workload as an equivalence case. The mixed script is
+/// pre-filtered to *effective* updates (replayed against a probe copy
+/// of the source) because the concurrent runtimes are told up front how
+/// many notifications to expect — one per script entry.
+fn example6_equiv_case(seed: u64) -> EquivCase {
+    let workload = Example6::new(Params::default(), seed);
+    let mut probe = workload.build_source(Scenario::Indexed).unwrap();
+    let script: Vec<Update> = workload
+        .updates(12, UpdateMix::Mixed)
+        .into_iter()
+        .filter(|u| probe.execute_update(u))
+        .collect();
+    let source = workload.build_source(Scenario::Indexed).unwrap();
+    let view = Example6::view().unwrap();
+    let initial = view.eval(&source.snapshot()).unwrap();
+    let maintainer = AlgorithmKind::Eca.instantiate(&view, initial).unwrap();
+    EquivCase {
+        sources: vec![EquivSource {
+            source,
+            script,
+            maintainers: vec![maintainer],
+        }],
+    }
+}
+
+fn example6_equiv_42() -> EquivCase {
+    example6_equiv_case(42)
+}
+
+fn example6_equiv_43() -> EquivCase {
+    example6_equiv_case(43)
+}
+
 #[test]
 fn example2_fingerprints_are_stable() {
     let expected: &[(AlgorithmKind, Policy, u64)] = &[
@@ -159,6 +228,42 @@ fn example6_fingerprints_are_stable() {
             println!("({seed}, {policy:?}, 0x{got:016x}),");
         } else {
             assert_eq!(got, *want, "workload seed {seed} under {policy:?}");
+        }
+    }
+}
+
+/// Serial, thread-per-source and reactor runtimes must produce
+/// byte-identical view-state histories, final materializations and link
+/// meters on Examples 2 and 6 — and the common outcome must match the
+/// pinned fingerprint, so a change that shifts *all three* runtimes in
+/// lockstep still shows up. The reactor is additionally run at several
+/// pool sizes: §3 says the verdict may not depend on scheduling.
+#[test]
+fn runtime_equivalence_fingerprints_are_stable() {
+    type CaseBuilder = fn() -> EquivCase;
+    let cases: &[(&str, CaseBuilder, u64)] = &[
+        ("example2", example2_equiv_case, 0x1987a011bc710dc5),
+        ("example6/42", example6_equiv_42, 0x3f9e4d6b4081d12e),
+        ("example6/43", example6_equiv_43, 0x45533b3eb020aa93),
+    ];
+    for (name, build, want) in cases {
+        for workers in [1usize, 2, 4] {
+            let triple = run_equivalence(build, workers).unwrap();
+            assert!(
+                triple.agree(),
+                "{name}: runtimes disagree at {workers} workers\nserial:     {:?}\nconcurrent: {:?}\nreactor:    {:?}",
+                triple.serial,
+                triple.concurrent,
+                triple.reactor
+            );
+            let got = fnv1a(triple.serial.render().as_bytes());
+            if std::env::var("GOLDEN_PRINT").is_ok() {
+                if workers == 1 {
+                    println!("({name:?}, …, 0x{got:016x}),");
+                }
+            } else {
+                assert_eq!(got, *want, "{name} at {workers} workers");
+            }
         }
     }
 }
