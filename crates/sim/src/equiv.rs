@@ -18,8 +18,8 @@
 use eca_core::maintainer::ViewMaintainer;
 use eca_relational::{SignedBag, Update};
 use eca_source::{serve_fleet, FleetMember, Source};
-use eca_warehouse::{SourceId, ViewId, Warehouse};
-use eca_wire::{Message, SharedFifo, TransferMeter, Transport};
+use eca_warehouse::{connect_source, SourceId, ViewId, Warehouse};
+use eca_wire::{Message, Poller, SharedFifo, TransferMeter, Transport, TransportError};
 
 use crate::SimError;
 
@@ -279,6 +279,63 @@ fn run_reactor(case: EquivCase, workers: usize) -> Result<EquivOutcome, SimError
     Ok(outcome_of(states, finals, &w.meters))
 }
 
+/// Reactor over real loopback TCP: the same fleet and worker pool as
+/// `run_reactor`, but every link is a socket — sources dial a
+/// [`eca_warehouse::ReactorWarehouse::run_listener`] endpoint, open with
+/// the `Hello` handshake, and all warehouse-side readiness is
+/// multiplexed by one [`Poller`] thread. Meters are read on the *source*
+/// side of each link (the metering point every concurrent runtime
+/// shares; the handshake frame travels outside it), so the outcome must
+/// still be byte-identical to the in-memory runs — that is the
+/// golden-trace claim `tests/golden_trace.rs` pins.
+///
+/// # Errors
+/// Socket setup failures plus everything `run_reactor` can raise.
+pub fn run_reactor_tcp(case: EquivCase, workers: usize) -> Result<EquivOutcome, SimError> {
+    // `wire` builds SharedFifo links; here each link is a real socket,
+    // so assemble the warehouse side by hand.
+    let mut warehouse = Warehouse::new();
+    let mut view_ids = Vec::new();
+    let mut sources = Vec::new();
+    let mut scripts = Vec::new();
+    for (s, site) in case.sources.into_iter().enumerate() {
+        let src = warehouse.add_source(format!("s{s}"));
+        for maintainer in site.maintainers {
+            view_ids.push(warehouse.add_view(src, maintainer)?);
+        }
+        sources.push(site.source);
+        scripts.push(site.script);
+    }
+    let expected: Vec<u64> = scripts.iter().map(|s| s.len() as u64).collect();
+    let rw = warehouse.into_reactor(workers);
+    let io_err = |e: std::io::Error| SimError::Transport(TransportError::Io(e));
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").map_err(io_err)?;
+    let addr = listener.local_addr().map_err(io_err)?;
+    let poller = Poller::new().map_err(io_err)?;
+    let meters: Vec<TransferMeter> = (0..sources.len()).map(|_| TransferMeter::new()).collect();
+    let mut members = Vec::with_capacity(sources.len());
+    for ((s, source), script) in sources.into_iter().enumerate().zip(scripts) {
+        // Dialing before the listener runs is fine: the connection waits
+        // in the accept backlog until the reactor starts admitting.
+        let transport = connect_source(addr, SourceId(s), meters[s].clone()).map_err(io_err)?;
+        members.push(FleetMember {
+            source,
+            transport: Box::new(transport),
+            script,
+        });
+    }
+    std::thread::scope(|scope| -> Result<(), SimError> {
+        scope.spawn(move || {
+            serve_fleet(&mut members).expect("equiv TCP fleet serve failed");
+        });
+        rw.run_listener(listener, &poller, &expected)?;
+        Ok(())
+    })?;
+    let states = view_ids.iter().map(|id| rw.view_states(*id)).collect();
+    let finals = view_ids.iter().map(|id| rw.materialized(*id)).collect();
+    Ok(outcome_of(states, finals, &meters))
+}
+
 /// Build the same deployment three times (via `build`) and run it under
 /// all three runtimes. `workers` sizes the reactor pool.
 ///
@@ -345,5 +402,15 @@ mod tests {
         // And the run actually did something.
         assert!(triple.serial.meters[0].answer_bytes > 0);
         assert!(triple.serial.view_states[0].len() > 1);
+    }
+
+    /// Swapping the reactor's in-memory links for real loopback sockets
+    /// (listener handshake, poller readiness, framed TCP) must not
+    /// change a single observable — states, finals, or per-link meters.
+    #[test]
+    fn tcp_reactor_matches_in_memory_runtimes() {
+        let serial = run_serial(two_site_case()).unwrap();
+        let tcp = run_reactor_tcp(two_site_case(), 2).unwrap();
+        assert_eq!(serial, tcp);
     }
 }

@@ -49,7 +49,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 pub use chaos::{ChaosProfile, ChaosRunReport, ChaosSimulation, ChaosStats, LinkOverhead};
-pub use equiv::{run_equivalence, EquivCase, EquivOutcome, EquivSource, EquivTriple, MeterCounts};
+pub use equiv::{
+    run_equivalence, run_reactor_tcp, EquivCase, EquivOutcome, EquivSource, EquivTriple,
+    MeterCounts,
+};
 pub use multi::{MultiRunReport, MultiSimulation, SiteId, SiteReport, ViewRunReport};
 pub use report::RunReport;
 pub use trace::TraceEvent;

@@ -33,7 +33,7 @@ use eca_relational::{SignedBag, Update};
 use eca_wire::{Message, Transport, TransportError, WireQuery};
 
 pub use concurrent::ConcurrentWarehouse;
-pub use reactor::ReactorWarehouse;
+pub use reactor::{connect_source, ReactorWarehouse};
 pub use session::{PendingQuery, Route, RouteKind, Session};
 
 /// Handle to a registered source channel.
@@ -76,6 +76,15 @@ pub enum WarehouseError {
         /// The offending source's index.
         source: usize,
     },
+    /// A transport handed to the reactor refused the shared
+    /// [`eca_wire::PollWaker`] (`set_waker` returned `false`). The
+    /// reactor's parking discipline relies on arrival notifications from
+    /// *every* channel; silently degrading to a short poll interval
+    /// would hide the misconfiguration, so registration fails instead.
+    WakerRejected {
+        /// The offending source's shard index.
+        source: usize,
+    },
 }
 
 impl std::fmt::Display for WarehouseError {
@@ -94,6 +103,12 @@ impl std::fmt::Display for WarehouseError {
                 write!(
                     f,
                     "source #{source} sent nothing for a full stall timeout with queries pending"
+                )
+            }
+            WarehouseError::WakerRejected { source } => {
+                write!(
+                    f,
+                    "source #{source}'s transport rejected the reactor's poll waker"
                 )
             }
         }

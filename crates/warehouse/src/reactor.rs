@@ -34,21 +34,66 @@
 //!   worker notifies after handing work to a peer. An idle reactor burns
 //!   ~0 CPU instead of spinning.
 //!
+//! * **Live accept.** [`ReactorWarehouse::run_listener`] binds the pool
+//!   to a TCP listener: sources dial in (see [`connect_source`]), open
+//!   with a `Hello` handshake naming their [`SourceId`], and join the
+//!   running reactor as poller-driven stations — no restart, and no
+//!   thread per connection. Total OS threads stay at
+//!   `workers + 1 accept loop + 1 poller` no matter how many sources
+//!   connect.
+//!
 //! The serial [`Warehouse`] remains the golden-trace reference; the
 //! reactor must (and is tested to) produce byte-identical meters and
 //! state histories on every scenario, because per-source event order is
 //! identical in all three runtimes.
 
 use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use eca_relational::SignedBag;
-use eca_wire::{Message, PollWaker, Readiness, Transport};
+use eca_wire::{
+    read_frame, write_frame, Message, PollWaker, Poller, Readiness, Role, TcpTransport,
+    TransferMeter, Transport, TransportError,
+};
 
 use crate::concurrent::{lock, Shard, ShardSet};
 use crate::{SourceId, ViewId, Warehouse, WarehouseError};
+
+/// How long the accept loop waits for a connection's opening
+/// [`Message::Hello`] frame before declaring the handshake dead. Dialers
+/// send it immediately, so on any sane network this is generous.
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Dial a [`ReactorWarehouse::run_listener`] endpoint and identify as
+/// `source`. The `Hello { epoch: source.0 }` handshake frame is written
+/// *outside* the metered protocol — it is transport plumbing, not §6
+/// traffic, so source-side meters stay comparable with the in-memory
+/// runtimes frame for frame. Returns the metered source-side transport,
+/// ready for notifications and compensating-query answers.
+///
+/// # Errors
+/// Propagates connect and handshake-write failures.
+pub fn connect_source(
+    addr: SocketAddr,
+    source: SourceId,
+    meter: TransferMeter,
+) -> std::io::Result<TcpTransport> {
+    let mut stream = TcpStream::connect(addr)?;
+    write_frame(
+        &mut stream,
+        &Message::Hello {
+            epoch: source.0 as u64,
+        },
+    )
+    .map_err(|e| match e {
+        TransportError::Io(io) => io,
+        other => std::io::Error::new(std::io::ErrorKind::InvalidData, other),
+    })?;
+    TcpTransport::new(stream, Role::Source, meter)
+}
 
 /// Per-source channel state owned by the reactor run loop.
 struct Station {
@@ -77,10 +122,26 @@ struct Station {
     /// Settled: all notifications arrived, inbox drained, shard
     /// quiescent. Terminal — sources only answer queries we asked.
     done: AtomicBool,
+    /// Per-station arrival counter ([`PollWaker::chained`] to the run's
+    /// shared waker): the transport notifies it on every delivery, so
+    /// the home worker knows whether this channel has spoken since its
+    /// last probe.
+    waker: Arc<PollWaker>,
+    /// `waker` epoch as of the last probe that found the transport
+    /// *idle*. Home scans skip the station (no transport lock, no read
+    /// syscall) while the epoch still matches — turning an O(stations)
+    /// re-probe per wake-up into a probe of only the channels that
+    /// fired. `u64::MAX` forces the first probe.
+    scanned: AtomicU64,
 }
 
 impl Station {
-    fn new(source: SourceId, transport: Box<dyn Transport + Send>, expected: u64) -> Station {
+    fn new(
+        source: SourceId,
+        transport: Box<dyn Transport + Send>,
+        expected: u64,
+        waker: Arc<PollWaker>,
+    ) -> Station {
         Station {
             source: source.0,
             transport: Mutex::new(transport),
@@ -91,13 +152,27 @@ impl Station {
             expected,
             closed: AtomicBool::new(false),
             done: AtomicBool::new(false),
+            waker,
+            scanned: AtomicU64::new(u64::MAX),
         }
     }
 }
 
-/// Shared state for one [`ReactorWarehouse::run`] call.
+/// Shared state for one [`ReactorWarehouse::run`] or
+/// [`ReactorWarehouse::run_listener`] call.
+///
+/// Station slots are [`OnceLock`]s so the listener thread can register a
+/// freshly accepted connection *while the worker pool is already
+/// running*: workers skip unfilled slots, and a `set` + waker
+/// notification makes the new station visible to its home worker on the
+/// next scan. [`ReactorWarehouse::run`] fills every slot up front, so
+/// the two entry points share the whole loop unchanged.
 struct RunState {
-    stations: Vec<Station>,
+    stations: Vec<OnceLock<Station>>,
+    /// Sources that were settled before any connection arrived (nothing
+    /// expected, shard quiescent). Their slots may legitimately stay
+    /// empty forever, so stall detection skips them.
+    born_settled: Vec<bool>,
     /// Notified by transports on arrival and by workers when they
     /// enqueue stealable work, finish a station or record an error.
     waker: Arc<PollWaker>,
@@ -109,9 +184,12 @@ struct RunState {
     error: Mutex<Option<WarehouseError>>,
     /// Instant of the last global progress, for stall detection.
     last_progress: Mutex<Instant>,
-    /// Every transport accepted our waker; if not, parking falls back to
-    /// a short poll interval instead of trusting notifications.
-    waker_everywhere: bool,
+    /// Live-accept mode: the listener's local address. A finishing
+    /// worker pokes it with a throwaway connection so the accept loop
+    /// wakes up and observes `accept_done`.
+    listener_addr: Option<SocketAddr>,
+    /// The run is over; the accept loop must exit instead of admitting.
+    accept_done: AtomicBool,
 }
 
 impl RunState {
@@ -146,6 +224,18 @@ impl RunState {
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .elapsed()
+    }
+
+    /// Unblock the accept loop at end of run (first caller wins). The
+    /// listener thread spends its life parked in `accept`; a local
+    /// throwaway connection is the portable way to kick it loose.
+    fn finish_listener(&self) {
+        let Some(addr) = self.listener_addr else {
+            return;
+        };
+        if !self.accept_done.swap(true, Ordering::AcqRel) {
+            let _ = TcpStream::connect(addr);
+        }
     }
 }
 
@@ -258,6 +348,10 @@ impl ReactorWarehouse {
     /// the source side.
     ///
     /// # Errors
+    /// [`WarehouseError::WakerRejected`] if any transport refuses the
+    /// shared poll waker — the reactor's parking discipline requires
+    /// arrival notifications from every channel, so registration fails
+    /// loudly instead of silently degrading to a poll interval;
     /// [`WarehouseError::SourceHungUp`] if a peer disconnects before its
     /// station settles; [`WarehouseError::SourceStalled`] if no station
     /// makes progress for a full stall timeout while any is unsettled;
@@ -268,14 +362,14 @@ impl ReactorWarehouse {
         endpoints: Vec<(SourceId, Box<dyn Transport + Send>, u64)>,
     ) -> Result<u64, WarehouseError> {
         let waker = PollWaker::new();
-        let mut waker_everywhere = true;
-        let stations: Vec<Station> = endpoints
-            .into_iter()
-            .map(|(source, mut transport, expected)| {
-                waker_everywhere &= transport.set_waker(Arc::clone(&waker));
-                Station::new(source, transport, expected)
-            })
-            .collect();
+        let mut stations = Vec::with_capacity(endpoints.len());
+        for (source, mut transport, expected) in endpoints {
+            let st_waker = PollWaker::chained(Arc::clone(&waker));
+            if !transport.set_waker(Arc::clone(&st_waker)) {
+                return Err(WarehouseError::WakerRejected { source: source.0 });
+            }
+            stations.push(Station::new(source, transport, expected, st_waker));
+        }
         // A station expecting nothing from an already-quiescent shard is
         // born settled; count the rest.
         let mut remaining = 0usize;
@@ -286,14 +380,24 @@ impl ReactorWarehouse {
                 remaining += 1;
             }
         }
+        let born_settled = vec![false; stations.len()];
         let state = RunState {
-            stations,
+            stations: stations
+                .into_iter()
+                .map(|st| {
+                    let slot = OnceLock::new();
+                    let _ = slot.set(st);
+                    slot
+                })
+                .collect(),
+            born_settled,
             waker,
             remaining: AtomicUsize::new(remaining),
             processed: AtomicU64::new(0),
             error: Mutex::new(None),
             last_progress: Mutex::new(Instant::now()),
-            waker_everywhere,
+            listener_addr: None,
+            accept_done: AtomicBool::new(false),
         };
         let workers = self.workers.min(state.stations.len()).max(1);
         std::thread::scope(|scope| {
@@ -302,6 +406,88 @@ impl ReactorWarehouse {
                 scope.spawn(move || self.worker_loop(state, w, workers));
             }
         });
+        Self::into_outcome(state)
+    }
+
+    /// Serve sources that dial in over TCP while the pool is running,
+    /// instead of receiving pre-built transports. `listener` should
+    /// already be bound; each accepted connection must open with a
+    /// [`Message::Hello`] handshake frame carrying its [`SourceId`]
+    /// (dial with [`connect_source`]), after which the stream joins the
+    /// reactor as a poller-driven station pinned to its home worker —
+    /// registration happens live, no restart, no thread per connection.
+    /// `expected[s]` is the number of update notifications source `s`
+    /// will send, exactly as in [`ReactorWarehouse::run`].
+    ///
+    /// Thread accounting: `workers.min(sources)` pooled workers plus
+    /// this one accept loop, regardless of how many sources connect —
+    /// the readiness multiplexing lives in `poller`'s single thread.
+    ///
+    /// Sources that expect no traffic over an already-quiescent shard
+    /// need not connect at all; everyone else must connect and settle
+    /// within the stall timeout.
+    ///
+    /// # Panics
+    /// If `expected.len()` differs from the number of registered
+    /// sources.
+    ///
+    /// # Errors
+    /// Everything [`ReactorWarehouse::run`] raises, plus
+    /// [`WarehouseError::UnknownSource`] for a Hello naming no
+    /// registered source and [`WarehouseError::UnexpectedMessage`] for
+    /// a malformed handshake or a duplicate connection.
+    pub fn run_listener(
+        &self,
+        listener: TcpListener,
+        poller: &Arc<Poller>,
+        expected: &[u64],
+    ) -> Result<u64, WarehouseError> {
+        let n = self.shards.len();
+        assert_eq!(
+            expected.len(),
+            n,
+            "expected-notification counts must cover every source"
+        );
+        let mut born_settled = vec![false; n];
+        let mut remaining = 0usize;
+        for s in 0..n {
+            if expected[s] == 0 && lock(&self.shards[s]).is_quiescent() {
+                born_settled[s] = true;
+            } else {
+                remaining += 1;
+            }
+        }
+        let addr = listener
+            .local_addr()
+            .map_err(|e| WarehouseError::Transport(TransportError::Io(e)))?;
+        let state = RunState {
+            stations: (0..n).map(|_| OnceLock::new()).collect(),
+            born_settled,
+            waker: PollWaker::new(),
+            remaining: AtomicUsize::new(remaining),
+            processed: AtomicU64::new(0),
+            error: Mutex::new(None),
+            last_progress: Mutex::new(Instant::now()),
+            listener_addr: Some(addr),
+            accept_done: AtomicBool::new(false),
+        };
+        if remaining == 0 {
+            return Ok(0);
+        }
+        let workers = self.workers.min(n).max(1);
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let state = &state;
+                scope.spawn(move || self.worker_loop(state, w, workers));
+            }
+            let (state, listener) = (&state, &listener);
+            scope.spawn(move || self.accept_loop(state, listener, poller, expected));
+        });
+        Self::into_outcome(state)
+    }
+
+    /// Extract the run result once every pool thread has joined.
+    fn into_outcome(state: RunState) -> Result<u64, WarehouseError> {
         if let Some(err) = state
             .error
             .lock()
@@ -313,11 +499,113 @@ impl ReactorWarehouse {
         Ok(state.processed.load(Ordering::Acquire))
     }
 
+    /// The listener thread body: accept, handshake, register. Runs until
+    /// a finishing worker flips `accept_done` (and pokes us loose with a
+    /// throwaway connection) or a handshake fails.
+    fn accept_loop(
+        &self,
+        state: &RunState,
+        listener: &TcpListener,
+        poller: &Arc<Poller>,
+        expected: &[u64],
+    ) {
+        loop {
+            if state.accept_done.load(Ordering::Acquire) || state.failed() {
+                return;
+            }
+            let stream = match listener.accept() {
+                Ok((stream, _)) => stream,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    state.fail(WarehouseError::Transport(TransportError::Io(e)));
+                    return;
+                }
+            };
+            if state.accept_done.load(Ordering::Acquire) {
+                return; // the shutdown poke, not a source
+            }
+            if let Err(err) = self.admit(state, stream, poller, expected) {
+                state.fail(err);
+                return;
+            }
+        }
+    }
+
+    /// Handshake one accepted connection and register its station. The
+    /// Hello frame is read *blocking* with a short timeout — the station
+    /// only goes non-blocking (and onto the poller) once we know which
+    /// source it is.
+    fn admit(
+        &self,
+        state: &RunState,
+        stream: TcpStream,
+        poller: &Arc<Poller>,
+        expected: &[u64],
+    ) -> Result<(), WarehouseError> {
+        stream
+            .set_read_timeout(Some(HANDSHAKE_TIMEOUT))
+            .map_err(|e| WarehouseError::Transport(TransportError::Io(e)))?;
+        let mut reader = &stream;
+        let Some(frame) = read_frame(&mut reader)? else {
+            return Err(WarehouseError::UnexpectedMessage {
+                kind: "EOF-before-Hello",
+            });
+        };
+        let Message::Hello { epoch } = Message::decode(frame).map_err(TransportError::from)? else {
+            return Err(WarehouseError::UnexpectedMessage {
+                kind: "non-Hello handshake",
+            });
+        };
+        let source = epoch as usize;
+        if source >= state.stations.len() {
+            return Err(WarehouseError::UnknownSource { id: source });
+        }
+        stream
+            .set_read_timeout(None)
+            .map_err(|e| WarehouseError::Transport(TransportError::Io(e)))?;
+        // The warehouse-side meter is private to this station; §6
+        // accounting reads the source-side meters, matching `run`.
+        let mut transport = TcpTransport::new(stream, Role::Warehouse, TransferMeter::new())
+            .map_err(|e| WarehouseError::Transport(TransportError::Io(e)))?;
+        transport.attach_poller(Arc::clone(poller));
+        let st_waker = PollWaker::chained(Arc::clone(&state.waker));
+        if !transport.set_waker(Arc::clone(&st_waker)) {
+            return Err(WarehouseError::WakerRejected { source });
+        }
+        let st = Station::new(
+            SourceId(source),
+            Box::new(transport),
+            expected[source],
+            st_waker,
+        );
+        if state.born_settled[source] {
+            // Settled before it connected: keep the link open for a
+            // clean shutdown, but there is nothing to wait for.
+            st.done.store(true, Ordering::Release);
+        }
+        if state.stations[source].set(st).is_err() {
+            return Err(WarehouseError::UnexpectedMessage {
+                kind: "duplicate Hello",
+            });
+        }
+        // A connection is progress (sources may trickle in for a while)
+        // and the new station's home worker may be parked.
+        state.touch_progress();
+        state.waker.notify();
+        Ok(())
+    }
+
     /// One pooled worker: poll home stations' transports into inboxes,
     /// then process any claimable station's inbox (home first, then
     /// steal), parking on the shared waker when a full scan finds
-    /// nothing.
+    /// nothing. On the way out, kick the accept loop (live-accept runs
+    /// only) so the listener thread joins too.
     fn worker_loop(&self, state: &RunState, worker: usize, workers: usize) {
+        self.worker_duty(state, worker, workers);
+        state.finish_listener();
+    }
+
+    fn worker_duty(&self, state: &RunState, worker: usize, workers: usize) {
         let n = state.stations.len();
         // Reused across iterations: transport drain batches, inbox
         // processing batches and reply staging, so the steady state
@@ -335,14 +623,33 @@ impl ReactorWarehouse {
             let mut progress = false;
 
             // 1. Home duty: drain transports into inboxes (sole poller
-            //    per station keeps the inbox arrival-ordered).
+            //    per station keeps the inbox arrival-ordered). Unfilled
+            //    slots are sources that have not dialed in yet.
             let mut home = worker;
             while home < n {
-                match self.poll_station(state, &state.stations[home], &mut scratch, &mut replies) {
-                    Ok(p) => progress |= p,
-                    Err(err) => {
-                        state.fail(err);
-                        return;
+                if let Some(st) = state.stations[home].get() {
+                    let st_epoch = st.waker.epoch();
+                    if st.scanned.load(Ordering::Acquire) != st_epoch {
+                        match self.poll_station(state, st, &mut scratch, &mut replies) {
+                            Ok(p) => {
+                                progress |= p;
+                                // Record the pre-probe epoch only once
+                                // the channel proved idle: a probe that
+                                // moved data may have stopped at the
+                                // inbox quantum with bytes still
+                                // buffered, and a closed station must
+                                // keep re-running hangup detection —
+                                // both must rescan without waiting for
+                                // a fresh notification.
+                                if !p && !st.closed.load(Ordering::Acquire) {
+                                    st.scanned.store(st_epoch, Ordering::Release);
+                                }
+                            }
+                            Err(err) => {
+                                state.fail(err);
+                                return;
+                            }
+                        }
                     }
                 }
                 home += workers;
@@ -353,11 +660,13 @@ impl ReactorWarehouse {
             //    at distinct stations and only collide when stealing.
             for off in 0..n {
                 let idx = (worker + off) % n;
-                match self.process_station(state, &state.stations[idx], &mut batch, &mut replies) {
-                    Ok(p) => progress |= p,
-                    Err(err) => {
-                        state.fail(err);
-                        return;
+                if let Some(st) = state.stations[idx].get() {
+                    match self.process_station(state, st, &mut batch, &mut replies) {
+                        Ok(p) => progress |= p,
+                        Err(err) => {
+                            state.fail(err);
+                            return;
+                        }
                     }
                 }
                 if state.failed() {
@@ -370,28 +679,27 @@ impl ReactorWarehouse {
                 continue;
             }
             // Nothing moved: park. Bounded waits keep stall detection
-            // live even if a notification is lost; without universal
-            // waker coverage fall back to a short poll interval.
+            // live even if a notification is lost; every transport
+            // accepted our waker (run rejects otherwise), so there is
+            // no poll-interval fallback to fall back to.
             let idle = state.since_progress();
             if idle >= self.stall_timeout {
-                if let Some(stalled) = state
-                    .stations
-                    .iter()
-                    .find(|st| !st.done.load(Ordering::Acquire))
-                {
-                    state.fail(WarehouseError::SourceStalled {
-                        source: stalled.source,
-                    });
+                // An empty slot is a source that never connected; a
+                // filled one reports its own source index (run() slots
+                // are endpoint-ordered, not source-ordered).
+                let stalled = (0..n).find_map(|i| match state.stations[i].get() {
+                    None if !state.born_settled[i] => Some(i),
+                    Some(st) if !st.done.load(Ordering::Acquire) => Some(st.source),
+                    _ => None,
+                });
+                if let Some(source) = stalled {
+                    state.fail(WarehouseError::SourceStalled { source });
                 } else {
                     state.waker.notify();
                 }
                 return;
             }
-            let cap = if state.waker_everywhere {
-                self.stall_timeout - idle
-            } else {
-                Duration::from_millis(1)
-            };
+            let cap = self.stall_timeout - idle;
             state.waker.wait(seen, cap.min(Duration::from_millis(50)));
         }
     }
@@ -817,6 +1125,152 @@ mod tests {
             rw.run(vec![(src, Box::new(wh_end), 1)]),
             Err(WarehouseError::SourceStalled { source: 0 })
         ));
+    }
+
+    /// Satellite guarantee: a transport without waker support (the
+    /// trait-default `set_waker` returns `false`) is rejected at
+    /// registration with a typed error — the old behavior silently fell
+    /// back to a 1 ms poll interval, hiding the misconfiguration.
+    #[test]
+    fn waker_rejecting_transport_fails_registration() {
+        let mut wh = Warehouse::new();
+        let src = wh.add_source("s");
+        let view = view_def("V", "r1", "r2");
+        let mut db = BaseDb::new();
+        db.register("r1");
+        db.register("r2");
+        let initial = view.eval(&db).unwrap();
+        wh.add_view(src, AlgorithmKind::Eca.instantiate(&view, initial).unwrap())
+            .unwrap();
+        let rw = wh.into_reactor(2);
+        // A transport that leans on the trait-default `set_waker`.
+        struct NoWaker(TransferMeter);
+        impl Transport for NoWaker {
+            fn role(&self) -> eca_wire::Role {
+                eca_wire::Role::Warehouse
+            }
+            fn send(&mut self, _msg: &Message) -> Result<(), TransportError> {
+                Ok(())
+            }
+            fn try_recv(&mut self) -> Result<Option<Message>, TransportError> {
+                Ok(None)
+            }
+            fn recv(&mut self) -> Result<Option<Message>, TransportError> {
+                Ok(None)
+            }
+            fn has_inbound(&mut self) -> bool {
+                false
+            }
+            fn meter(&self) -> &TransferMeter {
+                &self.0
+            }
+        }
+        assert!(matches!(
+            rw.run(vec![(src, Box::new(NoWaker(TransferMeter::new())), 1)]),
+            Err(WarehouseError::WakerRejected { source: 0 })
+        ));
+    }
+
+    /// Live accept: sources dial in over loopback TCP *after* the pool
+    /// is running — staggered, in arbitrary order — handshake with
+    /// `Hello`, and every view still converges to direct evaluation.
+    #[test]
+    fn listener_accepts_live_tcp_sources() {
+        use eca_relational::{Predicate, Schema};
+        let sources = 4;
+        let mut wh = Warehouse::new();
+        let mut dbs = Vec::new();
+        let mut defs = Vec::new();
+        let mut ids = Vec::new();
+        for s in 0..sources {
+            let src = wh.add_source(format!("s{s}"));
+            let (r1, r2) = (format!("q{s}_1"), format!("q{s}_2"));
+            let mut db = BaseDb::new();
+            db.register(&r1);
+            db.register(&r2);
+            db.insert(&r1, Tuple::ints([1, 2]));
+            let view = ViewDef::new(
+                format!("V{s}"),
+                vec![Schema::new(&r1, &["W", "X"]), Schema::new(&r2, &["X", "Y"])],
+                Predicate::col_eq(1, 2),
+                vec![0],
+            )
+            .unwrap();
+            let initial = view.eval(&db).unwrap();
+            let id = wh
+                .add_view(src, AlgorithmKind::Eca.instantiate(&view, initial).unwrap())
+                .unwrap();
+            defs.push(view);
+            ids.push((s, id));
+            dbs.push(db);
+        }
+        let rw = wh.into_reactor(2);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let poller = Poller::new().unwrap();
+        let expected = vec![3u64; sources];
+
+        std::thread::scope(|scope| {
+            for (s, db) in dbs.iter_mut().enumerate() {
+                scope.spawn(move || {
+                    // Stagger the dials so late joiners land on an
+                    // already-busy pool.
+                    std::thread::sleep(Duration::from_millis(7 * s as u64));
+                    let mut t = connect_source(addr, SourceId(s), TransferMeter::new()).unwrap();
+                    let (r1, r2) = (format!("q{s}_1"), format!("q{s}_2"));
+                    for u in [
+                        Update::insert(&r2, Tuple::ints([2, 3])),
+                        Update::insert(&r1, Tuple::ints([4, 2])),
+                        Update::delete(&r1, Tuple::ints([1, 2])),
+                    ] {
+                        db.apply(&u);
+                        t.send(&Message::UpdateNotification { update: u }).unwrap();
+                    }
+                    let catalog =
+                        vec![Schema::new(&r1, &["W", "X"]), Schema::new(&r2, &["X", "Y"])];
+                    while let Some(msg) = t.recv().unwrap() {
+                        let Message::QueryRequest { id, query } = msg else {
+                            panic!("unexpected message at source");
+                        };
+                        let answer = query.to_query(&catalog).unwrap().eval(db).unwrap();
+                        t.send(&Message::QueryAnswer { id, answer }).unwrap();
+                    }
+                });
+            }
+            rw.run_listener(listener, &poller, &expected).unwrap();
+        });
+
+        assert!(rw.is_quiescent());
+        for (k, (s, id)) in ids.iter().enumerate() {
+            assert_eq!(rw.materialized(*id), defs[k].eval(&dbs[*s]).unwrap());
+        }
+    }
+
+    /// A dialer announcing a source id the warehouse never registered
+    /// fails the run with a typed error instead of wedging the pool.
+    #[test]
+    fn listener_rejects_unknown_source() {
+        let mut wh = Warehouse::new();
+        let src = wh.add_source("s");
+        let view = view_def("V", "r1", "r2");
+        let mut db = BaseDb::new();
+        db.register("r1");
+        db.register("r2");
+        let initial = view.eval(&db).unwrap();
+        wh.add_view(src, AlgorithmKind::Eca.instantiate(&view, initial).unwrap())
+            .unwrap();
+        let rw = wh.into_reactor(1);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let poller = Poller::new().unwrap();
+        let dialer = std::thread::spawn(move || {
+            // Wrong id; the transport is dropped as soon as the run
+            // fails, which this thread observes as EOF or reset.
+            let _ = connect_source(addr, SourceId(9), TransferMeter::new());
+        });
+        let err = rw.run_listener(listener, &poller, &[1]).unwrap_err();
+        assert!(matches!(err, WarehouseError::UnknownSource { id: 9 }));
+        dialer.join().unwrap();
     }
 
     #[test]

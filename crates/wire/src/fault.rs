@@ -416,6 +416,14 @@ impl<T: Transport> Transport for FaultyTransport<T> {
         self.inner.recv_timeout(timeout)
     }
 
+    // Faults are injected on the *send* path only (the peer's sends are
+    // what this endpoint fails to receive), so a batch drain is a plain
+    // delegation: the inner transport's one-lock/one-syscall batch with
+    // per-message semantics identical to N sequential `try_recv`s.
+    fn drain_into(&mut self, out: &mut Vec<Message>, max: usize) -> Result<usize, TransportError> {
+        self.inner.drain_into(out, max)
+    }
+
     fn has_inbound(&mut self) -> bool {
         self.inner.has_inbound()
     }
@@ -500,6 +508,60 @@ mod tests {
                 },
             ]
         );
+    }
+
+    /// Batch drains through the decorator must be indistinguishable
+    /// from N sequential `try_recv`s: same released messages, same
+    /// meter totals — the reactor's batched receive path may not alter
+    /// fault semantics.
+    #[test]
+    fn wrapped_batch_drain_matches_sequential_try_recv() {
+        let plan = || {
+            FaultPlan::none()
+                .with_scripted(1, FaultKind::Drop)
+                .with_scripted(3, FaultKind::Duplicate)
+        };
+        let run = |batch: bool| {
+            let meter = TransferMeter::new();
+            let (src_end, wh_end) = InMemoryFifo::pair(meter.clone());
+            let mut faulty_src = FaultyTransport::new(src_end, plan());
+            // The receiving end is wrapped too: its (unused) send-path
+            // faults must not perturb the receive path.
+            let mut wh = FaultyTransport::new(wh_end, plan());
+            for n in 0..6 {
+                faulty_src.send(&notification(n)).unwrap();
+            }
+            let mut out = Vec::new();
+            if batch {
+                while wh.drain_into(&mut out, usize::MAX).unwrap() > 0 {}
+            } else {
+                while let Some(m) = wh.try_recv().unwrap() {
+                    out.push(m);
+                }
+            }
+            (out, meter)
+        };
+        let (sequential, seq_meter) = run(false);
+        let (batched, batch_meter) = run(true);
+        assert_eq!(sequential, batched);
+        assert_eq!(seq_meter.messages_s2w(), batch_meter.messages_s2w());
+        assert_eq!(seq_meter.bytes_s2w(), batch_meter.bytes_s2w());
+    }
+
+    /// `drain_into` honours `max` through the decorator: the remainder
+    /// stays queued for later receives.
+    #[test]
+    fn wrapped_drain_respects_max() {
+        let (src, wh_end) = InMemoryFifo::pair(TransferMeter::new());
+        let mut faulty_src = FaultyTransport::new(src, FaultPlan::none());
+        let mut wh = FaultyTransport::new(wh_end, FaultPlan::none());
+        for n in 0..5 {
+            faulty_src.send(&notification(n)).unwrap();
+        }
+        let mut out = Vec::new();
+        assert_eq!(wh.drain_into(&mut out, 2).unwrap(), 2);
+        assert_eq!(out, vec![notification(0), notification(1)]);
+        assert_eq!(drain(&mut wh), (2..5).map(notification).collect::<Vec<_>>());
     }
 
     #[test]

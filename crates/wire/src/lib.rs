@@ -29,6 +29,7 @@ pub mod codec;
 pub mod fault;
 pub mod message;
 pub mod meter;
+pub mod poller;
 pub mod reliable;
 pub mod transport;
 
@@ -36,8 +37,9 @@ pub use codec::{DecodeError, Decoder, Encoder};
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultyTransport};
 pub use message::{Message, WireQuery, WireTerm};
 pub use meter::{Direction, TransferMeter};
+pub use poller::{PollToken, Poller};
 pub use reliable::{fnv1a_checksum, LinkStats, ReliableConfig, ReliableLink};
 pub use transport::{
-    read_frame, write_frame, InMemoryFifo, PollWaker, Readiness, Role, SharedFifo, TcpTransport,
-    Transport, TransportError,
+    read_frame, write_frame, FrameDecoder, InMemoryFifo, PollWaker, Readiness, Role, SharedFifo,
+    TcpTransport, Transport, TransportError,
 };

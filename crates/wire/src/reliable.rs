@@ -475,6 +475,26 @@ impl<T: Transport> Transport for ReliableLink<T> {
         }
     }
 
+    fn drain_into(&mut self, out: &mut Vec<Message>, max: usize) -> Result<usize, TransportError> {
+        // One service pass batch-drains the inner transport (acking,
+        // deduplicating and reordering into `ready`), then the in-order
+        // prefix is handed out wholesale. Fault/wedged surfacing only
+        // when nothing was taken, mirroring `try_recv`'s priorities per
+        // drained message.
+        self.service();
+        let take = self.ready.len().min(max);
+        out.extend(self.ready.drain(..take));
+        if take == 0 {
+            if let Some(fault) = self.fault.take() {
+                return Err(fault);
+            }
+            if self.wedged {
+                return Err(TransportError::Timeout);
+            }
+        }
+        Ok(take)
+    }
+
     fn has_inbound(&mut self) -> bool {
         self.service();
         !self.ready.is_empty()
@@ -568,6 +588,69 @@ mod tests {
         // Acks flowed on the raw channel only.
         assert_eq!(logical.messages_w2s(), 0);
         assert!(src.raw_meter().messages_w2s() > 0);
+    }
+
+    /// A batch drain through the session layer must equal N sequential
+    /// `try_recv`s — same released messages, same logical and raw meter
+    /// totals, same dedup bookkeeping — even when the wire duplicated
+    /// frames. The reactor's batched receive path may not change
+    /// exactly-once semantics.
+    #[test]
+    fn batch_drain_matches_sequential_try_recv_under_duplicates() {
+        let plan = || {
+            FaultPlan::none()
+                .with_scripted(1, FaultKind::Duplicate)
+                .with_scripted(4, FaultKind::Duplicate)
+        };
+        let run = |batch: bool| {
+            let (mut src, mut wh, logical) = linked(plan(), FaultPlan::none());
+            let msgs: Vec<Message> = (0..6).map(notification).collect();
+            for m in &msgs {
+                src.send(m).unwrap();
+            }
+            let mut out = Vec::new();
+            if batch {
+                while wh.drain_into(&mut out, usize::MAX).unwrap() > 0 {}
+            } else {
+                while let Some(m) = wh.try_recv().unwrap() {
+                    out.push(m);
+                }
+            }
+            assert_eq!(out, msgs);
+            (
+                out,
+                logical,
+                wh.raw_meter().clone(),
+                wh.stats().duplicates_dropped,
+            )
+        };
+        let (seq_msgs, seq_logical, seq_raw, seq_dups) = run(false);
+        let (batch_msgs, batch_logical, batch_raw, batch_dups) = run(true);
+        assert_eq!(seq_msgs, batch_msgs);
+        assert_eq!(seq_dups, batch_dups);
+        assert_eq!(seq_dups, 2, "both scripted duplicates were absorbed");
+        assert_eq!(seq_logical.messages_s2w(), batch_logical.messages_s2w());
+        assert_eq!(seq_logical.bytes_s2w(), batch_logical.bytes_s2w());
+        assert_eq!(seq_raw.messages_s2w(), batch_raw.messages_s2w());
+        assert_eq!(seq_raw.messages_w2s(), batch_raw.messages_w2s());
+    }
+
+    /// `drain_into` honours `max` through the session layer; the
+    /// in-order remainder stays queued.
+    #[test]
+    fn reliable_drain_respects_max() {
+        let (mut src, mut wh, _) = linked(FaultPlan::none(), FaultPlan::none());
+        for n in 0..5 {
+            src.send(&notification(n)).unwrap();
+        }
+        let mut out = Vec::new();
+        assert_eq!(wh.drain_into(&mut out, 2).unwrap(), 2);
+        assert_eq!(out, vec![notification(0), notification(1)]);
+        let mut rest = Vec::new();
+        while let Some(m) = wh.try_recv().unwrap() {
+            rest.push(m);
+        }
+        assert_eq!(rest, (2..5).map(notification).collect::<Vec<_>>());
     }
 
     #[test]

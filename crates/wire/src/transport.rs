@@ -12,9 +12,15 @@
 //!   Messages still round-trip through the codec on every delivery, so
 //!   byte counts are measured on real encodings and decode faults surface
 //!   exactly as they would on a real link.
-//! * [`TcpTransport`] — length-prefixed frames over `std::net::TcpStream`
-//!   with one reader thread per peer. TCP's in-order delivery preserves
-//!   the §3 ordering assumption per connection.
+//! * [`TcpTransport`] — length-prefixed frames over a *non-blocking*
+//!   `std::net::TcpStream`: an incremental [`FrameDecoder`] reassembles
+//!   frames across partial reads, sends queue into a bounded outbound
+//!   buffer when the socket would block, and an optional shared
+//!   [`Poller`](crate::Poller) thread turns fd readiness into
+//!   [`PollWaker`] notifications so hundreds of connections multiplex
+//!   onto one poll loop with **zero** per-connection threads. TCP's
+//!   in-order delivery preserves the §3 ordering assumption per
+//!   connection.
 //!
 //! Metering convention: each message is charged once per meter, in its
 //! direction of travel. The [`InMemoryFifo`] pair shares one meter and
@@ -27,10 +33,10 @@ use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
+use std::sync::{Arc, Condvar, Mutex};
 
 use bytes::Bytes;
 
@@ -154,6 +160,9 @@ pub struct PollWaker {
     /// Guards only the condvar protocol, never the counter.
     park: Mutex<()>,
     cv: Condvar,
+    /// Chained parent: every notify here also notifies it. See
+    /// [`PollWaker::chained`].
+    forward: Option<Arc<PollWaker>>,
 }
 
 impl PollWaker {
@@ -161,6 +170,22 @@ impl PollWaker {
     /// and threads.
     pub fn new() -> Arc<PollWaker> {
         Arc::new(PollWaker::default())
+    }
+
+    /// A waker whose notifications also propagate to `parent`.
+    ///
+    /// A poll loop over N endpoints parks on one shared waker, but that
+    /// waker alone cannot say *which* endpoint fired — every wake-up
+    /// costs an O(N) re-probe. Registering a chained child per endpoint
+    /// keeps the single park point (the parent) while the child's own
+    /// [`PollWaker::epoch`] records per-endpoint activity, so the loop
+    /// re-probes only endpoints whose epoch moved since they last
+    /// probed idle.
+    pub fn chained(parent: Arc<PollWaker>) -> Arc<PollWaker> {
+        Arc::new(PollWaker {
+            forward: Some(parent),
+            ..PollWaker::default()
+        })
     }
 
     /// The current generation. Snapshot this *before* polling the
@@ -178,6 +203,9 @@ impl PollWaker {
             // that has registered but not yet reached `cv.wait`.
             drop(lock_ignore_poison(&self.park));
             self.cv.notify_all();
+        }
+        if let Some(parent) = &self.forward {
+            parent.notify();
         }
     }
 
@@ -399,6 +427,70 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Bytes>, TransportError> {
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;
     Ok(Some(Bytes::from(payload)))
+}
+
+/// Incremental frame reassembly for non-blocking byte streams.
+///
+/// A non-blocking read returns whatever the kernel has — possibly half a
+/// length prefix, possibly three frames and a tail. The decoder
+/// accumulates those fragments ([`FrameDecoder::extend`]) and yields
+/// complete payloads ([`FrameDecoder::next_frame`]) with the same
+/// framing rules as the blocking [`read_frame`]: a `u32` big-endian
+/// length prefix, never charged to any meter, followed by the encoded
+/// message. Byte-split boundaries are invisible to the caller — the
+/// yielded frame sequence depends only on the byte stream, not on how
+/// it was chunked (the codec proptest drives exactly that invariant).
+#[derive(Default)]
+pub struct FrameDecoder {
+    /// Unconsumed stream bytes; `pos` marks how much of the front has
+    /// already been yielded (compacted lazily to keep `extend` O(n)).
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl FrameDecoder {
+    /// An empty decoder, mid-stream position zero.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Append freshly read stream bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        // Compact before growing: everything before `pos` is dead.
+        if self.pos > 0 && (self.pos >= 4096 || self.pos == self.buf.len()) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pop the next complete frame payload, if one has fully arrived.
+    pub fn next_frame(&mut self) -> Option<Bytes> {
+        let pending = &self.buf[self.pos..];
+        if pending.len() < 4 {
+            return None;
+        }
+        let len = u32::from_be_bytes([pending[0], pending[1], pending[2], pending[3]]) as usize;
+        if pending.len() < 4 + len {
+            return None;
+        }
+        let frame = Bytes::from(pending[4..4 + len].to_vec());
+        self.pos += 4 + len;
+        Some(frame)
+    }
+
+    /// Whether a partial frame (or partial length prefix) is buffered.
+    /// EOF while this holds is a truncated stream, not a clean shutdown.
+    pub fn has_partial(&self) -> bool {
+        self.pos < self.buf.len()
+    }
+
+    /// Discard any buffered partial frame (used once a truncation fault
+    /// has been recorded, so it is reported exactly once).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.pos = 0;
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -838,102 +930,102 @@ impl Drop for SharedFifo {
 // TCP.
 // ---------------------------------------------------------------------------
 
-/// A [`Transport`] over a real TCP connection.
+/// Bytes the outbound buffer may hold before [`Transport::send`] blocks
+/// waiting for the kernel to accept more. Bounds per-connection memory
+/// under a slow or stalled reader — the socket-level analogue of
+/// [`SharedFifo::bounded_pair`] backpressure.
+const TCP_OUTBOUND_CAP: usize = 1 << 20;
+
+/// Read-buffer size for one non-blocking `read(2)`.
+const TCP_READ_CHUNK: usize = 16 * 1024;
+
+/// A [`Transport`] over a real TCP connection — readiness-driven, with
+/// **no** per-connection threads.
 ///
-/// Frames are length-prefixed ([`write_frame`]/[`read_frame`]); a
-/// dedicated reader thread per peer drains the socket into an internal
-/// queue so `try_recv`/`has_inbound` never block. TCP delivers in order,
-/// preserving the paper's §3 FIFO-channel assumption per connection.
+/// The stream runs in non-blocking mode. Every operation first runs a
+/// *service pass* ([`TcpTransport`] internal `pump`): flush whatever the
+/// kernel will take of the bounded outbound buffer, then read until
+/// `WouldBlock`, feeding an incremental [`FrameDecoder`] whose complete
+/// frames (length prefix stripped, payload metered at decode) queue for
+/// `try_recv`/`drain_into`. Sends append a length-prefixed frame
+/// ([`write_frame`] rules) to the outbound buffer and block only when
+/// the buffer would exceed its cap — while blocked, the service pass
+/// keeps draining inbound so two peers flooding each other cannot
+/// deadlock. Blocking receives sleep in `poll(2)` on this socket alone.
+///
+/// For *multiplexed* deployments, attach a shared
+/// [`Poller`](crate::Poller) ([`TcpTransport::attach_poller`]) before
+/// registering a waker: fd readiness then lands as
+/// [`PollWaker::notify`] exactly like a `SharedFifo` sender's, and the
+/// reactor drives hundreds of sockets from its fixed worker pool.
+/// Without a poller, [`Transport::set_waker`] reports `false` — there
+/// is no thread to deliver wake-ups.
+///
+/// TCP delivers in order, preserving the paper's §3 FIFO-channel
+/// assumption per connection.
 pub struct TcpTransport {
     role: Role,
-    writer: TcpStream,
-    inbound: mpsc::Receiver<Result<Bytes, std::io::Error>>,
-    /// Frames observed by `has_inbound` (already metered) awaiting decode.
-    peeked: VecDeque<Bytes>,
-    /// A reader-thread I/O fault observed by a probe before any `recv`
-    /// asked for it. Surfaced (once) by the next receive or poll, so a
-    /// mid-stream error is never mistaken for clean EOF.
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    /// Complete inbound frames, already metered, awaiting decode.
+    inbound: VecDeque<Bytes>,
+    /// Encoded-but-unsent bytes; `out_pos` marks the flushed prefix.
+    outbound: Vec<u8>,
+    out_pos: usize,
+    /// An I/O fault observed by a probe before any `recv` asked for it.
+    /// Surfaced (once) by the next receive or poll, so a mid-stream
+    /// error is never mistaken for clean EOF.
     fault: Option<std::io::Error>,
+    /// Peer sent FIN (or faulted): the socket will never be readable
+    /// with new data again.
+    eof: bool,
+    /// [`TcpTransport::close`] ran; the fd may be shut down.
+    closed: bool,
     meter: TransferMeter,
-    /// Set by [`TcpTransport::close`]/drop before the socket shutdown so
-    /// the reader thread exits its loop even if a frame races the
-    /// shutdown onto the wire.
-    shutdown: Arc<AtomicBool>,
-    /// Waker slot shared with the reader thread: notified per inbound
-    /// frame and when the reader exits (EOF/fault), so a parked poll
-    /// loop re-polls and observes Ready or Closed.
-    waker: Arc<Mutex<Option<Arc<PollWaker>>>>,
-    reader: Option<JoinHandle<()>>,
+    /// Readiness multiplexer this endpoint's fd is (or will be)
+    /// registered with; see [`TcpTransport::attach_poller`].
+    poller: Option<Arc<crate::Poller>>,
+    /// Live registration with `poller`, created by `set_waker`.
+    poll_token: Option<crate::PollToken>,
+    /// The registration's fired-since-rearm flag, shared with the
+    /// poller thread.
+    poll_ready: Option<Arc<AtomicBool>>,
+    /// The last read drained the socket to `WouldBlock` (and re-armed
+    /// the poller). While this holds and `poll_ready` has not tripped,
+    /// the fd cannot have become readable without the poller noticing —
+    /// `pump` skips its read syscalls entirely.
+    sock_drained: bool,
 }
 
 impl TcpTransport {
-    /// Wrap an established stream. Spawns the reader thread.
+    /// Wrap an established stream, switching it to non-blocking mode.
+    ///
+    /// Nagle's algorithm is disabled: the protocol is request/response
+    /// with small frames, and batching a frame behind an unacknowledged
+    /// predecessor stalls every second message for a delayed-ACK
+    /// interval (~40ms) — dwarfing actual processing time.
     ///
     /// # Errors
-    /// Propagates stream-clone failures.
+    /// Propagates `set_nonblocking` failures.
     pub fn new(stream: TcpStream, role: Role, meter: TransferMeter) -> std::io::Result<Self> {
-        let mut read_half = stream.try_clone()?;
-        let (tx, rx) = mpsc::channel();
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let reader_shutdown = Arc::clone(&shutdown);
-        let waker: Arc<Mutex<Option<Arc<PollWaker>>>> = Arc::new(Mutex::new(None));
-        let reader_waker = Arc::clone(&waker);
-        let notify = move |w: &Mutex<Option<Arc<PollWaker>>>| {
-            if let Some(waker) = lock_ignore_poison(w).clone() {
-                waker.notify();
-            }
-        };
-        let reader = std::thread::Builder::new()
-            .name(format!("eca-wire-reader-{role:?}"))
-            .spawn(move || {
-                loop {
-                    if reader_shutdown.load(Ordering::Acquire) {
-                        break; // endpoint closing: stop even if bytes raced in
-                    }
-                    match read_frame(&mut read_half) {
-                        Ok(Some(frame)) => {
-                            if tx.send(Ok(frame)).is_err() {
-                                break; // transport dropped
-                            }
-                            notify(&reader_waker);
-                        }
-                        Ok(None) => break, // clean EOF
-                        Err(TransportError::Io(e)) => {
-                            if !reader_shutdown.load(Ordering::Acquire) {
-                                let _ = tx.send(Err(e));
-                            }
-                            break;
-                        }
-                        Err(_) => break, // read_frame only raises Io
-                    }
-                }
-                // Dropping `tx` flips poll() to Closed; wake any parked
-                // loop so it observes the hang-up.
-                drop(tx);
-                notify(&reader_waker);
-            })?;
+        stream.set_nonblocking(true)?;
+        stream.set_nodelay(true).ok();
         Ok(TcpTransport {
             role,
-            writer: stream,
-            inbound: rx,
-            peeked: VecDeque::new(),
+            stream,
+            decoder: FrameDecoder::new(),
+            inbound: VecDeque::new(),
+            outbound: Vec::new(),
+            out_pos: 0,
             fault: None,
+            eof: false,
+            closed: false,
             meter,
-            shutdown,
-            waker,
-            reader: Some(reader),
+            poller: None,
+            poll_token: None,
+            poll_ready: None,
+            sock_drained: false,
         })
-    }
-
-    /// Hang up: signal the reader thread, shut the socket down in both
-    /// directions, and join the reader. Idempotent; also invoked on drop,
-    /// so no endpoint ever leaks a detached thread.
-    pub fn close(&mut self) {
-        self.shutdown.store(true, Ordering::Release);
-        let _ = self.writer.shutdown(std::net::Shutdown::Both);
-        if let Some(handle) = self.reader.take() {
-            let _ = handle.join();
-        }
     }
 
     /// Connect to a listening peer.
@@ -946,19 +1038,157 @@ impl TcpTransport {
         meter: TransferMeter,
     ) -> std::io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true).ok();
         TcpTransport::new(stream, role, meter)
     }
 
-    /// Meter and decode one raw inbound frame.
-    fn accept(&mut self, frame: Bytes) -> Result<Message, TransportError> {
-        self.meter.record(self.role.inbound(), frame.len() as u64);
-        Ok(Message::decode(frame)?)
+    /// Route this endpoint's readiness through `poller`: a subsequent
+    /// [`Transport::set_waker`] registers the fd and returns `true`,
+    /// letting a reactor park on its [`PollWaker`] instead of polling.
+    /// Attach *before* handing the transport to the poll loop.
+    pub fn attach_poller(&mut self, poller: Arc<crate::Poller>) {
+        self.poller = Some(poller);
     }
 
-    /// Surface a stashed reader-thread fault, if one is waiting.
+    /// Hang up: deregister from the poller, try to flush what the
+    /// kernel will take, and shut the socket down in both directions.
+    /// Idempotent; also invoked on drop. With no reader thread there is
+    /// nothing to join — close is O(1).
+    pub fn close(&mut self) {
+        if self.closed {
+            return;
+        }
+        self.closed = true;
+        if let (Some(poller), Some(token)) = (&self.poller, self.poll_token.take()) {
+            poller.deregister(token);
+        }
+        let _ = self.flush_outbound();
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+    }
+
+    /// Surface a stashed I/O fault, if one is waiting.
     fn take_fault(&mut self) -> Option<TransportError> {
         self.fault.take().map(TransportError::Io)
+    }
+
+    /// Write buffered outbound bytes until done or `WouldBlock`.
+    fn flush_outbound(&mut self) -> Result<(), TransportError> {
+        while self.out_pos < self.outbound.len() {
+            match self.stream.write(&self.outbound[self.out_pos..]) {
+                Ok(0) => {
+                    return Err(TransportError::Io(std::io::Error::new(
+                        std::io::ErrorKind::WriteZero,
+                        "socket accepted zero bytes",
+                    )))
+                }
+                Ok(n) => self.out_pos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(TransportError::Io(e)),
+            }
+        }
+        if self.out_pos == self.outbound.len() {
+            self.outbound.clear();
+            self.out_pos = 0;
+        } else if self.out_pos >= 4096 {
+            self.outbound.drain(..self.out_pos);
+            self.out_pos = 0;
+        }
+        Ok(())
+    }
+
+    fn outbound_pending(&self) -> usize {
+        self.outbound.len() - self.out_pos
+    }
+
+    /// The service pass: flush pending writes (best-effort — a write
+    /// fault will re-surface as a read fault or on the next `send`),
+    /// then read until `WouldBlock`/EOF, queueing every complete frame
+    /// (metered at decode time). Re-arms the poller registration when
+    /// the socket is drained, which is what makes oneshot wake-ups
+    /// loss-free (see the `poller` module docs).
+    fn pump(&mut self) {
+        let _ = self.flush_outbound();
+        if self.eof || self.closed {
+            return;
+        }
+        if self.sock_drained {
+            // Drained, re-armed, and the registration has not fired
+            // since: the socket cannot hold unseen bytes, so skip the
+            // guaranteed-`EAGAIN` read. (Without a poller the flag is
+            // absent and every pump reads — correct, just slower.)
+            match &self.poll_ready {
+                Some(ready) if !ready.swap(false, Ordering::AcqRel) => return,
+                _ => self.sock_drained = false,
+            }
+        }
+        let mut chunk = [0u8; TCP_READ_CHUNK];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.eof = true;
+                    break;
+                }
+                Ok(n) => self.decoder.extend(&chunk[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if let (Some(poller), Some(token)) = (&self.poller, self.poll_token) {
+                        poller.rearm(token);
+                        self.sock_drained = true;
+                    }
+                    break;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    if self.fault.is_none() {
+                        self.fault = Some(e);
+                    }
+                    self.eof = true;
+                    break;
+                }
+            }
+        }
+        while let Some(frame) = self.decoder.next_frame() {
+            self.meter.record(self.role.inbound(), frame.len() as u64);
+            self.inbound.push_back(frame);
+        }
+        if self.eof && self.decoder.has_partial() {
+            // EOF mid-frame: a truncated stream, reported exactly once
+            // as the fault the blocking `read_frame` would have raised.
+            if self.fault.is_none() {
+                self.fault = Some(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "peer closed mid-frame",
+                ));
+            }
+            self.decoder.clear();
+        }
+    }
+
+    /// Sleep in `poll(2)` on this fd until it is readable (or writable,
+    /// when a flush is pending), `timeout_ms` elapses, or an error
+    /// lands. `-1` blocks indefinitely.
+    fn wait_io(&mut self, timeout_ms: i32) -> Result<(), TransportError> {
+        let mut events = libc::POLLIN;
+        if self.outbound_pending() > 0 {
+            events |= libc::POLLOUT;
+        }
+        let mut fds = [libc::pollfd {
+            fd: self.stream.as_raw_fd(),
+            events,
+            revents: 0,
+        }];
+        libc::poll_fds(&mut fds, timeout_ms).map_err(TransportError::Io)?;
+        // This direct probe may have observed readiness the poller
+        // hasn't reported; the next pump must read.
+        self.sock_drained = false;
+        Ok(())
+    }
+
+    /// Pop the next already-pumped frame, decoding it to a message.
+    fn pop_inbound(&mut self) -> Result<Option<Message>, TransportError> {
+        match self.inbound.pop_front() {
+            Some(frame) => Ok(Some(Message::decode(frame)?)),
+            None => Ok(None),
+        }
     }
 }
 
@@ -968,37 +1198,55 @@ impl Transport for TcpTransport {
     }
 
     fn send(&mut self, msg: &Message) -> Result<(), TransportError> {
+        let payload = msg.encode();
         self.meter
-            .record(self.role.outbound(), msg.encoded_len() as u64);
-        write_frame(&mut self.writer, msg)
+            .record(self.role.outbound(), payload.len() as u64);
+        self.outbound
+            .extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        self.outbound.extend_from_slice(&payload);
+        self.flush_outbound()?;
+        // Backpressure: past the cap, wait for the kernel to drain —
+        // but keep servicing reads meanwhile, so two endpoints flooding
+        // each other make progress instead of deadlocking.
+        while self.outbound_pending() > TCP_OUTBOUND_CAP {
+            self.wait_io(-1)?;
+            self.pump();
+            if let Some(e) = self.fault.take() {
+                return Err(TransportError::Io(e));
+            }
+            self.flush_outbound()?;
+            if self.eof && self.outbound_pending() > TCP_OUTBOUND_CAP {
+                // Peer is gone and the kernel buffer is wedged full.
+                return Err(TransportError::Closed);
+            }
+        }
+        Ok(())
     }
 
     fn try_recv(&mut self) -> Result<Option<Message>, TransportError> {
-        if let Some(frame) = self.peeked.pop_front() {
-            // Already metered by `has_inbound`.
-            return Ok(Some(Message::decode(frame)?));
+        self.pump();
+        if let Some(msg) = self.pop_inbound()? {
+            return Ok(Some(msg));
         }
         if let Some(fault) = self.take_fault() {
             return Err(fault);
         }
-        match self.inbound.try_recv() {
-            Ok(Ok(frame)) => Ok(Some(self.accept(frame)?)),
-            Ok(Err(e)) => Err(TransportError::Io(e)),
-            Err(mpsc::TryRecvError::Empty) | Err(mpsc::TryRecvError::Disconnected) => Ok(None),
-        }
+        Ok(None)
     }
 
     fn recv(&mut self) -> Result<Option<Message>, TransportError> {
-        if let Some(frame) = self.peeked.pop_front() {
-            return Ok(Some(Message::decode(frame)?));
-        }
-        if let Some(fault) = self.take_fault() {
-            return Err(fault);
-        }
-        match self.inbound.recv() {
-            Ok(Ok(frame)) => Ok(Some(self.accept(frame)?)),
-            Ok(Err(e)) => Err(TransportError::Io(e)),
-            Err(mpsc::RecvError) => Ok(None), // peer hung up cleanly
+        loop {
+            self.pump();
+            if let Some(msg) = self.pop_inbound()? {
+                return Ok(Some(msg));
+            }
+            if let Some(fault) = self.take_fault() {
+                return Err(fault);
+            }
+            if self.eof || self.closed {
+                return Ok(None); // peer hung up cleanly
+            }
+            self.wait_io(-1)?;
         }
     }
 
@@ -1006,64 +1254,86 @@ impl Transport for TcpTransport {
         &mut self,
         timeout: std::time::Duration,
     ) -> Result<Option<Message>, TransportError> {
-        if let Some(frame) = self.peeked.pop_front() {
-            return Ok(Some(Message::decode(frame)?));
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            self.pump();
+            if let Some(msg) = self.pop_inbound()? {
+                return Ok(Some(msg));
+            }
+            if let Some(fault) = self.take_fault() {
+                return Err(fault);
+            }
+            if self.eof || self.closed {
+                return Ok(None); // peer hung up cleanly
+            }
+            let now = std::time::Instant::now();
+            let Some(remaining) = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
+            else {
+                return Err(TransportError::Timeout);
+            };
+            let ms = remaining.as_millis().min(i32::MAX as u128).max(1) as i32;
+            self.wait_io(ms)?;
         }
-        if let Some(fault) = self.take_fault() {
-            return Err(fault);
+    }
+
+    fn drain_into(&mut self, out: &mut Vec<Message>, max: usize) -> Result<usize, TransportError> {
+        // One service pass, then decode straight out of the frame
+        // queue: the whole batch costs one read syscall sequence.
+        self.pump();
+        let take = self.inbound.len().min(max);
+        for _ in 0..take {
+            let frame = self.inbound.pop_front().expect("counted above");
+            out.push(Message::decode(frame)?);
         }
-        match self.inbound.recv_timeout(timeout) {
-            Ok(Ok(frame)) => Ok(Some(self.accept(frame)?)),
-            Ok(Err(e)) => Err(TransportError::Io(e)),
-            Err(mpsc::RecvTimeoutError::Timeout) => Err(TransportError::Timeout),
-            Err(mpsc::RecvTimeoutError::Disconnected) => Ok(None), // peer hung up cleanly
+        if take == 0 {
+            if let Some(fault) = self.take_fault() {
+                return Err(fault);
+            }
         }
+        Ok(take)
     }
 
     fn has_inbound(&mut self) -> bool {
-        if !self.peeked.is_empty() {
-            return true;
-        }
-        match self.inbound.try_recv() {
-            Ok(Ok(frame)) => {
-                self.meter.record(self.role.inbound(), frame.len() as u64);
-                self.peeked.push_back(frame);
-                true
-            }
-            // Stash — not swallow — a reader fault seen by this probe, so
-            // the next receive reports it instead of reading clean EOF.
-            Ok(Err(e)) => {
-                self.fault = Some(e);
-                false
-            }
-            Err(_) => false,
-        }
+        // The pump stashes — not swallows — any fault this probe
+        // uncovers, so the next receive reports it instead of reading
+        // clean EOF.
+        self.pump();
+        !self.inbound.is_empty()
     }
 
     fn poll(&mut self) -> Result<Readiness, TransportError> {
-        if !self.peeked.is_empty() {
+        self.pump();
+        if !self.inbound.is_empty() {
             return Ok(Readiness::Ready);
         }
         if let Some(fault) = self.take_fault() {
             return Err(fault);
         }
-        match self.inbound.try_recv() {
-            Ok(Ok(frame)) => {
-                self.meter.record(self.role.inbound(), frame.len() as u64);
-                self.peeked.push_back(frame);
-                Ok(Readiness::Ready)
-            }
-            Ok(Err(e)) => Err(TransportError::Io(e)),
-            Err(mpsc::TryRecvError::Empty) => Ok(Readiness::Idle),
-            // The reader thread is gone: clean EOF (or an already-reported
-            // fault). Nothing further will ever arrive.
-            Err(mpsc::TryRecvError::Disconnected) => Ok(Readiness::Closed),
+        if self.eof || self.closed {
+            Ok(Readiness::Closed)
+        } else {
+            Ok(Readiness::Idle)
         }
     }
 
     fn set_waker(&mut self, waker: Arc<PollWaker>) -> bool {
-        *lock_ignore_poison(&self.waker) = Some(waker);
-        true
+        match &self.poller {
+            Some(poller) => {
+                if let Some(token) = self.poll_token.take() {
+                    poller.deregister(token);
+                }
+                let token = poller.register(self.stream.as_raw_fd(), waker);
+                self.poll_token = Some(token);
+                self.poll_ready = poller.readiness(token);
+                self.sock_drained = false;
+                true
+            }
+            // No poller thread to watch the fd: wake-ups cannot be
+            // delivered, and claiming otherwise would stall the caller.
+            None => false,
+        }
     }
 
     fn meter(&self) -> &TransferMeter {
@@ -1319,7 +1589,7 @@ mod tests {
     }
 
     #[test]
-    fn tcp_reader_notifies_registered_waker() {
+    fn tcp_poller_notifies_registered_waker() {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         let server = std::thread::spawn(move || {
@@ -1330,6 +1600,12 @@ mod tests {
         });
         let mut src = TcpTransport::connect(addr, Role::Source, TransferMeter::new()).unwrap();
         let waker = PollWaker::new();
+        // Without a poller there is nothing to watch the fd, so the
+        // transport must refuse the registration...
+        assert!(!src.set_waker(Arc::clone(&waker)));
+        // ...and accept it once one is attached.
+        let poller = crate::Poller::new().unwrap();
+        src.attach_poller(Arc::clone(&poller));
         assert!(src.set_waker(Arc::clone(&waker)));
         let mut seen = waker.epoch();
         loop {

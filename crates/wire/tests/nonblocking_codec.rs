@@ -1,0 +1,230 @@
+//! Non-blocking codec equivalence: the incremental [`FrameDecoder`]
+//! behind the readiness-driven `TcpTransport` must decode exactly the
+//! same `Message` sequence as the blocking [`read_frame`] path no
+//! matter how the byte stream is chunked — partial length prefixes,
+//! partial bodies, several frames per read — and must flag truncation
+//! (EOF mid-frame) instead of passing it off as a clean shutdown.
+
+use eca_core::QueryId;
+use eca_relational::{SignedBag, Tuple, Update};
+use eca_wire::{
+    read_frame, write_frame, FrameDecoder, Message, Role, TcpTransport, TransferMeter, Transport,
+    TransportError,
+};
+use proptest::prelude::*;
+
+fn message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        (any::<i64>(), any::<bool>()).prop_map(|(n, ins)| {
+            let t = Tuple::ints([n, n.wrapping_add(1)]);
+            Message::UpdateNotification {
+                update: if ins {
+                    Update::insert("r1", t)
+                } else {
+                    Update::delete("r1", t)
+                },
+            }
+        }),
+        (any::<u64>(), prop::collection::vec(any::<i64>(), 0..6)).prop_map(|(id, vals)| {
+            let mut answer = SignedBag::new();
+            for v in vals {
+                answer.add(Tuple::ints([v]), 1);
+            }
+            Message::QueryAnswer {
+                id: QueryId(id),
+                answer,
+            }
+        }),
+    ]
+}
+
+/// One encoded wire stream for `msgs`, exactly as `TcpTransport::send`
+/// lays it out (u32 big-endian length prefix per frame).
+fn stream_of(msgs: &[Message]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    for m in msgs {
+        write_frame(&mut buf, m).unwrap();
+    }
+    buf
+}
+
+/// Decode `stream`, fed to the decoder in the chunks delimited by
+/// `cuts` (sorted positions), popping completed frames after every
+/// chunk — the shape of successive `drain_into` service passes.
+fn decode_chunked(stream: &[u8], cuts: &[usize]) -> (Vec<Message>, bool) {
+    let mut decoder = FrameDecoder::new();
+    let mut out = Vec::new();
+    let mut start = 0;
+    for &cut in cuts.iter().chain(std::iter::once(&stream.len())) {
+        decoder.extend(&stream[start..cut]);
+        while let Some(frame) = decoder.next_frame() {
+            out.push(Message::decode(frame).unwrap());
+        }
+        start = cut;
+    }
+    (out, decoder.has_partial())
+}
+
+/// The blocking reference: `read_frame` over the whole buffer.
+fn decode_blocking(stream: &[u8]) -> Vec<Message> {
+    let mut r = stream;
+    let mut out = Vec::new();
+    while let Some(frame) = read_frame(&mut r).unwrap() {
+        out.push(Message::decode(frame).unwrap());
+    }
+    out
+}
+
+/// Every single-split boundary, exhaustively: a two-frame stream cut at
+/// byte `i` for all `i` must decode identically to the blocking path —
+/// this walks the cut through the first length prefix, the first body,
+/// the second prefix and the second body.
+#[test]
+fn every_split_boundary_decodes_identically() {
+    let msgs = vec![
+        Message::UpdateNotification {
+            update: Update::insert("r1", Tuple::ints([1, 2])),
+        },
+        Message::QueryAnswer {
+            id: QueryId(7),
+            answer: SignedBag::from_tuples([Tuple::ints([3]), Tuple::ints([4])]),
+        },
+    ];
+    let stream = stream_of(&msgs);
+    let reference = decode_blocking(&stream);
+    assert_eq!(reference, msgs);
+    for i in 0..=stream.len() {
+        let (got, partial) = decode_chunked(&stream, &[i]);
+        assert_eq!(got, reference, "split at byte {i}");
+        assert!(!partial, "complete stream left residue at split {i}");
+    }
+}
+
+/// Truncating the stream anywhere *inside* the final frame must leave
+/// the decoder reporting a partial frame (the transport turns that into
+/// an `UnexpectedEof` fault at EOF); truncating at a frame boundary is
+/// a clean shutdown.
+#[test]
+fn truncated_final_frame_leaves_partial_state() {
+    let msgs = vec![
+        Message::UpdateNotification {
+            update: Update::insert("r1", Tuple::ints([1, 2])),
+        },
+        Message::UpdateNotification {
+            update: Update::insert("r2", Tuple::ints([3, 4])),
+        },
+    ];
+    let stream = stream_of(&msgs);
+    let first_frame_end = 4 + msgs[0].encoded_len();
+    for cut in 0..stream.len() {
+        let (got, partial) = decode_chunked(&stream[..cut], &[]);
+        let at_boundary = cut == 0 || cut == first_frame_end;
+        assert_eq!(
+            partial, !at_boundary,
+            "cut at {cut}: partial-frame flag is wrong"
+        );
+        let expect_complete = if cut >= first_frame_end { 1 } else { 0 };
+        assert_eq!(got.len(), expect_complete, "cut at {cut}");
+        assert_eq!(got[..], msgs[..expect_complete], "cut at {cut}");
+    }
+}
+
+/// A peer that disconnects mid-frame over a real socket: the receiver
+/// must deliver every complete frame, then surface `UnexpectedEof`
+/// exactly once, then read as cleanly closed — never silently dropping
+/// the truncation.
+#[test]
+fn mid_frame_disconnect_faults_after_complete_frames() {
+    use std::io::Write as _;
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let good = Message::UpdateNotification {
+        update: Update::insert("r1", Tuple::ints([1, 2])),
+    };
+    let sender = {
+        let good = good.clone();
+        std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut buf = Vec::new();
+            write_frame(&mut buf, &good).unwrap();
+            write_frame(&mut buf, &good).unwrap();
+            buf.extend_from_slice(&100u32.to_be_bytes()); // promise 100 bytes...
+            buf.extend_from_slice(&[9, 9, 9]); // ...deliver 3, then vanish
+            stream.write_all(&buf).unwrap();
+        })
+    };
+    let mut wh = TcpTransport::connect(addr, Role::Warehouse, TransferMeter::new()).unwrap();
+    sender.join().unwrap();
+    let mut out = Vec::new();
+    // Drain until the two good frames have arrived (the kernel may
+    // deliver the bytes across several readiness edges).
+    while out.len() < 2 {
+        match wh.drain_into(&mut out, usize::MAX) {
+            Ok(_) => std::thread::sleep(std::time::Duration::from_millis(1)),
+            Err(e) => panic!("fault before the complete frames drained: {e}"),
+        }
+    }
+    assert_eq!(out, vec![good.clone(), good]);
+    // The truncated trailer surfaces as UnexpectedEof exactly once...
+    let fault = loop {
+        match wh.drain_into(&mut out, usize::MAX) {
+            Ok(0) => std::thread::sleep(std::time::Duration::from_millis(1)),
+            Ok(n) => panic!("unexpected extra frames: {n}"),
+            Err(e) => break e,
+        }
+    };
+    match fault {
+        TransportError::Io(e) => assert_eq!(e.kind(), std::io::ErrorKind::UnexpectedEof),
+        other => panic!("expected Io(UnexpectedEof), got {other:?}"),
+    }
+    // ...after which the channel reads closed, not faulted.
+    assert_eq!(wh.recv().unwrap(), None);
+}
+
+proptest! {
+    /// Random message sequences, random multi-way chunkings: the chunked
+    /// decode equals the blocking decode, with no residue.
+    #[test]
+    fn chunked_decode_matches_blocking(
+        msgs in prop::collection::vec(message(), 0..8),
+        raw_cuts in prop::collection::vec(any::<u64>(), 0..12),
+    ) {
+        let stream = stream_of(&msgs);
+        let mut cuts: Vec<usize> = raw_cuts
+            .iter()
+            .map(|&c| if stream.is_empty() { 0 } else { (c % (stream.len() as u64 + 1)) as usize })
+            .collect();
+        cuts.sort_unstable();
+        let (got, partial) = decode_chunked(&stream, &cuts);
+        prop_assert_eq!(got, decode_blocking(&stream));
+        prop_assert!(!partial);
+    }
+
+    /// Truncating a random stream at a random byte: the decoder yields
+    /// exactly the frames that fully arrived and flags a partial iff the
+    /// cut landed inside a frame.
+    #[test]
+    fn truncation_yields_prefix_and_flags_partial(
+        msgs in prop::collection::vec(message(), 1..6),
+        cut_seed in any::<u64>(),
+    ) {
+        let stream = stream_of(&msgs);
+        let cut = (cut_seed % (stream.len() as u64 + 1)) as usize;
+        let (got, partial) = decode_chunked(&stream[..cut], &[]);
+        // How many whole frames fit under the cut?
+        let mut consumed = 0;
+        let mut whole = 0;
+        for m in &msgs {
+            let next = consumed + 4 + m.encoded_len();
+            if next <= cut {
+                consumed = next;
+                whole += 1;
+            } else {
+                break;
+            }
+        }
+        prop_assert_eq!(got.len(), whole);
+        prop_assert_eq!(&got[..], &msgs[..whole]);
+        prop_assert_eq!(partial, cut != consumed);
+    }
+}

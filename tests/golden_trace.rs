@@ -10,7 +10,9 @@
 use eca_core::algorithms::AlgorithmKind;
 use eca_core::ViewDef;
 use eca_relational::{Predicate, Schema, Tuple, Update};
-use eca_sim::{run_equivalence, EquivCase, EquivSource, Policy, RunReport, Simulation};
+use eca_sim::{
+    run_equivalence, run_reactor_tcp, EquivCase, EquivSource, Policy, RunReport, Simulation,
+};
 use eca_source::Source;
 use eca_storage::Scenario;
 use eca_workload::{Example6, Params, UpdateMix};
@@ -263,6 +265,33 @@ fn runtime_equivalence_fingerprints_are_stable() {
                 }
             } else {
                 assert_eq!(got, *want, "{name} at {workers} workers");
+            }
+        }
+    }
+}
+
+/// The reactor over real loopback TCP — listener handshake, one poller
+/// thread, framed non-blocking sockets — must land on the *same* pinned
+/// fingerprint as the in-memory runtimes: swapping every link's bytes
+/// onto the wire may not change a single observable (view-state
+/// histories, finals, or source-side link meters).
+#[test]
+fn tcp_reactor_matches_in_memory_golden() {
+    type CaseBuilder = fn() -> EquivCase;
+    let cases: &[(&str, CaseBuilder, u64)] = &[
+        ("example2", example2_equiv_case, 0x1987a011bc710dc5),
+        ("example6/42", example6_equiv_42, 0x3f9e4d6b4081d12e),
+    ];
+    for (name, build, want) in cases {
+        for workers in [1usize, 2] {
+            let outcome = run_reactor_tcp(build(), workers).unwrap();
+            let got = fnv1a(outcome.render().as_bytes());
+            if std::env::var("GOLDEN_PRINT").is_ok() {
+                if workers == 1 {
+                    println!("({name:?}, …, 0x{got:016x}),");
+                }
+            } else {
+                assert_eq!(got, *want, "{name} over TCP at {workers} workers");
             }
         }
     }

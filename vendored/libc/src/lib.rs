@@ -1,0 +1,121 @@
+//! Offline stand-in for the `libc` crate.
+//!
+//! Provides exactly the `poll(2)` surface this workspace uses: the
+//! [`pollfd`] structure, the readiness flags, and the raw syscall
+//! binding. The process already links the platform C library through
+//! `std`, so a plain `extern "C"` declaration resolves without any
+//! build-script or feature machinery.
+//!
+//! On top of the raw binding sits [`poll_fds`], a safe wrapper with the
+//! usual Rust error conventions. `eca-wire` is `#![forbid(unsafe_code)]`,
+//! so all `unsafe` stays quarantined in this shim — mirroring how the
+//! other `vendored/` crates keep non-idiomatic surface out of the
+//! workspace proper.
+
+use std::io;
+use std::os::fd::RawFd;
+
+/// There is data to read.
+pub const POLLIN: i16 = 0x001;
+/// Writing is now possible without blocking.
+pub const POLLOUT: i16 = 0x004;
+/// Error condition (output only).
+pub const POLLERR: i16 = 0x008;
+/// Peer hung up (output only).
+pub const POLLHUP: i16 = 0x010;
+/// Invalid request: fd not open (output only).
+pub const POLLNVAL: i16 = 0x020;
+
+/// Number of file descriptors, as `poll(2)` counts them.
+#[allow(non_camel_case_types)]
+pub type nfds_t = u64;
+
+/// One entry in a `poll(2)` set: the fd, the events the caller is
+/// interested in, and the events the kernel reports back.
+#[repr(C)]
+#[derive(Clone, Copy, Debug, Default)]
+#[allow(non_camel_case_types)]
+pub struct pollfd {
+    /// File descriptor to watch. Negative entries are ignored by the
+    /// kernel and report `revents == 0` — handy for tombstoned slots.
+    pub fd: RawFd,
+    /// Requested events (`POLLIN` / `POLLOUT`).
+    pub events: i16,
+    /// Returned events; includes `POLLERR` / `POLLHUP` / `POLLNVAL`
+    /// even when not requested.
+    pub revents: i16,
+}
+
+extern "C" {
+    /// The raw syscall binding, identical to the declaration in the
+    /// real `libc` crate.
+    pub fn poll(fds: *mut pollfd, nfds: nfds_t, timeout: i32) -> i32;
+}
+
+/// Safe wrapper over [`poll`]: waits until one of `fds` is ready or
+/// `timeout_ms` elapses (`-1` blocks indefinitely, `0` returns at
+/// once). Returns the number of entries with non-zero `revents`.
+/// `EINTR` is retried internally so callers never observe it.
+pub fn poll_fds(fds: &mut [pollfd], timeout_ms: i32) -> io::Result<usize> {
+    loop {
+        // SAFETY: `fds` is a live, exclusively borrowed slice of
+        // `#[repr(C)]` pollfd entries; the kernel writes only within
+        // the `nfds` entries we report.
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as nfds_t, timeout_ms) };
+        if rc >= 0 {
+            return Ok(rc as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() == io::ErrorKind::Interrupted {
+            continue;
+        }
+        return Err(err);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn zero_timeout_on_idle_socket_reports_nothing() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let stream = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let mut fds = [pollfd {
+            fd: stream.as_raw_fd(),
+            events: POLLIN,
+            revents: 0,
+        }];
+        assert_eq!(poll_fds(&mut fds, 0).unwrap(), 0);
+        assert_eq!(fds[0].revents, 0);
+    }
+
+    #[test]
+    fn readable_socket_reports_pollin() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (mut server, _) = listener.accept().unwrap();
+        server.write_all(b"x").unwrap();
+        let mut fds = [pollfd {
+            fd: client.as_raw_fd(),
+            events: POLLIN,
+            revents: 0,
+        }];
+        assert_eq!(poll_fds(&mut fds, 1000).unwrap(), 1);
+        assert_ne!(fds[0].revents & POLLIN, 0);
+    }
+
+    #[test]
+    fn negative_fd_entries_are_ignored() {
+        let mut fds = [pollfd {
+            fd: -1,
+            events: POLLIN,
+            revents: 0x7fff,
+        }];
+        assert_eq!(poll_fds(&mut fds, 0).unwrap(), 0);
+        assert_eq!(fds[0].revents, 0);
+    }
+}

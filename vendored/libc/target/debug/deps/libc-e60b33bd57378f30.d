@@ -1,0 +1,5 @@
+/root/repo/vendored/libc/target/debug/deps/libc-e60b33bd57378f30.d: src/lib.rs
+
+/root/repo/vendored/libc/target/debug/deps/libc-e60b33bd57378f30: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/vendored/libc/target/debug/deps/libc-ed3aa08ef1f66494.d: src/lib.rs
+
+/root/repo/vendored/libc/target/debug/deps/liblibc-ed3aa08ef1f66494.rlib: src/lib.rs
+
+/root/repo/vendored/libc/target/debug/deps/liblibc-ed3aa08ef1f66494.rmeta: src/lib.rs
+
+src/lib.rs:
