@@ -55,7 +55,7 @@ use std::time::{Duration, Instant};
 
 use eca_relational::SignedBag;
 use eca_wire::{
-    read_frame, write_frame, Message, PollWaker, Poller, Readiness, Role, TcpTransport,
+    read_frame_capped, write_frame, Message, PollWaker, Poller, Readiness, Role, TcpTransport,
     TransferMeter, Transport, TransportError,
 };
 
@@ -66,6 +66,12 @@ use crate::{SourceId, ViewId, Warehouse, WarehouseError};
 /// [`Message::Hello`] frame before declaring the handshake dead. Dialers
 /// send it immediately, so on any sane network this is generous.
 const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Longest handshake frame the warehouse will accept. A real
+/// [`Message::Hello`] encodes in under twenty bytes; the length prefix
+/// of an unauthenticated connection must not be trusted with an
+/// allocation, so anything larger marks the peer as a stray.
+const HELLO_MAX_LEN: usize = 256;
 
 /// Dial a [`ReactorWarehouse::run_listener`] endpoint and identify as
 /// `source`. The `Hello { epoch: source.0 }` handshake frame is written
@@ -93,6 +99,22 @@ pub fn connect_source(
         other => std::io::Error::new(std::io::ErrorKind::InvalidData, other),
     })?;
     TcpTransport::new(stream, Role::Source, meter)
+}
+
+/// What a home-worker probe of a station observed; governs whether the
+/// scan epoch may be recorded (see `Station::scanned`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Probe {
+    /// Messages moved: drained into the inbox or applied inline.
+    Progress,
+    /// The transport was actually probed and found idle — safe to skip
+    /// this station until its waker epoch moves again.
+    Idle,
+    /// The probe never reached the transport (inbox full, e.g. while
+    /// another worker holds the claim pre-drain): buffered input may
+    /// remain whose arrival notifications were already consumed, so the
+    /// station must be rescanned even without a fresh notification.
+    Skipped,
 }
 
 /// Per-source channel state owned by the reactor run loop.
@@ -435,7 +457,10 @@ impl ReactorWarehouse {
     /// Everything [`ReactorWarehouse::run`] raises, plus
     /// [`WarehouseError::UnknownSource`] for a Hello naming no
     /// registered source and [`WarehouseError::UnexpectedMessage`] for
-    /// a malformed handshake or a duplicate connection.
+    /// a duplicate connection. Connections that never complete a valid
+    /// `Hello` (port scans, garbage, handshake timeouts) are dropped
+    /// silently — only a peer that authenticated as a source can fail
+    /// the run.
     pub fn run_listener(
         &self,
         listener: TcpListener,
@@ -501,7 +526,8 @@ impl ReactorWarehouse {
 
     /// The listener thread body: accept, handshake, register. Runs until
     /// a finishing worker flips `accept_done` (and pokes us loose with a
-    /// throwaway connection) or a handshake fails.
+    /// throwaway connection) or an admitted source is rejected. Stray
+    /// connections that fail the handshake are dropped, not fatal.
     fn accept_loop(
         &self,
         state: &RunState,
@@ -531,10 +557,34 @@ impl ReactorWarehouse {
         }
     }
 
+    /// Blocking, timeout- and length-capped read of the opening
+    /// [`Message::Hello`] on a freshly accepted connection. `None`
+    /// means the peer is not a source speaking our protocol — it hung
+    /// up, timed out, or sent garbage (including a length prefix over
+    /// [`HELLO_MAX_LEN`], which is rejected *before* any allocation
+    /// could trust it) — and the caller should drop the connection.
+    fn handshake(stream: &TcpStream) -> Option<u64> {
+        stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT)).ok()?;
+        let mut reader = stream;
+        let frame = read_frame_capped(&mut reader, HELLO_MAX_LEN).ok()??;
+        match Message::decode(frame) {
+            Ok(Message::Hello { epoch }) => Some(epoch),
+            _ => None,
+        }
+    }
+
     /// Handshake one accepted connection and register its station. The
     /// Hello frame is read *blocking* with a short timeout — the station
     /// only goes non-blocking (and onto the poller) once we know which
     /// source it is.
+    ///
+    /// A connection that fails the handshake (EOF, timeout, garbage
+    /// bytes, an oversized or non-`Hello` frame) is a stray — a port
+    /// scan, a health probe — and is dropped without disturbing the
+    /// run: `Ok(())`, no station registered, keep accepting. Errors are
+    /// reserved for connections that *complete* the handshake and then
+    /// prove semantically wrong (unknown source id, duplicate
+    /// connection) and for warehouse-local failures.
     fn admit(
         &self,
         state: &RunState,
@@ -542,19 +592,8 @@ impl ReactorWarehouse {
         poller: &Arc<Poller>,
         expected: &[u64],
     ) -> Result<(), WarehouseError> {
-        stream
-            .set_read_timeout(Some(HANDSHAKE_TIMEOUT))
-            .map_err(|e| WarehouseError::Transport(TransportError::Io(e)))?;
-        let mut reader = &stream;
-        let Some(frame) = read_frame(&mut reader)? else {
-            return Err(WarehouseError::UnexpectedMessage {
-                kind: "EOF-before-Hello",
-            });
-        };
-        let Message::Hello { epoch } = Message::decode(frame).map_err(TransportError::from)? else {
-            return Err(WarehouseError::UnexpectedMessage {
-                kind: "non-Hello handshake",
-            });
+        let Some(epoch) = Self::handshake(&stream) else {
+            return Ok(());
         };
         let source = epoch as usize;
         if source >= state.stations.len() {
@@ -631,17 +670,19 @@ impl ReactorWarehouse {
                     let st_epoch = st.waker.epoch();
                     if st.scanned.load(Ordering::Acquire) != st_epoch {
                         match self.poll_station(state, st, &mut scratch, &mut replies) {
-                            Ok(p) => {
-                                progress |= p;
+                            Ok(probe) => {
+                                progress |= probe == Probe::Progress;
                                 // Record the pre-probe epoch only once
-                                // the channel proved idle: a probe that
-                                // moved data may have stopped at the
-                                // inbox quantum with bytes still
-                                // buffered, and a closed station must
-                                // keep re-running hangup detection —
-                                // both must rescan without waiting for
-                                // a fresh notification.
-                                if !p && !st.closed.load(Ordering::Acquire) {
+                                // the probe actually ran and proved the
+                                // channel idle. A Skipped probe (inbox
+                                // full) may leave messages buffered in
+                                // the transport whose notifications
+                                // were already consumed — draining the
+                                // inbox pokes only the pool waker, so
+                                // marking Skipped as scanned would park
+                                // the station forever. A closed station
+                                // must keep re-running hangup detection.
+                                if probe == Probe::Idle && !st.closed.load(Ordering::Acquire) {
                                     st.scanned.store(st_epoch, Ordering::Release);
                                 }
                             }
@@ -707,7 +748,10 @@ impl ReactorWarehouse {
     /// Home-worker duty for one station: pull arrived messages off the
     /// transport and get them processed, observe hangups, and wake
     /// processors when stealable work lands. `scratch` is a caller-owned
-    /// batch buffer (drained empty on return).
+    /// batch buffer (drained empty on return). The returned [`Probe`]
+    /// tells the scan loop whether the transport was actually probed —
+    /// only a probe that ran and found the channel idle licenses
+    /// skipping the station until its waker epoch moves.
     ///
     /// Fast path: if the station's claim is free, the home worker takes
     /// it and applies each drained batch *inline*, skipping the inbox
@@ -721,11 +765,12 @@ impl ReactorWarehouse {
         st: &Station,
         scratch: &mut Vec<Message>,
         replies: &mut Vec<Message>,
-    ) -> Result<bool, WarehouseError> {
+    ) -> Result<Probe, WarehouseError> {
         if st.done.load(Ordering::Acquire) {
-            return Ok(false);
+            return Ok(Probe::Idle);
         }
         let mut progress = false;
+        let mut probed_idle = false;
         let claimed = !st.busy.swap(true, Ordering::AcqRel);
         let inline = claimed && st.queued.load(Ordering::Acquire) == 0;
         if claimed && !inline {
@@ -784,7 +829,10 @@ impl ReactorWarehouse {
                 }
                 match transport.poll()? {
                     Readiness::Ready => continue, // arrived between drain and poll
-                    Readiness::Idle => break,
+                    Readiness::Idle => {
+                        probed_idle = true;
+                        break;
+                    }
                     Readiness::Closed => {
                         st.closed.store(true, Ordering::Release);
                         break;
@@ -831,7 +879,13 @@ impl ReactorWarehouse {
                 }
             }
         }
-        Ok(progress)
+        Ok(if progress {
+            Probe::Progress
+        } else if probed_idle {
+            Probe::Idle
+        } else {
+            Probe::Skipped
+        })
     }
 
     /// Try to claim a station and drain its inbox through its shard.
@@ -1244,6 +1298,151 @@ mod tests {
         for (k, (s, id)) in ids.iter().enumerate() {
             assert_eq!(rw.materialized(*id), defs[k].eval(&dbs[*s]).unwrap());
         }
+    }
+
+    /// Regression (review finding): a probe that was *skipped* because
+    /// the inbox was full must not be reported [`Probe::Idle`]. The
+    /// transport may still hold buffered messages whose arrival
+    /// notifications were already consumed, and draining the inbox
+    /// pokes only the pool waker — so recording the scan epoch for a
+    /// skipped probe would make the home worker ignore the station
+    /// forever and stall the run with messages silently unprocessed.
+    #[test]
+    fn skipped_probe_is_not_reported_idle() {
+        let mut wh = Warehouse::new();
+        let src = wh.add_source("s");
+        let mut rw = wh.into_reactor(1);
+        rw.set_inbox_cap(1);
+
+        let waker = PollWaker::new();
+        let (mut src_end, mut wh_end) = SharedFifo::pair(TransferMeter::new());
+        let st_waker = PollWaker::chained(Arc::clone(&waker));
+        assert!(wh_end.set_waker(Arc::clone(&st_waker)));
+        // Two pending updates: the 1-slot inbox can hold one, the other
+        // stays buffered in the transport.
+        for i in 0..2i64 {
+            src_end
+                .send(&Message::UpdateNotification {
+                    update: Update::insert("noise", Tuple::ints([i])),
+                })
+                .unwrap();
+        }
+        let st = Station::new(src, Box::new(wh_end), 2, st_waker);
+        let state = RunState {
+            stations: vec![OnceLock::new()],
+            born_settled: vec![false],
+            waker,
+            remaining: AtomicUsize::new(1),
+            processed: AtomicU64::new(0),
+            error: Mutex::new(None),
+            last_progress: Mutex::new(Instant::now()),
+            listener_addr: None,
+            accept_done: AtomicBool::new(false),
+        };
+        let (mut scratch, mut batch) = (Vec::new(), Vec::new());
+        let mut replies = Vec::new();
+
+        // Another worker holds the claim: polling hands off through the
+        // inbox, which takes one message (the cap) and reports progress.
+        assert!(!st.busy.swap(true, Ordering::AcqRel));
+        let probe = rw
+            .poll_station(&state, &st, &mut scratch, &mut replies)
+            .unwrap();
+        assert_eq!(probe, Probe::Progress);
+        // Inbox full, claim still held: the probe never reaches the
+        // transport. It must say so — not claim the channel is idle,
+        // because the second update still sits buffered inside it.
+        let probe = rw
+            .poll_station(&state, &st, &mut scratch, &mut replies)
+            .unwrap();
+        assert_eq!(probe, Probe::Skipped);
+        // The claimant drains the inbox...
+        st.busy.store(false, Ordering::Release);
+        assert!(rw
+            .process_station(&state, &st, &mut batch, &mut replies)
+            .unwrap());
+        // ...and because Skipped was not recorded as a scan, the home
+        // worker re-probes, finds the buffered update, and settles.
+        let probe = rw
+            .poll_station(&state, &st, &mut scratch, &mut replies)
+            .unwrap();
+        assert_eq!(probe, Probe::Progress);
+        assert_eq!(
+            rw.poll_station(&state, &st, &mut scratch, &mut replies)
+                .unwrap(),
+            Probe::Idle
+        );
+        assert!(st.done.load(Ordering::Acquire));
+        assert_eq!(state.remaining.load(Ordering::Acquire), 0);
+        assert_eq!(state.processed.load(Ordering::Acquire), 2);
+    }
+
+    /// Stray connections — port scans, health probes — must not kill a
+    /// live-accept run: a peer that hangs up before `Hello`, one that
+    /// sends a garbage length prefix claiming a ~4 GiB frame (which
+    /// must be rejected before any allocation trusts it), and one that
+    /// speaks a well-formed non-`Hello` frame are all dropped, while
+    /// the genuine source converges normally.
+    #[test]
+    fn listener_drops_garbage_connections() {
+        use std::io::Write as _;
+        let mut wh = Warehouse::new();
+        let src = wh.add_source("s0");
+        let view = view_def("V", "r1", "r2");
+        let mut db = BaseDb::new();
+        db.register("r1");
+        db.register("r2");
+        db.insert("r1", Tuple::ints([1, 2]));
+        let initial = view.eval(&db).unwrap();
+        let vid = wh
+            .add_view(src, AlgorithmKind::Eca.instantiate(&view, initial).unwrap())
+            .unwrap();
+        let rw = wh.into_reactor(1);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let poller = Poller::new().unwrap();
+
+        std::thread::scope(|scope| {
+            let db = &mut db;
+            scope.spawn(move || {
+                // EOF before any handshake byte.
+                drop(TcpStream::connect(addr).unwrap());
+                // Garbage length prefix: 0xFFFFFFFF.
+                let mut s = TcpStream::connect(addr).unwrap();
+                s.write_all(&[0xff, 0xff, 0xff, 0xff]).unwrap();
+                drop(s);
+                // A well-formed frame that is not a Hello.
+                let mut s = TcpStream::connect(addr).unwrap();
+                write_frame(
+                    &mut s,
+                    &Message::UpdateNotification {
+                        update: Update::insert("r1", Tuple::ints([9, 9])),
+                    },
+                )
+                .unwrap();
+                drop(s);
+                // The genuine source dials in and completes its script.
+                let mut t = connect_source(addr, SourceId(0), TransferMeter::new()).unwrap();
+                let update = Update::insert("r2", Tuple::ints([2, 3]));
+                db.apply(&update);
+                t.send(&Message::UpdateNotification { update }).unwrap();
+                let catalog = vec![
+                    Schema::new("r1", &["W", "X"]),
+                    Schema::new("r2", &["X", "Y"]),
+                ];
+                while let Some(msg) = t.recv().unwrap() {
+                    let Message::QueryRequest { id, query } = msg else {
+                        panic!("unexpected message at source");
+                    };
+                    let answer = query.to_query(&catalog).unwrap().eval(db).unwrap();
+                    t.send(&Message::QueryAnswer { id, answer }).unwrap();
+                }
+            });
+            rw.run_listener(listener, &poller, &[1]).unwrap();
+        });
+
+        assert!(rw.is_quiescent());
+        assert_eq!(rw.materialized(vid), view.eval(&db).unwrap());
     }
 
     /// A dialer announcing a source id the warehouse never registered

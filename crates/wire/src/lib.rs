@@ -40,6 +40,6 @@ pub use meter::{Direction, TransferMeter};
 pub use poller::{PollToken, Poller};
 pub use reliable::{fnv1a_checksum, LinkStats, ReliableConfig, ReliableLink};
 pub use transport::{
-    read_frame, write_frame, FrameDecoder, InMemoryFifo, PollWaker, Readiness, Role, SharedFifo,
-    TcpTransport, Transport, TransportError,
+    read_frame, read_frame_capped, write_frame, FrameDecoder, InMemoryFifo, PollWaker, Readiness,
+    Role, SharedFifo, TcpTransport, Transport, TransportError,
 };

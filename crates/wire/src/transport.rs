@@ -416,6 +416,21 @@ pub fn write_frame(w: &mut impl Write, msg: &Message) -> Result<(), TransportErr
 /// [`TransportError::Io`] on truncated frames or I/O faults (the message
 /// itself is *not* decoded here — pair with [`Message::decode`]).
 pub fn read_frame(r: &mut impl Read) -> Result<Option<Bytes>, TransportError> {
+    read_frame_capped(r, u32::MAX as usize)
+}
+
+/// Like [`read_frame`], but reject any frame whose length prefix
+/// exceeds `max_len` *before* allocating the payload buffer. Use this
+/// when reading from a peer that has not authenticated yet — a garbage
+/// 4-byte prefix must not be trusted with a multi-gigabyte allocation.
+///
+/// # Errors
+/// Everything [`read_frame`] raises, plus `InvalidData` I/O errors for
+/// over-cap length prefixes.
+pub fn read_frame_capped(
+    r: &mut impl Read,
+    max_len: usize,
+) -> Result<Option<Bytes>, TransportError> {
     let mut len_buf = [0u8; 4];
     // EOF before any length byte is a clean shutdown; EOF mid-prefix or
     // mid-payload is a truncated frame.
@@ -424,6 +439,12 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Bytes>, TransportError> {
         n => r.read_exact(&mut len_buf[n..])?,
     }
     let len = u32::from_be_bytes(len_buf) as usize;
+    if len > max_len {
+        return Err(TransportError::Io(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds cap {max_len}"),
+        )));
+    }
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;
     Ok(Some(Bytes::from(payload)))
@@ -1418,6 +1439,27 @@ mod tests {
         buf.truncate(buf.len() - 1);
         let mut r = &buf[..];
         assert!(matches!(read_frame(&mut r), Err(TransportError::Io(_)),));
+    }
+
+    #[test]
+    fn capped_read_rejects_oversized_prefix_before_allocating() {
+        // A garbage prefix claiming a ~4 GiB frame must fail on the cap
+        // check, not attempt the allocation.
+        let mut r: &[u8] = &[0xff, 0xff, 0xff, 0xff];
+        let Err(TransportError::Io(e)) = read_frame_capped(&mut r, 256) else {
+            panic!("oversized prefix accepted");
+        };
+        assert_eq!(e.kind(), std::io::ErrorKind::InvalidData);
+        // In-cap frames decode identically to the uncapped reader.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &notification(3)).unwrap();
+        let mut r = &buf[..];
+        let frame = read_frame_capped(&mut r, buf.len()).unwrap().unwrap();
+        assert_eq!(Message::decode(frame).unwrap(), notification(3));
+        assert!(
+            read_frame_capped(&mut r, 256).unwrap().is_none(),
+            "clean EOF"
+        );
     }
 
     #[test]

@@ -26,9 +26,13 @@ pub const POLLHUP: i16 = 0x010;
 /// Invalid request: fd not open (output only).
 pub const POLLNVAL: i16 = 0x020;
 
-/// Number of file descriptors, as `poll(2)` counts them.
+/// Number of file descriptors, as `poll(2)` counts them. C `unsigned
+/// long`, so pointer-width sized: declaring it `u64` unconditionally
+/// would split the count across two argument slots on 32-bit targets
+/// and shift `timeout` into the wrong one — undefined behavior at the
+/// FFI boundary.
 #[allow(non_camel_case_types)]
-pub type nfds_t = u64;
+pub type nfds_t = core::ffi::c_ulong;
 
 /// One entry in a `poll(2)` set: the fd, the events the caller is
 /// interested in, and the events the kernel reports back.
