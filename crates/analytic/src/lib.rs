@@ -22,5 +22,6 @@ pub mod bytes;
 pub mod crossover;
 pub mod io;
 pub mod messages;
+pub mod selfmaint;
 
 pub use eca_workload::Params;

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! figures [--table1] [--messages] [--fig62] [--fig63] [--fig64] [--fig65]
-//!         [--crossovers] [--all] [--quick] [--json DIR] [--seed N]
+//!         [--crossovers] [--batch] [--selfmaint] [--all] [--quick]
+//!         [--json DIR] [--seed N]
 //! ```
 //!
 //! With no selection flags, `--all` is assumed. `--quick` uses coarser
@@ -27,6 +28,7 @@ struct Options {
     fig65: bool,
     crossovers: bool,
     batch: bool,
+    selfmaint: bool,
     quick: bool,
     json: Option<PathBuf>,
     seed: u64,
@@ -42,6 +44,7 @@ fn parse_args() -> Options {
         fig65: false,
         crossovers: false,
         batch: false,
+        selfmaint: false,
         quick: false,
         json: None,
         seed: 1,
@@ -82,6 +85,10 @@ fn parse_args() -> Options {
                 opts.batch = true;
                 any = true;
             }
+            "--selfmaint" => {
+                opts.selfmaint = true;
+                any = true;
+            }
             "--all" => {
                 any = false;
             }
@@ -115,6 +122,7 @@ fn parse_args() -> Options {
         opts.fig65 = true;
         opts.crossovers = true;
         opts.batch = true;
+        opts.selfmaint = true;
     }
     opts
 }
@@ -233,6 +241,49 @@ fn main() {
             )
         );
         dump_json(&opts.json, "batch", &rows);
+    }
+
+    if opts.selfmaint {
+        let k = if opts.quick { 12 } else { 24 };
+        let curve = eca_bench::selfmaint::storage_curve(k, seed);
+        let rows: Vec<FigureRow> = curve
+            .iter()
+            .map(|p| FigureRow {
+                x: p.covered as u64,
+                series: vec![
+                    eca_bench::SeriesPoint {
+                        label: "messages",
+                        analytic: p.messages_analytic as f64,
+                        measured: p.messages_measured as f64,
+                    },
+                    eca_bench::SeriesPoint {
+                        label: "aux blocks",
+                        analytic: (eca_analytic::selfmaint::aux_storage_tuples(
+                            &Params::default(),
+                            &[p.covered >= 1, p.covered >= 2, p.covered >= 3],
+                        ) as f64
+                            / Params::default().tuples_per_block as f64)
+                            .ceil(),
+                        measured: p.aux_blocks as f64,
+                    },
+                ],
+            })
+            .collect();
+        println!(
+            "{}",
+            render_rows(
+                &format!("Self-maintenance - auxiliary storage vs messages, k = {k}"),
+                "aux",
+                &rows
+            )
+        );
+        if let Some(dir) = &opts.json {
+            std::fs::create_dir_all(dir).expect("create json dir");
+            let path = dir.join("selfmaint.json");
+            std::fs::write(&path, eca_bench::selfmaint::report(k, seed).pretty())
+                .expect("write selfmaint json");
+            println!("(wrote {})", path.display());
+        }
     }
 
     if opts.crossovers {

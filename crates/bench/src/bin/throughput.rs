@@ -9,8 +9,8 @@
 //!
 //! ```text
 //! throughput [--smoke] [--scaling-smoke] [--tcp-scaling-smoke]
-//!            [--workers N] [--reactor-workers N] [--io-latency-us N]
-//!            [--out PATH] [--root PATH]
+//!            [--selfmaint-smoke] [--workers N] [--reactor-workers N]
+//!            [--io-latency-us N] [--out PATH] [--root PATH]
 //! ```
 //!
 //! `--workers` sizes the source-side answer pool of the serial-vs-
@@ -27,16 +27,27 @@
 //! The TCP gate point is 128 sources — past the crossover where
 //! thread-per-connection's per-thread cost overtakes its direct-wakeup
 //! advantage (the full sweep charts the whole curve from 32 up).
+//! `--selfmaint-smoke` runs only the self-maintenance gate: ECA-Aux on
+//! the keyed fig-6.x scenario must answer ≥50% of compensating queries
+//! locally and cut maintenance messages ≥50% vs ECA, with the exact
+//! closed-form prediction matching the meter; it also refreshes
+//! `results/selfmaint.json`.
 
 use std::path::PathBuf;
 use std::time::Duration;
 
 use eca_bench::throughput::{report, scaling_sweep, sweep, tcp_scaling_sweep, ScalingResult};
 
+/// The self-maintenance measurement point: k Mixed updates on the keyed
+/// fig-6.x scenario (seed pinned so the artifact is reproducible).
+const SELFMAINT_K: u64 = 24;
+const SELFMAINT_SEED: u64 = 1;
+
 struct Args {
     smoke: bool,
     scaling_smoke: bool,
     tcp_scaling_smoke: bool,
+    selfmaint_smoke: bool,
     workers: usize,
     reactor_workers: usize,
     io_latency: Duration,
@@ -52,6 +63,7 @@ fn parse_args() -> Args {
         smoke: false,
         scaling_smoke: false,
         tcp_scaling_smoke: false,
+        selfmaint_smoke: false,
         workers: 8,
         reactor_workers: 2,
         io_latency: Duration::from_micros(1000),
@@ -64,6 +76,7 @@ fn parse_args() -> Args {
             "--smoke" => parsed.smoke = true,
             "--scaling-smoke" => parsed.scaling_smoke = true,
             "--tcp-scaling-smoke" => parsed.tcp_scaling_smoke = true,
+            "--selfmaint-smoke" => parsed.selfmaint_smoke = true,
             "--workers" => {
                 parsed.workers = args
                     .next()
@@ -173,6 +186,17 @@ fn main() {
         return;
     }
 
+    if args.selfmaint_smoke {
+        let doc = eca_bench::selfmaint::report(SELFMAINT_K, SELFMAINT_SEED).pretty();
+        std::fs::create_dir_all("results").expect("create results dir");
+        std::fs::write("results/selfmaint.json", doc).expect("write selfmaint artifact");
+        println!("wrote results/selfmaint.json");
+        if !eca_bench::selfmaint::smoke(SELFMAINT_K, SELFMAINT_SEED) {
+            std::process::exit(1);
+        }
+        return;
+    }
+
     let results = sweep(args.smoke, args.io_latency, args.workers);
     println!(
         "{:>7} {:>5} {:>7} {:>12} {:>12} {:>8}",
@@ -197,7 +221,13 @@ fn main() {
     println!("loopback TCP:");
     print_scaling(&tcp_scaling);
 
-    let doc = report(&results, &scaling, &tcp_scaling).pretty();
+    let doc = report(
+        &results,
+        &scaling,
+        &tcp_scaling,
+        eca_bench::selfmaint::report(SELFMAINT_K, SELFMAINT_SEED),
+    )
+    .pretty();
     if let Some(dir) = args.out.parent() {
         std::fs::create_dir_all(dir).expect("create results dir");
     }

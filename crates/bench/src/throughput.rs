@@ -1106,6 +1106,7 @@ pub fn report(
     results: &[ScenarioResult],
     scaling: &[ScalingResult],
     tcp_scaling: &[ScalingResult],
+    selfmaint: Json,
 ) -> Json {
     Json::obj([
         (
@@ -1151,5 +1152,6 @@ pub fn report(
             "tcp_scaling",
             Json::arr(tcp_scaling.iter().map(|r| r.to_json())),
         ),
+        ("selfmaint", selfmaint),
     ])
 }

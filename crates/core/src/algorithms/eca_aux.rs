@@ -1,0 +1,809 @@
+//! ECA-Aux: self-maintenance through warehouse-resident auxiliary views.
+//!
+//! The paper's spectrum runs from ECA (every update triggers a round-trip
+//! compensating query at the source, §5.2) to Store-Copies (full replicas
+//! make every query local, §1.2). The self-maintenance literature supplies
+//! the middle ground: keep a small **auxiliary view** per base relation at
+//! the warehouse — the bag projection of the relation onto the columns the
+//! view definition actually uses — and answer compensating queries against
+//! those auxiliaries with **zero source round-trips** whenever they
+//! determine the delta.
+//!
+//! # Auxiliary derivation
+//!
+//! For base relation `r_i` of `V = π_proj(σ_cond(r1 × … × rn))`, the
+//! *used columns* are the positions of `cond` and `proj` that fall inside
+//! `r_i`'s slot of the product. The auxiliary is
+//!
+//! ```text
+//! aux_i = π_{used(i) ∪ key(i)}(r_i)        (bag projection)
+//! ```
+//!
+//! Bag projection preserves multiplicities, so evaluating any term over
+//! the auxiliaries — with `cond` and `proj` remapped into retained-column
+//! coordinates — yields *exactly* the term's value over the full
+//! relations: columns outside `used(i)` are referenced by neither. By
+//! default a relation is **covered** (an auxiliary is kept) when its
+//! schema declares a key ([`eca_relational::Schema::with_key`]) — keyness
+//! is the signal that the projection is meaningfully narrower than a full
+//! replica and that notifications identify tuples unambiguously; coverage
+//! can be overridden per relation for storage/savings trade-off sweeps.
+//! Relations that occur several times in the view (self-joins) are never
+//! covered.
+//!
+//! # Local-answer decision procedure
+//!
+//! On update `U_i` the maintainer forms the usual compensated query
+//! `Q_i = V⟨U_i⟩ − Σ_{Q_j∈UQS} Q_j⟨U_i⟩` and partitions its terms: a term
+//! is **locally evaluable** iff every unbound atom's relation has a fresh
+//! auxiliary (the Appendix-D.2 rule "all data needed is already at the
+//! warehouse", generalized from fully-bound terms to covered relations).
+//! Local terms are evaluated immediately against the auxiliaries, which —
+//! having just absorbed `U_i`'s notification — hold exactly the projected
+//! source state `ss_i`; by Lemma B.2 the local value is the exact delta
+//! contribution, so answering instantly is equivalent to ECA with a source
+//! that evaluates the query at `ss_i` before any later update, and the
+//! §5.2 strong-consistency argument carries over unchanged. Remaining
+//! terms fall back to a plain ECA round-trip and stay in `UQS` so later
+//! updates compensate them. An update whose terms are all local sends
+//! nothing: no query enters `UQS`, nothing touches the wire.
+//!
+//! # Drift-refresh invariant
+//!
+//! Fresh auxiliaries never drift: FIFO notifications carry whole tuples,
+//! so each auxiliary passes through exactly the projected source states
+//! (the Store-Copies argument). After a resync ([`EcaAux`]'s `reset_to`)
+//! the auxiliaries are marked **stale** — notifications were lost — and a
+//! stale auxiliary is never consulted. The next update that arrives rides
+//! the fallback path and additionally emits one rebuild query
+//! `π_retained(r_i)` per stale auxiliary; the answer reinstalls the bag
+//! and marks it fresh (sound by the same FIFO argument as RV resync:
+//! notifications for updates the source applied before evaluating the
+//! rebuild query arrive before its answer). Staleness therefore never
+//! persists beyond the first post-resync update.
+
+use std::collections::BTreeMap;
+
+use eca_relational::algebra::spj;
+use eca_relational::{Predicate, SignedBag, Update};
+
+use crate::basedb::{BaseDb, BaseLookup};
+use crate::error::CoreError;
+use crate::expr::{Atom, Query, QueryId, Term};
+use crate::maintainer::{OutboundQuery, QueryIdGen, SelfMaintStats, ViewMaintainer};
+use crate::view::ViewDef;
+
+/// One warehouse-resident auxiliary view: `π_retained(r_i)` as a bag.
+struct AuxView {
+    /// Local column positions of the base relation kept in the auxiliary
+    /// (used ∪ key, ascending). For uncovered relations this is every
+    /// column, defining the coordinate system of local evaluation.
+    retained: Vec<usize>,
+    /// The resident bag. Meaningful only while `covered && fresh`.
+    bag: SignedBag,
+    /// Whether an auxiliary is maintained for this relation at all.
+    covered: bool,
+    /// Whether the bag reflects every notification received so far.
+    /// Stale auxiliaries (post-resync, or never initialized) are never
+    /// consulted and are rebuilt through a refresh query.
+    fresh: bool,
+    /// The in-flight rebuild query, if any.
+    refresh: Option<QueryId>,
+}
+
+/// ECA with auxiliary-view self-maintenance.
+///
+/// ```
+/// use eca_core::algorithms::EcaAux;
+/// use eca_core::maintainer::ViewMaintainer;
+/// use eca_core::{BaseDb, ViewDef};
+/// use eca_relational::{Predicate, Schema, SignedBag, Tuple, Update};
+///
+/// let view = ViewDef::new(
+///     "V",
+///     vec![
+///         Schema::with_key("r1", &["W", "X"], &["W"])?,
+///         Schema::with_key("r2", &["X", "Y"], &["Y"])?,
+///     ],
+///     Predicate::col_eq(1, 2),
+///     vec![0],
+/// )?;
+/// let mut source = BaseDb::for_view(&view);
+/// source.insert("r1", Tuple::ints([1, 2]));
+/// // Seeded from the initial base state: every update is answered
+/// // locally, with zero source round-trips.
+/// let mut alg = EcaAux::with_base(view.clone(), view.eval(&source)?, &source);
+/// for u in [
+///     Update::insert("r2", Tuple::ints([2, 3])),
+///     Update::insert("r1", Tuple::ints([4, 2])),
+/// ] {
+///     source.apply(&u);
+///     assert!(alg.on_update(&u)?.is_empty());
+/// }
+/// assert_eq!(*alg.materialized(), view.eval(&source)?);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct EcaAux {
+    view: ViewDef,
+    mv: SignedBag,
+    collect: SignedBag,
+    /// Unanswered *remote* compensating queries, kept whole so later
+    /// updates can compensate them (`Q_j⟨U_i⟩`), exactly as in ECA.
+    uqs: BTreeMap<QueryId, Query>,
+    /// In-flight auxiliary rebuild queries → relation index.
+    refreshing: BTreeMap<QueryId, usize>,
+    ids: QueryIdGen,
+    aux: Vec<AuxView>,
+    /// `cond` remapped into retained-column coordinates.
+    local_cond: Predicate,
+    /// `proj` remapped into retained-column coordinates.
+    local_proj: Vec<usize>,
+    /// Updates answered entirely at the warehouse (zero round-trips).
+    local_updates: u64,
+    /// Updates that needed a source round-trip.
+    remote_updates: u64,
+    /// Rebuild queries sent for stale auxiliaries.
+    refresh_queries: u64,
+}
+
+impl EcaAux {
+    /// Create with `initial` as the starting materialized state and the
+    /// default coverage rule (keyed, non-repeated relations). Without a
+    /// base snapshot the auxiliaries start stale and are rebuilt from the
+    /// source by the first update's refresh queries.
+    pub fn new(view: ViewDef, initial: SignedBag) -> Self {
+        let covered = Self::default_coverage(&view);
+        Self::build(view, initial, &covered, None)
+    }
+
+    /// As [`EcaAux::new`], with the auxiliaries seeded fresh from the
+    /// source's initial base contents (`ss_0`), so maintenance starts
+    /// fully local.
+    pub fn with_base(view: ViewDef, initial: SignedBag, base: &BaseDb) -> Self {
+        let covered = Self::default_coverage(&view);
+        Self::build(view, initial, &covered, Some(base))
+    }
+
+    /// Explicit per-relation coverage (storage/savings sweeps). Repeated
+    /// relations are forced uncovered regardless of `covered`.
+    ///
+    /// # Errors
+    /// [`CoreError::UnknownRelation`] when `covered` is not one flag per
+    /// base relation.
+    pub fn with_coverage(
+        view: ViewDef,
+        initial: SignedBag,
+        covered: &[bool],
+        base: Option<&BaseDb>,
+    ) -> Result<Self, CoreError> {
+        if covered.len() != view.base().len() {
+            return Err(CoreError::UnknownRelation {
+                relation: format!("coverage spec has {} flags", covered.len()),
+            });
+        }
+        let covered: Vec<bool> = covered
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| c && view.relation_indices(view.base()[i].relation()).len() == 1)
+            .collect();
+        Ok(Self::build(view, initial, &covered, base))
+    }
+
+    /// Default coverage: keyed schemas, excluding self-join occurrences.
+    fn default_coverage(view: &ViewDef) -> Vec<bool> {
+        view.base()
+            .iter()
+            .map(|s| s.has_key() && view.relation_indices(s.relation()).len() == 1)
+            .collect()
+    }
+
+    fn build(view: ViewDef, initial: SignedBag, covered: &[bool], base: Option<&BaseDb>) -> Self {
+        // Retained columns per slot: used ∪ key for covered relations,
+        // every column otherwise (uncovered slots only ever hold bound
+        // tuples in local terms, which carry all columns anyway).
+        let cond_cols = view.cond().columns();
+        let mut retained: Vec<Vec<usize>> = Vec::with_capacity(view.base().len());
+        for (i, schema) in view.base().iter().enumerate() {
+            let off = view.offset(i);
+            let arity = schema.arity();
+            let cols: Vec<usize> = if covered[i] {
+                let mut keep: Vec<usize> = cond_cols
+                    .iter()
+                    .chain(view.proj())
+                    .filter(|&&c| c >= off && c < off + arity)
+                    .map(|&c| c - off)
+                    .chain(schema.key_positions().iter().copied())
+                    .collect();
+                keep.sort_unstable();
+                keep.dedup();
+                keep
+            } else {
+                (0..arity).collect()
+            };
+            retained.push(cols);
+        }
+        // Old product column → retained-coordinate column.
+        let mut map = vec![0usize; view.product_arity()];
+        let mut new_off = 0usize;
+        for (i, cols) in retained.iter().enumerate() {
+            for (q, &p) in cols.iter().enumerate() {
+                map[view.offset(i) + p] = new_off + q;
+            }
+            new_off += cols.len();
+        }
+        let local_cond = view.cond().map_columns(&|c| map[c]);
+        let local_proj: Vec<usize> = view.proj().iter().map(|&c| map[c]).collect();
+
+        let aux = retained
+            .into_iter()
+            .enumerate()
+            .map(|(i, cols)| {
+                let mut bag = SignedBag::new();
+                let mut fresh = false;
+                if covered[i] {
+                    if let Some(db) = base {
+                        if let Some(rel) = db.bag(view.base()[i].relation()) {
+                            for (t, c) in rel.iter() {
+                                bag.add(t.project(&cols), c);
+                            }
+                        }
+                        fresh = true;
+                    }
+                }
+                AuxView {
+                    retained: cols,
+                    bag,
+                    covered: covered[i],
+                    fresh,
+                    refresh: None,
+                }
+            })
+            .collect();
+
+        EcaAux {
+            view,
+            mv: initial,
+            collect: SignedBag::new(),
+            uqs: BTreeMap::new(),
+            refreshing: BTreeMap::new(),
+            ids: QueryIdGen::new(),
+            aux,
+            local_cond,
+            local_proj,
+            local_updates: 0,
+            remote_updates: 0,
+            refresh_queries: 0,
+        }
+    }
+
+    /// The current `COLLECT` buffer (exposed for traces and tests).
+    pub fn collect(&self) -> &SignedBag {
+        &self.collect
+    }
+
+    /// Number of pending compensating queries `|UQS|` (excludes rebuild
+    /// queries).
+    pub fn pending_queries(&self) -> usize {
+        self.uqs.len()
+    }
+
+    /// Which relations have an auxiliary maintained.
+    pub fn coverage(&self) -> Vec<bool> {
+        self.aux.iter().map(|a| a.covered).collect()
+    }
+
+    /// Updates answered with zero source round-trips so far.
+    pub fn local_updates(&self) -> u64 {
+        self.local_updates
+    }
+
+    /// Updates that fell back to a source round-trip so far.
+    pub fn remote_updates(&self) -> u64 {
+        self.remote_updates
+    }
+
+    /// Apply the notified tuple to every fresh auxiliary of its relation.
+    fn apply_to_aux(&mut self, update: &Update) {
+        for i in self.view.relation_indices(&update.relation) {
+            let aux = &mut self.aux[i];
+            if aux.covered && aux.fresh {
+                let st = update.signed_tuple();
+                aux.bag
+                    .add(st.tuple.project(&aux.retained), st.sign.factor());
+            }
+        }
+    }
+
+    /// Whether a term is evaluable at the warehouse: every unbound atom's
+    /// relation must have a fresh auxiliary. Fully-bound terms (the
+    /// Appendix D.2 case) are trivially local.
+    fn term_is_local(&self, term: &Term) -> bool {
+        term.atoms().iter().enumerate().all(|(i, a)| match a {
+            Atom::Rel(_) => self.aux[i].covered && self.aux[i].fresh,
+            Atom::Bound(_) => true,
+        })
+    }
+
+    /// Evaluate local terms over the auxiliaries in retained coordinates.
+    fn eval_local_terms(&self, terms: &[Term]) -> Result<SignedBag, CoreError> {
+        let mut out = SignedBag::new();
+        for term in terms {
+            let mut singletons: Vec<SignedBag> = Vec::new();
+            for (i, atom) in term.atoms().iter().enumerate() {
+                if let Atom::Bound(st) = atom {
+                    let mut bag = SignedBag::new();
+                    bag.add(st.tuple.project(&self.aux[i].retained), st.sign.factor());
+                    singletons.push(bag);
+                }
+            }
+            let mut inputs: Vec<&SignedBag> = Vec::with_capacity(term.atoms().len());
+            let mut si = 0usize;
+            for (i, atom) in term.atoms().iter().enumerate() {
+                match atom {
+                    Atom::Rel(_) => inputs.push(&self.aux[i].bag),
+                    Atom::Bound(_) => {
+                        inputs.push(&singletons[si]);
+                        si += 1;
+                    }
+                }
+            }
+            let value =
+                spj(&inputs, &self.local_cond, &self.local_proj).map_err(CoreError::Relational)?;
+            match term.factor() {
+                1 => out.merge(&value),
+                -1 => out.merge(&value.negated()),
+                f => {
+                    for (t, c) in value.iter() {
+                        out.add(t.clone(), c * f);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Rebuild queries for every stale covered auxiliary without one in
+    /// flight: `π_retained(r_i)` as a degenerate single-relation view.
+    fn refresh_stale_auxes(&mut self) -> Vec<OutboundQuery> {
+        let mut out = Vec::new();
+        for i in 0..self.aux.len() {
+            if self.aux[i].covered && !self.aux[i].fresh && self.aux[i].refresh.is_none() {
+                let aux_view = ViewDef::new(
+                    format!("{}::aux{}", self.view.name(), i),
+                    vec![self.view.base()[i].clone()],
+                    Predicate::True,
+                    self.aux[i].retained.clone(),
+                )
+                .expect("retained positions are within the relation's arity");
+                let id = self.ids.fresh();
+                self.aux[i].refresh = Some(id);
+                self.refreshing.insert(id, i);
+                self.refresh_queries += 1;
+                out.push(OutboundQuery {
+                    id,
+                    query: aux_view.as_query(),
+                });
+            }
+        }
+        out
+    }
+}
+
+impl ViewMaintainer for EcaAux {
+    fn algorithm(&self) -> &'static str {
+        "ECA-Aux"
+    }
+
+    fn view(&self) -> &ViewDef {
+        &self.view
+    }
+
+    fn materialized(&self) -> &SignedBag {
+        &self.mv
+    }
+
+    fn on_update(&mut self, update: &Update) -> Result<Vec<OutboundQuery>, CoreError> {
+        if !self.view.involves(update) {
+            return Ok(Vec::new());
+        }
+        // Advance fresh auxiliaries to the post-update source state ss_i
+        // before evaluating anything against them (Lemma B.2 wants the
+        // delta at ss_i).
+        self.apply_to_aux(update);
+        // Stale auxiliaries ride the round-trip: rebuild queries first.
+        let mut out = self.refresh_stale_auxes();
+
+        // Q_i = V⟨U_i⟩ − Σ_{Q_j ∈ UQS} Q_j⟨U_i⟩, as in ECA.
+        let mut query = self.view.substitute(update)?;
+        for pending in self.uqs.values() {
+            query = query.minus(&pending.substitute(update));
+        }
+        let (local, remote): (Vec<Term>, Vec<Term>) = query
+            .terms()
+            .iter()
+            .cloned()
+            .partition(|t| self.term_is_local(t));
+        if !local.is_empty() {
+            let delta = self.eval_local_terms(&local)?;
+            self.collect.merge(&delta);
+        }
+        if remote.is_empty() {
+            // Fully self-maintained: no compensating query leaves the
+            // warehouse. Install immediately when nothing is pending, so
+            // MV only moves through complete states.
+            self.local_updates += 1;
+            if self.uqs.is_empty() {
+                self.mv.merge(&self.collect);
+                self.collect = SignedBag::new();
+            }
+            return Ok(out);
+        }
+        self.remote_updates += 1;
+        let remote_query = Query::from_terms(self.view.clone(), remote);
+        let id = self.ids.fresh();
+        self.uqs.insert(id, remote_query.clone());
+        out.push(OutboundQuery {
+            id,
+            query: remote_query,
+        });
+        Ok(out)
+    }
+
+    fn on_answer(
+        &mut self,
+        id: QueryId,
+        answer: SignedBag,
+    ) -> Result<Vec<OutboundQuery>, CoreError> {
+        if let Some(i) = self.refreshing.remove(&id) {
+            // A rebuilt auxiliary: install the projected bag and resume
+            // maintaining it incrementally. FIFO delivery guarantees the
+            // answer reflects every notification processed so far.
+            let aux = &mut self.aux[i];
+            aux.bag = answer;
+            aux.fresh = true;
+            aux.refresh = None;
+            return Ok(Vec::new());
+        }
+        if self.uqs.remove(&id).is_none() {
+            return Err(CoreError::UnknownQuery { id: id.0 });
+        }
+        self.collect.merge(&answer);
+        if self.uqs.is_empty() {
+            // MV ← MV + COLLECT; COLLECT ← ∅
+            self.mv.merge(&self.collect);
+            self.collect = SignedBag::new();
+        }
+        Ok(Vec::new())
+    }
+
+    fn is_quiescent(&self) -> bool {
+        self.uqs.is_empty() && self.refreshing.is_empty()
+    }
+
+    fn reset_to(&mut self, state: SignedBag) -> Result<(), CoreError> {
+        // RV-style resync: adopt V(ss), drop pending work, and mark every
+        // auxiliary stale — notifications may have been lost, so the bags
+        // can no longer be trusted. They are rebuilt lazily by the next
+        // update's refresh queries.
+        self.mv = state;
+        self.collect = SignedBag::new();
+        self.uqs.clear();
+        self.refreshing.clear();
+        for aux in &mut self.aux {
+            aux.bag = SignedBag::new();
+            aux.fresh = false;
+            aux.refresh = None;
+        }
+        Ok(())
+    }
+
+    fn selfmaint_stats(&self) -> Option<SelfMaintStats> {
+        let mut aux_tuples = 0u64;
+        let mut aux_bytes = 0u64;
+        let mut auxiliaries = Vec::new();
+        for (i, aux) in self.aux.iter().enumerate() {
+            if !aux.covered {
+                continue;
+            }
+            aux_tuples += aux.bag.pos_len() + aux.bag.neg_len();
+            aux_bytes += aux.bag.encoded_len() as u64;
+            auxiliaries.push(crate::maintainer::AuxSnapshot {
+                relation: self.view.base()[i].relation().to_owned(),
+                retained: aux.retained.clone(),
+                bag: aux.bag.clone(),
+            });
+        }
+        Some(SelfMaintStats {
+            local_updates: self.local_updates,
+            remote_updates: self.remote_updates,
+            refresh_queries: self.refresh_queries,
+            aux_tuples,
+            aux_bytes,
+            auxiliaries,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eca_relational::{CmpOp, Schema, Tuple};
+
+    /// Example-2 shaped keyed view: V = π_W(r1 ⋈ r2).
+    fn keyed_view2() -> ViewDef {
+        ViewDef::new(
+            "V",
+            vec![
+                Schema::with_key("r1", &["W", "X"], &["W"]).unwrap(),
+                Schema::with_key("r2", &["X", "Y"], &["Y"]).unwrap(),
+            ],
+            Predicate::col_eq(1, 2),
+            vec![0],
+        )
+        .unwrap()
+    }
+
+    /// Three-relation keyed chain with a projection that drops columns,
+    /// so the auxiliaries are genuinely narrower than replicas.
+    fn keyed_view3() -> ViewDef {
+        ViewDef::new(
+            "V",
+            vec![
+                Schema::with_key("r1", &["W", "X", "P"], &["W"]).unwrap(),
+                Schema::with_key("r2", &["X", "Y"], &["X", "Y"]).unwrap(),
+                Schema::with_key("r3", &["Y", "Z", "Q"], &["Z"]).unwrap(),
+            ],
+            Predicate::col_eq(1, 3).and(Predicate::col_eq(4, 5)),
+            vec![0, 6],
+        )
+        .unwrap()
+    }
+
+    fn seeded(view: &ViewDef, db: &BaseDb) -> EcaAux {
+        EcaAux::with_base(view.clone(), view.eval(db).unwrap(), db)
+    }
+
+    #[test]
+    fn retained_columns_are_used_union_key() {
+        let v = keyed_view3();
+        let db = BaseDb::for_view(&v);
+        let alg = seeded(&v, &db);
+        // r1(W,X,P): cond uses X (col 1), proj uses W (col 0), key W → {0,1}.
+        assert_eq!(alg.aux[0].retained, vec![0, 1]);
+        // r2(X,Y): both columns used by cond, key (X,Y) → {0,1}.
+        assert_eq!(alg.aux[1].retained, vec![0, 1]);
+        // r3(Y,Z,Q): cond uses Y (prod col 5 → local 0), proj uses Z
+        // (prod col 6 → local 1), key Z → {0,1}; Q is dropped.
+        assert_eq!(alg.aux[2].retained, vec![0, 1]);
+    }
+
+    #[test]
+    fn racing_updates_are_answered_locally_and_exactly() {
+        // Example 2's anomaly script, fully self-maintained.
+        let v = keyed_view2();
+        let mut db = BaseDb::for_view(&v);
+        db.insert("r1", Tuple::ints([1, 2]));
+        let mut alg = seeded(&v, &db);
+
+        for u in [
+            Update::insert("r2", Tuple::ints([2, 3])),
+            Update::insert("r1", Tuple::ints([4, 2])),
+        ] {
+            db.apply(&u);
+            assert!(alg.on_update(&u).unwrap().is_empty(), "{u:?}");
+            // Strong consistency, per update: MV == V[ss_i].
+            assert_eq!(*alg.materialized(), v.eval(&db).unwrap());
+        }
+        assert!(alg.is_quiescent());
+        assert_eq!(alg.local_updates(), 2);
+        assert_eq!(alg.remote_updates(), 0);
+    }
+
+    #[test]
+    fn projected_auxiliaries_evaluate_terms_exactly() {
+        // Columns P and Q never reach the auxiliaries, yet deltas match
+        // the full evaluation, duplicates included.
+        let v = keyed_view3();
+        let mut db = BaseDb::for_view(&v);
+        db.insert("r1", Tuple::ints([1, 2, 77]));
+        db.insert("r1", Tuple::ints([1, 2, 88])); // same (W,X), distinct P
+        db.insert("r2", Tuple::ints([2, 3]));
+        db.insert("r3", Tuple::ints([3, 9, 55]));
+        let mut alg = seeded(&v, &db);
+
+        for u in [
+            Update::insert("r3", Tuple::ints([3, 10, 66])),
+            Update::delete("r1", Tuple::ints([1, 2, 88])),
+            Update::insert("r2", Tuple::ints([2, 3])), // duplicate tuple
+        ] {
+            db.apply(&u);
+            assert!(alg.on_update(&u).unwrap().is_empty(), "{u:?}");
+            assert_eq!(*alg.materialized(), v.eval(&db).unwrap(), "{u:?}");
+        }
+    }
+
+    #[test]
+    fn unkeyed_relations_fall_back_to_round_trips() {
+        let v = ViewDef::new(
+            "V",
+            vec![
+                Schema::with_key("r1", &["W", "X"], &["W"]).unwrap(),
+                Schema::new("r2", &["X", "Y"]), // unkeyed → uncovered
+            ],
+            Predicate::col_eq(1, 2),
+            vec![0],
+        )
+        .unwrap();
+        let mut db = BaseDb::for_view(&v);
+        db.insert("r1", Tuple::ints([1, 2]));
+        db.insert("r2", Tuple::ints([2, 4]));
+        let mut alg = seeded(&v, &db);
+        assert_eq!(alg.coverage(), vec![true, false]);
+
+        // An r2 update binds the uncovered slot; the remaining atom (r1)
+        // is covered → local, zero round-trips.
+        let u1 = Update::insert("r2", Tuple::ints([2, 3]));
+        db.apply(&u1);
+        assert!(alg.on_update(&u1).unwrap().is_empty());
+        assert_eq!(*alg.materialized(), v.eval(&db).unwrap());
+
+        // An r1 update needs r2's contents → round-trip.
+        let u2 = Update::insert("r1", Tuple::ints([7, 2]));
+        db.apply(&u2);
+        let q = alg.on_update(&u2).unwrap().remove(0);
+        assert_eq!(alg.remote_updates(), 1);
+        alg.on_answer(q.id, q.query.eval(&db).unwrap()).unwrap();
+        assert_eq!(*alg.materialized(), v.eval(&db).unwrap());
+    }
+
+    #[test]
+    fn mixed_local_and_remote_interleavings_converge() {
+        // Partial coverage, racing updates: local deltas buffer in
+        // COLLECT while a remote query is pending, and install together.
+        let v = keyed_view2();
+        let mut db = BaseDb::for_view(&v);
+        db.insert("r1", Tuple::ints([1, 2]));
+        db.insert("r2", Tuple::ints([2, 4]));
+        let mut alg =
+            EcaAux::with_coverage(v.clone(), v.eval(&db).unwrap(), &[true, false], Some(&db))
+                .unwrap();
+
+        // U1 on r1: needs r2 → remote, pending.
+        let u1 = Update::insert("r1", Tuple::ints([4, 2]));
+        db.apply(&u1);
+        let q1 = alg.on_update(&u1).unwrap().remove(0);
+        // U2 on r2: local (r1 covered), buffered in COLLECT; the
+        // compensating term −Q1⟨U2⟩ is fully bound, also local.
+        let u2 = Update::insert("r2", Tuple::ints([2, 5]));
+        db.apply(&u2);
+        assert!(alg.on_update(&u2).unwrap().is_empty());
+        assert!(!alg.collect().is_empty());
+
+        // Q1 answered at the post-U2 state, as ECA allows.
+        alg.on_answer(q1.id, q1.query.eval(&db).unwrap()).unwrap();
+        assert!(alg.is_quiescent());
+        assert_eq!(*alg.materialized(), v.eval(&db).unwrap());
+        assert_eq!(alg.local_updates(), 1);
+        assert_eq!(alg.remote_updates(), 1);
+    }
+
+    #[test]
+    fn reset_marks_auxes_stale_and_refresh_rebuilds_them() {
+        let v = keyed_view2();
+        let mut db = BaseDb::for_view(&v);
+        db.insert("r1", Tuple::ints([1, 2]));
+        let mut alg = seeded(&v, &db);
+
+        // Resync: auxiliaries can no longer be trusted.
+        alg.reset_to(v.eval(&db).unwrap()).unwrap();
+        assert!(alg.is_quiescent());
+
+        // Next update: rides the fallback, plus one rebuild query per
+        // stale auxiliary. The compensating query itself is remote.
+        let u = Update::insert("r2", Tuple::ints([2, 3]));
+        db.apply(&u);
+        let out = alg.on_update(&u).unwrap();
+        assert_eq!(out.len(), 3, "2 rebuilds + 1 compensating query");
+        assert!(!alg.is_quiescent());
+
+        // Answer everything at the current source state (single-relation
+        // projections for the rebuilds, the view delta for the rest).
+        for q in out {
+            alg.on_answer(q.id, q.query.eval(&db).unwrap()).unwrap();
+        }
+        assert!(alg.is_quiescent());
+        assert_eq!(*alg.materialized(), v.eval(&db).unwrap());
+
+        // Auxiliaries are fresh again: the next update is local.
+        let u2 = Update::insert("r1", Tuple::ints([9, 2]));
+        db.apply(&u2);
+        assert!(alg.on_update(&u2).unwrap().is_empty());
+        assert_eq!(*alg.materialized(), v.eval(&db).unwrap());
+    }
+
+    #[test]
+    fn cold_start_without_base_snapshot_rebuilds_lazily() {
+        let v = keyed_view2();
+        let mut db = BaseDb::for_view(&v);
+        db.insert("r1", Tuple::ints([1, 2]));
+        let mut alg = EcaAux::new(v.clone(), v.eval(&db).unwrap());
+
+        let u = Update::insert("r2", Tuple::ints([2, 3]));
+        db.apply(&u);
+        let out = alg.on_update(&u).unwrap();
+        assert_eq!(out.len(), 3);
+        for q in out {
+            alg.on_answer(q.id, q.query.eval(&db).unwrap()).unwrap();
+        }
+        assert_eq!(*alg.materialized(), v.eval(&db).unwrap());
+
+        let u2 = Update::insert("r1", Tuple::ints([4, 2]));
+        db.apply(&u2);
+        assert!(
+            alg.on_update(&u2).unwrap().is_empty(),
+            "now self-maintained"
+        );
+        assert_eq!(*alg.materialized(), v.eval(&db).unwrap());
+    }
+
+    #[test]
+    fn self_join_views_are_never_covered() {
+        let v = ViewDef::new(
+            "V",
+            vec![
+                Schema::with_key("r1", &["A", "B"], &["A"]).unwrap(),
+                Schema::with_key("r1", &["A", "B"], &["A"]).unwrap(),
+            ],
+            Predicate::col_eq(1, 2),
+            vec![0, 3],
+        )
+        .unwrap();
+        let db = BaseDb::for_view(&v);
+        let alg = seeded(&v, &db);
+        assert_eq!(alg.coverage(), vec![false, false]);
+    }
+
+    #[test]
+    fn stats_report_locality_and_residency() {
+        let v = keyed_view2();
+        let mut db = BaseDb::for_view(&v);
+        db.insert("r1", Tuple::ints([1, 2]));
+        let mut alg = seeded(&v, &db);
+        let u = Update::insert("r2", Tuple::ints([2, 3]));
+        db.apply(&u);
+        alg.on_update(&u).unwrap();
+        let stats = alg.selfmaint_stats().unwrap();
+        assert_eq!(stats.local_updates, 1);
+        assert_eq!(stats.remote_updates, 0);
+        assert_eq!(stats.aux_tuples, 2, "r1 tuple + the new r2 tuple");
+        assert!(stats.aux_bytes > 0);
+        assert_eq!(stats.auxiliaries.len(), 2);
+    }
+
+    #[test]
+    fn selection_condition_still_applies_locally() {
+        // A comparison selection over retained columns must survive the
+        // remap.
+        let v = ViewDef::new(
+            "V",
+            vec![
+                Schema::with_key("r1", &["W", "X", "P"], &["W"]).unwrap(),
+                Schema::with_key("r2", &["X", "Z"], &["Z"]).unwrap(),
+            ],
+            Predicate::col_eq(1, 3).and(Predicate::col_cmp(0, CmpOp::Gt, 4)),
+            vec![0, 4],
+        )
+        .unwrap();
+        let mut db = BaseDb::for_view(&v);
+        db.insert("r1", Tuple::ints([10, 2, 111]));
+        db.insert("r1", Tuple::ints([0, 2, 222]));
+        let mut alg = seeded(&v, &db);
+        let u = Update::insert("r2", Tuple::ints([2, 5]));
+        db.apply(&u);
+        assert!(alg.on_update(&u).unwrap().is_empty());
+        // Only W=10 > Z=5 qualifies.
+        assert_eq!(*alg.materialized(), v.eval(&db).unwrap());
+        assert_eq!(alg.materialized().count(&Tuple::ints([10, 5])), 1);
+        assert_eq!(alg.materialized().count(&Tuple::ints([0, 5])), 0);
+    }
+}

@@ -14,6 +14,7 @@ pub mod basic;
 pub mod batch;
 pub mod deferred;
 pub mod eca;
+pub mod eca_aux;
 pub mod ecak;
 pub mod ecal;
 pub mod lca;
@@ -24,6 +25,7 @@ pub use basic::Basic;
 pub use batch::BatchEca;
 pub use deferred::Deferred;
 pub use eca::Eca;
+pub use eca_aux::EcaAux;
 pub use ecak::EcaKey;
 pub use ecal::EcaLocal;
 pub use lca::Lca;
@@ -47,6 +49,11 @@ pub enum AlgorithmKind {
     /// evaluated locally, never shipped. The §6 cost analysis assumes
     /// this variant.
     EcaOptimized,
+    /// ECA with auxiliary-view self-maintenance: compensating queries
+    /// are answered against warehouse-resident projections of keyed
+    /// base relations, round-tripping to the source only when the
+    /// auxiliaries cannot determine the delta.
+    EcaAux,
     /// ECA-Key (§5.4); requires a fully keyed view.
     EcaKey,
     /// ECA-Local (§5.5).
@@ -101,6 +108,10 @@ impl AlgorithmKind {
             AlgorithmKind::Basic => Box::new(Basic::new(view.clone(), initial)),
             AlgorithmKind::Eca => Box::new(Eca::new(view.clone(), initial)),
             AlgorithmKind::EcaOptimized => Box::new(Eca::with_local_eval(view.clone(), initial)),
+            AlgorithmKind::EcaAux => match initial_base {
+                Some(db) => Box::new(EcaAux::with_base(view.clone(), initial, &db)),
+                None => Box::new(EcaAux::new(view.clone(), initial)),
+            },
             AlgorithmKind::EcaKey => Box::new(EcaKey::new(view.clone(), initial)?),
             AlgorithmKind::EcaLocal => Box::new(EcaLocal::new(view.clone(), initial)),
             AlgorithmKind::Lca => Box::new(Lca::new(view.clone(), initial)),
@@ -123,6 +134,7 @@ impl AlgorithmKind {
             AlgorithmKind::Basic => "Basic",
             AlgorithmKind::Eca => "ECA",
             AlgorithmKind::EcaOptimized => "ECA*",
+            AlgorithmKind::EcaAux => "ECA-Aux",
             AlgorithmKind::EcaKey => "ECA-Key",
             AlgorithmKind::EcaLocal => "ECA-Local",
             AlgorithmKind::Lca => "LCA",

@@ -115,6 +115,45 @@ pub trait ViewMaintainer: Send {
     fn reissue_safe(&self) -> bool {
         true
     }
+
+    /// Self-maintenance statistics, for algorithms that answer
+    /// compensating queries against warehouse-resident auxiliary views
+    /// (`EcaAux`). `None` — the default — means the algorithm has no
+    /// self-maintenance machinery; harnesses use this to report
+    /// local-answer rates and auxiliary storage residency without
+    /// downcasting.
+    fn selfmaint_stats(&self) -> Option<SelfMaintStats> {
+        None
+    }
+}
+
+/// A snapshot of one warehouse-resident auxiliary view: the bag
+/// projection of a base relation onto its retained columns.
+#[derive(Clone, Debug)]
+pub struct AuxSnapshot {
+    /// Name of the projected base relation.
+    pub relation: String,
+    /// Retained column positions of that relation (ascending).
+    pub retained: Vec<usize>,
+    /// The resident bag.
+    pub bag: SignedBag,
+}
+
+/// Counters and residency snapshot of a self-maintaining algorithm.
+#[derive(Clone, Debug)]
+pub struct SelfMaintStats {
+    /// Updates answered entirely at the warehouse (zero round-trips).
+    pub local_updates: u64,
+    /// Updates that required a source round-trip.
+    pub remote_updates: u64,
+    /// Auxiliary rebuild queries sent after resyncs or cold starts.
+    pub refresh_queries: u64,
+    /// Total tuples resident across all auxiliary views.
+    pub aux_tuples: u64,
+    /// Total encoded bytes resident across all auxiliary views.
+    pub aux_bytes: u64,
+    /// Per-relation auxiliary contents, for honest storage accounting.
+    pub auxiliaries: Vec<AuxSnapshot>,
 }
 
 /// Allocates fresh [`QueryId`]s. Shared by all algorithm implementations.

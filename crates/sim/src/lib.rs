@@ -405,6 +405,7 @@ impl Simulation {
             bytes_s2w: self.meter.bytes_s2w(),
             bytes_w2s: self.meter.bytes_w2s(),
             io_reads: self.source.io_meter().query_reads(),
+            selfmaint: self.warehouse.maintainer(self.view_id).selfmaint_stats(),
             trace: self.trace,
         }
     }
@@ -526,6 +527,71 @@ mod tests {
             .unwrap();
         assert_eq!(report.maintenance_messages(), 0);
         assert!(report.converged());
+    }
+
+    fn make_keyed_sim(kind: AlgorithmKind, script: Vec<Update>) -> Simulation {
+        let view = ViewDef::new(
+            "V",
+            vec![
+                Schema::with_key("r1", &["W", "X"], &["W"]).unwrap(),
+                Schema::with_key("r2", &["X", "Y"], &["Y"]).unwrap(),
+            ],
+            Predicate::col_eq(1, 2),
+            vec![0],
+        )
+        .unwrap();
+        let mut source = Source::new(Scenario::Indexed);
+        source
+            .add_relation(Schema::new("r1", &["W", "X"]), 20, Some("X"), &[])
+            .unwrap();
+        source
+            .add_relation(Schema::new("r2", &["X", "Y"]), 20, Some("X"), &[])
+            .unwrap();
+        source.load("r1", [Tuple::ints([1, 2])]).unwrap();
+        let snapshot = source.snapshot();
+        let initial = view.eval(&snapshot).unwrap();
+        let warehouse = kind
+            .instantiate_with_base(&view, initial, Some(snapshot))
+            .unwrap();
+        Simulation::new(source, warehouse, script).unwrap()
+    }
+
+    #[test]
+    fn eca_aux_answers_locally_with_zero_wire_traffic() {
+        // A fully keyed view: every compensating query is answered at the
+        // warehouse. Logical meters (M) and raw meters (bytes on the
+        // query link) must both read zero.
+        let report = make_keyed_sim(AlgorithmKind::EcaAux, example2_script())
+            .run(Policy::AllUpdatesFirst)
+            .unwrap();
+        assert!(report.converged());
+        assert!(report.quiescent);
+        assert_eq!(report.maintenance_messages(), 0);
+        assert_eq!(report.bytes_w2s, 0, "no query frame touches the wire");
+        assert_eq!(report.answer_bytes, 0);
+        assert_eq!(report.io_reads, 0, "the source is never consulted");
+        let stats = report.selfmaint.expect("EcaAux reports stats");
+        assert_eq!(stats.local_updates, 2);
+        assert_eq!(stats.remote_updates, 0);
+        assert!(stats.aux_bytes > 0, "the savings are paid for in storage");
+    }
+
+    #[test]
+    fn eca_aux_matches_eca_under_random_policies() {
+        for seed in 0..20 {
+            let aux = make_keyed_sim(AlgorithmKind::EcaAux, example2_script())
+                .run(Policy::Random { seed })
+                .unwrap();
+            let eca = make_keyed_sim(AlgorithmKind::Eca, example2_script())
+                .run(Policy::Random { seed })
+                .unwrap();
+            assert!(aux.converged(), "seed {seed}");
+            assert_eq!(aux.final_mv, eca.final_mv, "seed {seed}");
+            assert!(
+                aux.maintenance_messages() <= eca.maintenance_messages(),
+                "seed {seed}"
+            );
+        }
     }
 
     #[test]

@@ -555,6 +555,73 @@ mod tests {
         }
     }
 
+    fn build_keyed(kind: AlgorithmKind) -> MultiSimulation {
+        // The same two sites, with key metadata declared on the view
+        // schemas so self-maintaining algorithms cover every relation.
+        let mut sim = MultiSimulation::new();
+        for (name, (source, view, script)) in [("a", site_a()), ("b", site_b())] {
+            let keyed: Vec<Schema> = view
+                .base()
+                .iter()
+                .map(|s| {
+                    let attrs: Vec<&str> = s.attrs().iter().map(String::as_str).collect();
+                    Schema::with_key(s.relation(), &attrs, &attrs).unwrap()
+                })
+                .collect();
+            let view = ViewDef::new(
+                view.name(),
+                keyed,
+                view.cond().clone(),
+                view.proj().to_vec(),
+            )
+            .unwrap();
+            let snapshot = source.snapshot();
+            let initial = view.eval(&snapshot).unwrap();
+            let maintainer = kind
+                .instantiate_with_base(&view, initial, Some(snapshot))
+                .unwrap();
+            let site = sim.add_source(name, source, script);
+            sim.add_view(site, maintainer).unwrap();
+        }
+        sim
+    }
+
+    #[test]
+    fn eca_aux_is_strongly_consistent_across_sites() {
+        for seed in 0..15 {
+            let report = build_keyed(AlgorithmKind::EcaAux)
+                .run(Policy::Random { seed })
+                .unwrap();
+            assert!(report.quiescent, "seed {seed}");
+            assert!(report.converged(), "seed {seed}");
+            for v in &report.views {
+                let c = eca_consistency::check(&v.source_view_states, &v.warehouse_view_states);
+                assert!(
+                    c.level() >= eca_consistency::Level::StronglyConsistent,
+                    "seed {seed}, view {}: {:?}",
+                    v.view_name,
+                    c.level()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eca_aux_keeps_every_link_quiet() {
+        // Self-maintained views: per-link meters must show the savings —
+        // notifications flow, but no query or answer ever crosses.
+        let report = build_keyed(AlgorithmKind::EcaAux)
+            .run(Policy::AllUpdatesFirst)
+            .unwrap();
+        assert!(report.converged());
+        for site in &report.sites {
+            assert_eq!(site.notification_messages, 2, "{}", site.name);
+            assert_eq!(site.query_messages, 0, "{}", site.name);
+            assert_eq!(site.answer_messages, 0, "{}", site.name);
+            assert_eq!(site.answer_bytes, 0, "{}", site.name);
+        }
+    }
+
     #[test]
     fn cross_channel_ids_may_collide_but_route_correctly() {
         // Both sessions start their global id space at 1; the same

@@ -1,5 +1,6 @@
 //! Run reports: recorded histories plus cost meters.
 
+use eca_core::maintainer::SelfMaintStats;
 use eca_relational::SignedBag;
 
 use crate::trace::TraceEvent;
@@ -38,6 +39,9 @@ pub struct RunReport {
     pub bytes_w2s: u64,
     /// Source block reads charged to query evaluation — the paper's `IO`.
     pub io_reads: u64,
+    /// Self-maintenance statistics (local-answer counts and auxiliary
+    /// residency), when the algorithm keeps auxiliary views.
+    pub selfmaint: Option<SelfMaintStats>,
     /// The full event trace.
     pub trace: Vec<TraceEvent>,
 }
@@ -77,6 +81,7 @@ mod tests {
             bytes_s2w: 0,
             bytes_w2s: 0,
             io_reads: 0,
+            selfmaint: None,
             trace: Vec::new(),
         }
     }

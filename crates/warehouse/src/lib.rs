@@ -740,6 +740,50 @@ mod tests {
         assert_eq!(*wh.materialized(i2), v2.eval(&db).unwrap());
     }
 
+    /// Self-maintenance through the session path: a locally-answered
+    /// update produces no outbound query, registers nothing in the
+    /// session's pending table, and still tracks the source exactly.
+    #[test]
+    fn eca_aux_session_path_emits_no_queries() {
+        let view = ViewDef::new(
+            "V",
+            vec![
+                Schema::with_key("r1", &["W", "X"], &["W"]).unwrap(),
+                Schema::with_key("r2", &["X", "Y"], &["Y"]).unwrap(),
+            ],
+            Predicate::col_eq(1, 2),
+            vec![0],
+        )
+        .unwrap();
+        let mut db = BaseDb::for_view(&view);
+        db.insert("r1", Tuple::ints([1, 2]));
+        let mut wh = Warehouse::new();
+        let src = wh.add_source("src");
+        let id = wh
+            .add_view(
+                src,
+                AlgorithmKind::EcaAux
+                    .instantiate_with_base(&view, view.eval(&db).unwrap(), Some(db.clone()))
+                    .unwrap(),
+            )
+            .unwrap();
+        for u in [
+            Update::insert("r2", Tuple::ints([2, 3])),
+            Update::insert("r1", Tuple::ints([4, 2])),
+            Update::delete("r1", Tuple::ints([1, 2])),
+        ] {
+            db.apply(&u);
+            let queries = wh.on_update(src, &u).unwrap();
+            assert!(queries.is_empty(), "{u:?} must be answered locally");
+            assert_eq!(wh.session(src).pending(), 0);
+            assert_eq!(*wh.materialized(id), view.eval(&db).unwrap());
+        }
+        assert!(wh.is_quiescent());
+        let stats = wh.maintainer(id).selfmaint_stats().unwrap();
+        assert_eq!(stats.local_updates, 3);
+        assert_eq!(stats.remote_updates, 0);
+    }
+
     #[test]
     fn global_ids_do_not_collide_across_views() {
         let (mut wh, src, ..) = hub_over_one_source();

@@ -1140,6 +1140,73 @@ mod tests {
         run_scripted(2, 1, 8);
     }
 
+    /// Self-maintenance through the reactor path: with keyed coverage
+    /// every compensating query is answered at the warehouse, so the
+    /// per-link meter must record zero warehouse→source messages — the
+    /// raw-frame proof that local answers never touch the wire.
+    #[test]
+    fn eca_aux_reactor_link_stays_quiet() {
+        let view = ViewDef::new(
+            "V",
+            vec![
+                Schema::with_key("r1", &["W", "X"], &["W"]).unwrap(),
+                Schema::with_key("r2", &["X", "Y"], &["Y"]).unwrap(),
+            ],
+            Predicate::col_eq(1, 2),
+            vec![0],
+        )
+        .unwrap();
+        let mut db = BaseDb::new();
+        db.register("r1");
+        db.register("r2");
+        db.insert("r1", Tuple::ints([1, 2]));
+
+        let mut wh = Warehouse::new();
+        let src = wh.add_source("s");
+        let initial = view.eval(&db).unwrap();
+        let vid = wh
+            .add_view(
+                src,
+                AlgorithmKind::EcaAux
+                    .instantiate_with_base(&view, initial, Some(db.clone()))
+                    .unwrap(),
+            )
+            .unwrap();
+        let rw = wh.into_reactor(2);
+
+        let meter = TransferMeter::new();
+        let (mut src_end, wh_end) = SharedFifo::pair(meter.clone());
+        let updates = vec![
+            Update::insert("r2", Tuple::ints([2, 3])),
+            Update::insert("r1", Tuple::ints([4, 2])),
+            Update::delete("r1", Tuple::ints([1, 2])),
+        ];
+        std::thread::scope(|scope| {
+            let db_ref = &mut db;
+            let updates_ref = &updates;
+            scope.spawn(move || {
+                for u in updates_ref {
+                    db_ref.apply(u);
+                    src_end
+                        .send(&Message::UpdateNotification { update: u.clone() })
+                        .unwrap();
+                }
+                // No QueryRequest may ever arrive; recv returns None
+                // when the reactor closes the channel.
+                if let Some(msg) = src_end.recv().unwrap() {
+                    panic!("self-maintained view queried the source: {msg:?}");
+                }
+            });
+            rw.run(vec![(src, Box::new(wh_end), updates.len() as u64)])
+                .unwrap();
+        });
+
+        assert!(rw.is_quiescent());
+        assert_eq!(rw.materialized(vid), view.eval(&db).unwrap());
+        assert_eq!(meter.messages_w2s(), 0, "no frame left the warehouse");
+        assert_eq!(meter.answer_bytes(), 0);
+    }
+
     #[test]
     fn early_hangup_is_an_error() {
         let mut wh = Warehouse::new();

@@ -62,14 +62,40 @@ impl Example6 {
         ]
     }
 
+    /// The three base schemas with key metadata declared: every tuple is
+    /// identified by its full attribute set (the generator emits bag
+    /// semantics, so no proper subset is a key). Keyness is the signal
+    /// self-maintaining algorithms (`EcaAux`) use to decide which
+    /// relations get warehouse-resident auxiliary views.
+    pub fn keyed_schemas() -> Vec<Schema> {
+        vec![
+            Schema::with_key("r1", &["W", "X"], &["W", "X"]).expect("key attrs exist"),
+            Schema::with_key("r2", &["X", "Y"], &["X", "Y"]).expect("key attrs exist"),
+            Schema::with_key("r3", &["Y", "Z"], &["Y", "Z"]).expect("key attrs exist"),
+        ]
+    }
+
     /// The view `V = π_{W,Z}(σ_{W>Z}(r1 ⋈_X r2 ⋈_Y r3))`.
     ///
     /// # Errors
     /// Never in practice; propagates view validation.
     pub fn view() -> Result<ViewDef, CoreError> {
+        Self::view_over(Self::schemas())
+    }
+
+    /// As [`Example6::view`], over the keyed schemas — required by
+    /// algorithms that read key metadata (`EcaKey`, `EcaAux`).
+    ///
+    /// # Errors
+    /// Never in practice; propagates view validation.
+    pub fn keyed_view() -> Result<ViewDef, CoreError> {
+        Self::view_over(Self::keyed_schemas())
+    }
+
+    fn view_over(schemas: Vec<Schema>) -> Result<ViewDef, CoreError> {
         ViewDef::new(
             "V",
-            Self::schemas(),
+            schemas,
             Predicate::col_eq(1, 2)
                 .and(Predicate::col_eq(3, 4))
                 .and(Predicate::col_cmp(0, CmpOp::Gt, 5)),

@@ -427,6 +427,122 @@ fn example6_basic_with_resync_survives_resets() {
 }
 
 // ---------------------------------------------------------------------
+// Self-maintenance (ECA-Aux) under injected faults
+// ---------------------------------------------------------------------
+
+/// The keyed fig-6.x join chain ECA-Aux self-maintains: same data and
+/// script as [`example6_fixture`], view schemas carrying the key
+/// metadata the auxiliary derivation needs.
+fn example6_selfmaint_fixture() -> (Source, ViewDef, Vec<Update>) {
+    let workload = Example6::new(Params::default(), 42);
+    let source = workload.build_source(Scenario::Indexed).unwrap();
+    let view = Example6::keyed_view().unwrap();
+    let script = workload.updates(12, UpdateMix::Mixed);
+    (source, view, script)
+}
+
+/// Channel faults must not cost ECA-Aux its self-maintenance: drops,
+/// duplicates, reorders, corruption and connection resets are healed
+/// below the session layer, so every compensating query is still
+/// answered locally — zero logical queries, zero answer bytes — and the
+/// final view matches the fault-free ECA golden.
+#[test]
+fn eca_aux_stays_fully_local_under_every_fault_family() {
+    let golden = single_site(
+        AlgorithmKind::Eca,
+        example6_selfmaint_fixture(),
+        ChaosProfile::none(),
+    )
+    .run(Policy::Serial)
+    .unwrap()
+    .views[0]
+        .final_mv
+        .clone();
+    for seed in [21, 22, 23] {
+        for (family, profile) in fault_sweeps(seed) {
+            let label = format!("selfmaint seed {seed} {family}");
+            let report = single_site(AlgorithmKind::EcaAux, example6_selfmaint_fixture(), profile)
+                .run(Policy::Random { seed })
+                .unwrap();
+            assert_clean(&report, &label);
+            assert_eq!(report.views[0].final_mv, golden, "{label}");
+            assert_eq!(
+                report.sites[0].query_messages, 0,
+                "{label}: a fault leaked a round-trip"
+            );
+            assert_eq!(report.sites[0].answer_bytes, 0, "{label}");
+        }
+    }
+}
+
+/// A source restart loses the auxiliary views' ground truth: the view
+/// degrades to an RV-style resync, `reset_to` marks every auxiliary
+/// stale, and the next update triggers their rebuild queries — after
+/// which maintenance is local again and the run converges to the
+/// fault-free golden.
+#[test]
+fn eca_aux_rebuilds_auxiliaries_after_source_restart() {
+    let golden = single_site(
+        AlgorithmKind::Eca,
+        example6_selfmaint_fixture(),
+        ChaosProfile::none(),
+    )
+    .run(Policy::Serial)
+    .unwrap()
+    .views[0]
+        .final_mv
+        .clone();
+    let profile = ChaosProfile::none().with_restarts(&[8]);
+    let report = single_site(AlgorithmKind::EcaAux, example6_selfmaint_fixture(), profile)
+        .run(Policy::Random { seed: 31 })
+        .unwrap();
+    assert_clean(&report, "selfmaint restart");
+    assert_eq!(report.views[0].final_mv, golden);
+    let s = report.stats;
+    assert_eq!(s.restarts, 1, "{s:?}");
+    assert!(s.resyncs_started >= 1, "restart must degrade: {s:?}");
+    assert_eq!(
+        s.resyncs_completed, s.resyncs_started,
+        "every resync must complete: {s:?}"
+    );
+    // The wire carries the resync query plus one rebuild query per
+    // auxiliary (three relations) — and nothing else, because updates
+    // before the restart and after the rebuild are answered locally.
+    assert!(
+        report.sites[0].query_messages >= 4,
+        "resync + 3 aux rebuilds expected, saw {}",
+        report.sites[0].query_messages
+    );
+    // Quiescence proves the rebuilds were answered and installed (a
+    // pending refresh blocks `is_quiescent`).
+}
+
+/// Mid-run connection resets with faults on both directions: the session
+/// survives (`reconnect`), no auxiliary is invalidated, and
+/// self-maintenance continues without a single compensating round-trip.
+#[test]
+fn eca_aux_survives_resets_without_losing_locality() {
+    let golden = single_site(
+        AlgorithmKind::Eca,
+        example6_selfmaint_fixture(),
+        ChaosProfile::none(),
+    )
+    .run(Policy::Serial)
+    .unwrap()
+    .views[0]
+        .final_mv
+        .clone();
+    let profile = ChaosProfile::symmetric(FaultPlan::mixed(77, 0.1).with_resets(&[3, 9]));
+    let report = single_site(AlgorithmKind::EcaAux, example6_selfmaint_fixture(), profile)
+        .run(Policy::Random { seed: 55 })
+        .unwrap();
+    assert_clean(&report, "selfmaint resets");
+    assert_eq!(report.views[0].final_mv, golden);
+    assert!(report.stats.resets >= 1, "{:?}", report.stats);
+    assert_eq!(report.sites[0].query_messages, 0);
+}
+
+// ---------------------------------------------------------------------
 // Multi-source stress under injected faults
 // ---------------------------------------------------------------------
 

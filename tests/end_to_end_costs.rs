@@ -162,6 +162,51 @@ fn fig65_scenario2_shapes() {
     );
 }
 
+/// Self-maintenance: ECA-Aux's measured message count must equal the
+/// exact closed form (not approximately — the local-answer rule is
+/// deterministic) at every coverage level, and the measured local
+/// fraction must match the keyness-driven prediction.
+#[test]
+fn selfmaint_messages_match_closed_form_exactly() {
+    for (k, seed) in [(8u64, 2u64), (16, 5), (24, 9)] {
+        for point in eca_bench::selfmaint::storage_curve(k, seed) {
+            assert!(point.converged, "k={k} coverage {}", point.covered);
+            assert_eq!(
+                point.messages_measured, point.messages_analytic,
+                "k={k} coverage {}",
+                point.covered
+            );
+            // Every remote update costs exactly one query + one answer;
+            // every local update costs nothing.
+            assert_eq!(point.messages_measured, 2 * point.remote_updates);
+            assert_eq!(point.local_updates + point.remote_updates, k);
+            // The uniform-update expectation brackets the script-exact
+            // count (they agree exactly when the script is balanced).
+            let coverage = [point.covered >= 1, point.covered >= 2, point.covered >= 3];
+            let f = eca_analytic::selfmaint::local_fraction(&coverage);
+            match point.covered {
+                3 => assert_eq!(f, 1.0),
+                2 => assert!((f - 1.0 / 3.0).abs() < 1e-12),
+                _ => assert_eq!(f, 0.0),
+            }
+        }
+    }
+}
+
+/// Self-maintenance bytes: with full coverage no answer bytes flow at
+/// all; remote updates transfer what ECA would.
+#[test]
+fn selfmaint_bytes_track_remote_updates() {
+    let curve = eca_bench::selfmaint::storage_curve(16, 4);
+    assert_eq!(curve[3].paper_bytes, 0.0, "full coverage transfers nothing");
+    // Zero coverage behaves exactly like ECA on the same script.
+    assert_eq!(curve[0].paper_bytes, curve[0].paper_bytes_eca);
+    assert_eq!(curve[0].messages_measured, curve[0].messages_eca);
+    // Partial coverage sits strictly between the extremes.
+    assert!(curve[2].paper_bytes < curve[0].paper_bytes);
+    assert!(curve[2].messages_measured < curve[0].messages_measured);
+}
+
 /// Every measured corner converges and is at least strongly consistent —
 /// the cost study never trades correctness.
 #[test]
