@@ -9,7 +9,8 @@
 //!
 //! ```text
 //! throughput [--smoke] [--scaling-smoke] [--tcp-scaling-smoke]
-//!            [--selfmaint-smoke] [--workers N] [--reactor-workers N]
+//!            [--selfmaint-smoke] [--serving-smoke]
+//!            [--workers N] [--reactor-workers N]
 //!            [--io-latency-us N] [--out PATH] [--root PATH]
 //! ```
 //!
@@ -32,6 +33,13 @@
 //! locally and cut maintenance messages ≥50% vs ECA, with the exact
 //! closed-form prediction matching the meter; it also refreshes
 //! `results/selfmaint.json`.
+//! `--serving-smoke` runs only the mixed read/write serving gate: a
+//! reduced reader fleet against a live maintenance stream must complete
+//! every read with zero monotonicity violations, every strong answer in
+//! the §3.1 state history, and throughput above a sanity floor; it also
+//! refreshes `results/serving.json`. The full (non-smoke) run measures
+//! the ≥1000-reader configuration and embeds the result in the main
+//! artifact.
 
 use std::path::PathBuf;
 use std::time::Duration;
@@ -48,6 +56,7 @@ struct Args {
     scaling_smoke: bool,
     tcp_scaling_smoke: bool,
     selfmaint_smoke: bool,
+    serving_smoke: bool,
     workers: usize,
     reactor_workers: usize,
     io_latency: Duration,
@@ -64,6 +73,7 @@ fn parse_args() -> Args {
         scaling_smoke: false,
         tcp_scaling_smoke: false,
         selfmaint_smoke: false,
+        serving_smoke: false,
         workers: 8,
         reactor_workers: 2,
         io_latency: Duration::from_micros(1000),
@@ -77,6 +87,7 @@ fn parse_args() -> Args {
             "--scaling-smoke" => parsed.scaling_smoke = true,
             "--tcp-scaling-smoke" => parsed.tcp_scaling_smoke = true,
             "--selfmaint-smoke" => parsed.selfmaint_smoke = true,
+            "--serving-smoke" => parsed.serving_smoke = true,
             "--workers" => {
                 parsed.workers = args
                     .next()
@@ -123,6 +134,23 @@ fn parse_args() -> Args {
         }
     }
     parsed
+}
+
+fn print_serving(r: &eca_bench::serving::ServingResult) {
+    println!(
+        "serving: {} readers x {} reads at {:.0} reads/sec (p50 {} us, p99 {} us), \
+         {} violations, {} distinct strong snapshots all-in-history={}, \
+         maintenance {:.0} updates/sec under load",
+        r.config.readers,
+        r.config.reads_per_reader,
+        r.reads_per_sec,
+        r.p50_us,
+        r.p99_us,
+        r.violations,
+        r.strong_distinct,
+        r.strong_all_in_history,
+        r.updates_per_sec,
+    );
 }
 
 fn print_scaling(scaling: &[ScalingResult]) {
@@ -197,6 +225,19 @@ fn main() {
         return;
     }
 
+    if args.serving_smoke {
+        let result = eca_bench::serving::run(eca_bench::serving::ServingConfig::smoke());
+        print_serving(&result);
+        let doc = eca_bench::serving::report(&result).pretty();
+        std::fs::create_dir_all("results").expect("create results dir");
+        std::fs::write("results/serving.json", doc).expect("write serving artifact");
+        println!("wrote results/serving.json");
+        if !eca_bench::serving::smoke(&result) {
+            std::process::exit(1);
+        }
+        return;
+    }
+
     let results = sweep(args.smoke, args.io_latency, args.workers);
     println!(
         "{:>7} {:>5} {:>7} {:>12} {:>12} {:>8}",
@@ -221,11 +262,26 @@ fn main() {
     println!("loopback TCP:");
     print_scaling(&tcp_scaling);
 
+    // Mixed read/write serving: the full run fields the ≥1000-reader
+    // configuration; `--smoke` keeps the reduced fleet.
+    let serving_cfg = if args.smoke {
+        eca_bench::serving::ServingConfig::smoke()
+    } else {
+        eca_bench::serving::ServingConfig::full()
+    };
+    let serving = eca_bench::serving::run(serving_cfg);
+    print_serving(&serving);
+    let serving_doc = eca_bench::serving::report(&serving);
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/serving.json", serving_doc.pretty()).expect("write serving artifact");
+    println!("wrote results/serving.json");
+
     let doc = report(
         &results,
         &scaling,
         &tcp_scaling,
         eca_bench::selfmaint::report(SELFMAINT_K, SELFMAINT_SEED),
+        serving_doc,
     )
     .pretty();
     if let Some(dir) = args.out.parent() {
@@ -246,6 +302,7 @@ fn main() {
     }
     failed |= !gate_scaling(&scaling, 32);
     failed |= !gate_scaling(&tcp_scaling, 128);
+    failed |= !eca_bench::serving::smoke(&serving);
     if failed {
         std::process::exit(1);
     }

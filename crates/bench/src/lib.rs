@@ -22,6 +22,7 @@ pub mod chaos;
 pub mod json;
 pub mod scenario_file;
 pub mod selfmaint;
+pub mod serving;
 pub mod throughput;
 
 use eca_core::algorithms::AlgorithmKind;

@@ -1107,6 +1107,7 @@ pub fn report(
     scaling: &[ScalingResult],
     tcp_scaling: &[ScalingResult],
     selfmaint: Json,
+    serving: Json,
 ) -> Json {
     Json::obj([
         (
@@ -1153,5 +1154,6 @@ pub fn report(
             Json::arr(tcp_scaling.iter().map(|r| r.to_json())),
         ),
         ("selfmaint", selfmaint),
+        ("serving", serving),
     ])
 }

@@ -1,0 +1,639 @@
+//! The online read-serving front end (ROADMAP item 4).
+//!
+//! Maintenance keeps views fresh; this crate makes them *readable under
+//! load*. A [`ReadServer`] answers [`eca_wire::Message::ReadQuery`]
+//! requests from an [`EpochRegistry`] — the snapshot store the
+//! warehouse publishes into after every maintenance event — so read
+//! traffic touches only published `Arc` snapshots and never blocks (or
+//! is blocked by) maintenance. Clients pick a §3 consistency level per
+//! read ([`ReadLevel`]):
+//!
+//! * `Convergent` — any published epoch,
+//! * `Weak` — published epochs, monotonic per client (the client
+//!   carries its epoch floor in the request, so the guarantee survives
+//!   disconnect/reconnect),
+//! * `Strong` — the latest epoch published while the view was
+//!   quiescent: a §3.1 state-history member, read-your-latest-epoch.
+//!
+//! Two deployment shapes share the same protocol:
+//!
+//! * [`ReadServer::serve_ready`] pumps any [`Transport`] — the bench
+//!   multiplexes thousands of in-process [`eca_wire::SharedFifo`]
+//!   clients over a few worker threads this way;
+//! * [`serve_listener`] opens a real TCP port: an accept thread admits
+//!   clients into a station table, one [`eca_wire::Poller`] thread
+//!   watches every socket, and a fixed worker pool drains whichever
+//!   stations have readable bytes (the reactor pattern of
+//!   `eca-warehouse`, applied to the read path).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use eca_core::QueryId;
+use eca_relational::SignedBag;
+use eca_warehouse::EpochRegistry;
+use eca_wire::{
+    Message, PollWaker, Poller, ReadLevel, Role, TcpTransport, TransferMeter, Transport,
+    TransportError,
+};
+
+/// Errors raised by the serving layer (either side).
+#[derive(Debug)]
+pub enum ServeError {
+    /// The underlying transport failed.
+    Transport(TransportError),
+    /// The server answered with [`Message::ReadError`].
+    Remote {
+        /// Correlation id of the failed read.
+        id: QueryId,
+        /// The server's reason.
+        reason: String,
+    },
+    /// A message that is not part of the read protocol arrived.
+    Protocol {
+        /// The offending message kind.
+        kind: &'static str,
+    },
+    /// The server answered below the client's monotonicity floor — a
+    /// consistency violation (never expected; surfaced so tests and the
+    /// bench can count violations instead of silently regressing).
+    NonMonotonic {
+        /// The view read.
+        view: u64,
+        /// The client's floor at send time.
+        floor: u64,
+        /// The epoch actually served.
+        got: u64,
+    },
+    /// The channel closed before the answer arrived.
+    Disconnected,
+    /// A read was begun while another was still in flight.
+    Busy,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Transport(e) => write!(f, "transport error: {e}"),
+            ServeError::Remote { id, reason } => write!(f, "read {id:?} failed: {reason}"),
+            ServeError::Protocol { kind } => write!(f, "unexpected {kind} on a read channel"),
+            ServeError::NonMonotonic { view, floor, got } => write!(
+                f,
+                "view {view}: epoch {got} served below the client floor {floor}"
+            ),
+            ServeError::Disconnected => write!(f, "connection closed mid-read"),
+            ServeError::Busy => write!(f, "a read is already in flight on this client"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Transport(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TransportError> for ServeError {
+    fn from(e: TransportError) -> Self {
+        ServeError::Transport(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Server side.
+// ---------------------------------------------------------------------------
+
+/// A stateless read responder over a shared [`EpochRegistry`].
+///
+/// Stateless is the point: all per-client consistency state (the epoch
+/// floor) travels in the request, so any worker can serve any client,
+/// and a client that reconnects to a different worker — or a different
+/// server — keeps its guarantees.
+pub struct ReadServer {
+    registry: Arc<EpochRegistry>,
+}
+
+impl ReadServer {
+    /// A server over `registry`.
+    pub fn new(registry: Arc<EpochRegistry>) -> ReadServer {
+        ReadServer { registry }
+    }
+
+    /// The registry served.
+    pub fn registry(&self) -> &Arc<EpochRegistry> {
+        &self.registry
+    }
+
+    /// Answer one inbound message. Read queries get a
+    /// [`Message::ReadAnswer`] (or [`Message::ReadError`] for an
+    /// unknown view); anything else gets a `ReadError` naming the
+    /// protocol violation — a read channel never carries maintenance
+    /// traffic.
+    pub fn respond(&self, msg: Message) -> Message {
+        match msg {
+            Message::ReadQuery {
+                id,
+                view,
+                level,
+                min_epoch,
+            } => match self.registry.read(view as usize, level, min_epoch) {
+                Some(snap) => Message::ReadAnswer {
+                    id,
+                    view,
+                    epoch: snap.epoch,
+                    latest: snap.latest,
+                    rows: (*snap.rows).clone(),
+                },
+                None => Message::ReadError {
+                    id,
+                    reason: format!("unknown view #{view}"),
+                },
+            },
+            other => Message::ReadError {
+                id: QueryId(0),
+                reason: format!("unexpected {} on a read channel", kind_of(&other)),
+            },
+        }
+    }
+
+    /// Drain every request currently available on `transport` and send
+    /// the answers back. Returns the number of requests served.
+    ///
+    /// # Errors
+    /// Transport faults (including framing errors from hostile
+    /// prefixes) — the caller should drop the connection.
+    pub fn serve_ready(&self, transport: &mut dyn Transport) -> Result<usize, TransportError> {
+        let mut served = 0;
+        while let Some(msg) = transport.try_recv()? {
+            transport.send(&self.respond(msg))?;
+            served += 1;
+        }
+        Ok(served)
+    }
+}
+
+fn kind_of(msg: &Message) -> &'static str {
+    match msg {
+        Message::UpdateNotification { .. } => "UpdateNotification",
+        Message::QueryRequest { .. } => "QueryRequest",
+        Message::QueryAnswer { .. } => "QueryAnswer",
+        Message::Frame { .. } => "Frame",
+        Message::Ack { .. } => "Ack",
+        Message::Hello { .. } => "Hello",
+        Message::ReadQuery { .. } => "ReadQuery",
+        Message::ReadAnswer { .. } => "ReadAnswer",
+        Message::ReadError { .. } => "ReadError",
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TCP front end.
+// ---------------------------------------------------------------------------
+
+/// One admitted client connection. `conn: None` marks a dead station
+/// awaiting compaction.
+struct Station {
+    conn: Mutex<Option<TcpTransport>>,
+}
+
+struct ListenerShared {
+    server: ReadServer,
+    stations: Mutex<Vec<Arc<Station>>>,
+    waker: Arc<PollWaker>,
+    shutdown: AtomicBool,
+    served: AtomicU64,
+}
+
+/// Handle to a running TCP read server; dropping it without calling
+/// [`ServeHandle::shutdown`] leaks the serving threads.
+pub struct ServeHandle {
+    addr: SocketAddr,
+    shared: Arc<ListenerShared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServeHandle {
+    /// The bound address (use with `TcpTransport::connect`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Total read requests served so far.
+    pub fn served(&self) -> u64 {
+        self.shared.served.load(Ordering::Relaxed)
+    }
+
+    /// Stop accepting, drain the pool and join every thread.
+    pub fn shutdown(self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.waker.notify();
+        // Unblock the accept thread with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        for t in self.threads {
+            let _ = t.join();
+        }
+        for st in self
+            .shared
+            .stations
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .drain(..)
+        {
+            if let Ok(mut guard) = st.conn.lock() {
+                if let Some(mut conn) = guard.take() {
+                    conn.close();
+                }
+            }
+        }
+    }
+}
+
+/// Open a TCP read-serving port over `registry`: an accept thread, one
+/// poller thread watching every client socket, and `workers` serving
+/// threads multiplexing all admitted stations (readiness-driven — the
+/// reactor discipline, so thousands of mostly-idle clients cost no
+/// spinning).
+///
+/// # Errors
+/// Binding or poller-spawn failures.
+pub fn serve_listener(
+    addr: impl ToSocketAddrs,
+    registry: Arc<EpochRegistry>,
+    workers: usize,
+) -> std::io::Result<ServeHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let poller = Poller::new()?;
+    let shared = Arc::new(ListenerShared {
+        server: ReadServer::new(registry),
+        stations: Mutex::new(Vec::new()),
+        waker: PollWaker::new(),
+        shutdown: AtomicBool::new(false),
+        served: AtomicU64::new(0),
+    });
+
+    let mut threads = Vec::new();
+    {
+        let shared = Arc::clone(&shared);
+        let poller = Arc::clone(&poller);
+        threads.push(std::thread::spawn(move || {
+            accept_duty(&listener, &shared, &poller);
+        }));
+    }
+    for _ in 0..workers.max(1) {
+        let shared = Arc::clone(&shared);
+        threads.push(std::thread::spawn(move || worker_duty(&shared)));
+    }
+
+    Ok(ServeHandle {
+        addr: local,
+        shared,
+        threads,
+    })
+}
+
+fn accept_duty(listener: &TcpListener, shared: &ListenerShared, poller: &Arc<Poller>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let Ok(mut conn) = TcpTransport::new(stream, Role::Warehouse, TransferMeter::new()) else {
+            continue;
+        };
+        conn.attach_poller(Arc::clone(poller));
+        if !conn.set_waker(Arc::clone(&shared.waker)) {
+            continue; // cannot happen with a poller attached
+        }
+        let mut stations = shared
+            .stations
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // Compact dead stations while we hold the lock anyway.
+        stations.retain(|st| match st.conn.try_lock() {
+            Ok(guard) => guard.is_some(),
+            Err(_) => true, // busy in a worker — certainly alive
+        });
+        stations.push(Arc::new(Station {
+            conn: Mutex::new(Some(conn)),
+        }));
+        drop(stations);
+        shared.waker.notify();
+    }
+}
+
+fn worker_duty(shared: &ListenerShared) {
+    loop {
+        let seen = shared.waker.epoch();
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let stations: Vec<Arc<Station>> = shared
+            .stations
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone();
+        let mut progressed = false;
+        for st in &stations {
+            // Busy-claim: exactly one worker serves a station at a time.
+            let Ok(mut guard) = st.conn.try_lock() else {
+                continue;
+            };
+            let Some(conn) = guard.as_mut() else { continue };
+            match shared.server.serve_ready(conn) {
+                Ok(0) => {
+                    if matches!(conn.poll(), Ok(eca_wire::Readiness::Closed) | Err(_)) {
+                        if let Some(mut dead) = guard.take() {
+                            dead.close();
+                        }
+                    }
+                }
+                Ok(n) => {
+                    shared.served.fetch_add(n as u64, Ordering::Relaxed);
+                    progressed = true;
+                }
+                Err(_) => {
+                    // Fault (truncation, framing error, hostile prefix):
+                    // tear the connection down; the client's floor
+                    // travels with the client, so nothing is lost.
+                    if let Some(mut dead) = guard.take() {
+                        dead.close();
+                    }
+                }
+            }
+        }
+        if !progressed {
+            shared.waker.wait(seen, Duration::from_millis(25));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Client side.
+// ---------------------------------------------------------------------------
+
+/// One completed read.
+#[derive(Clone, Debug)]
+pub struct ReadOutcome {
+    /// The view read.
+    pub view: u64,
+    /// Level the read was served at.
+    pub level: ReadLevel,
+    /// Epoch of the served snapshot.
+    pub epoch: u64,
+    /// Latest published epoch at serve time.
+    pub latest: u64,
+    /// The rows.
+    pub rows: SignedBag,
+}
+
+impl ReadOutcome {
+    /// Staleness of this answer, in epochs behind the latest published.
+    pub fn staleness(&self) -> u64 {
+        self.latest.saturating_sub(self.epoch)
+    }
+}
+
+/// A read client over any [`Transport`], tracking per-view epoch floors
+/// so weak/strong reads stay monotonic — including across reconnects:
+/// extract the floors with [`ReadClient::floors`] before dropping a
+/// dead connection and restore them with [`ReadClient::with_floors`] on
+/// the new one.
+pub struct ReadClient<T: Transport> {
+    transport: T,
+    next_id: u64,
+    /// Highest epoch observed per `(view, level)`.
+    floors: BTreeMap<(u64, ReadLevel), u64>,
+    /// The read in flight, if any: `(id, view, level, floor at send)`.
+    pending: Option<(QueryId, u64, ReadLevel, u64)>,
+}
+
+impl<T: Transport> ReadClient<T> {
+    /// A fresh client (no floors).
+    pub fn new(transport: T) -> ReadClient<T> {
+        ReadClient::with_floors(transport, BTreeMap::new())
+    }
+
+    /// A client resuming with floors carried over from a previous
+    /// connection — the reconnect path: monotonicity is a property of
+    /// the *client*, not the connection.
+    pub fn with_floors(transport: T, floors: BTreeMap<(u64, ReadLevel), u64>) -> ReadClient<T> {
+        ReadClient {
+            transport,
+            next_id: 1,
+            floors,
+            pending: None,
+        }
+    }
+
+    /// The current floors, for carrying across a reconnect.
+    pub fn floors(&self) -> BTreeMap<(u64, ReadLevel), u64> {
+        self.floors.clone()
+    }
+
+    /// The underlying transport (e.g. to inspect its meter).
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+
+    /// Mutable access to the underlying transport.
+    pub fn transport_mut(&mut self) -> &mut T {
+        &mut self.transport
+    }
+
+    /// Give the transport back (e.g. to close it explicitly).
+    pub fn into_transport(self) -> T {
+        self.transport
+    }
+
+    /// Send a read without waiting for the answer. At most one read may
+    /// be in flight per client (the channel is FIFO).
+    ///
+    /// # Errors
+    /// [`ServeError::Busy`] if a read is already pending; transport
+    /// faults.
+    pub fn begin_read(&mut self, view: u64, level: ReadLevel) -> Result<QueryId, ServeError> {
+        if self.pending.is_some() {
+            return Err(ServeError::Busy);
+        }
+        let id = QueryId(self.next_id);
+        self.next_id += 1;
+        let floor = match level {
+            ReadLevel::Convergent => 0,
+            _ => *self.floors.get(&(view, level)).unwrap_or(&0),
+        };
+        self.transport.send(&Message::ReadQuery {
+            id,
+            view,
+            level,
+            min_epoch: floor,
+        })?;
+        self.pending = Some((id, view, level, floor));
+        Ok(id)
+    }
+
+    /// Non-blocking: collect the pending read's answer if it arrived.
+    ///
+    /// # Errors
+    /// [`ServeError::Disconnected`] on channel close mid-read;
+    /// [`ServeError::NonMonotonic`] when the served epoch regressed
+    /// below the floor; remote/protocol/transport failures.
+    pub fn try_finish(&mut self) -> Result<Option<ReadOutcome>, ServeError> {
+        if self.pending.is_none() {
+            return Ok(None);
+        }
+        match self.transport.try_recv() {
+            Ok(Some(msg)) => self.accept(msg).map(Some),
+            Ok(None) => {
+                if matches!(self.transport.poll(), Ok(eca_wire::Readiness::Closed)) {
+                    return Err(ServeError::Disconnected);
+                }
+                Ok(None)
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Blocking read: send and wait for the answer.
+    ///
+    /// # Errors
+    /// As [`ReadClient::begin_read`] and [`ReadClient::try_finish`].
+    pub fn read(&mut self, view: u64, level: ReadLevel) -> Result<ReadOutcome, ServeError> {
+        self.begin_read(view, level)?;
+        match self.transport.recv()? {
+            Some(msg) => self.accept(msg),
+            None => Err(ServeError::Disconnected),
+        }
+    }
+
+    fn accept(&mut self, msg: Message) -> Result<ReadOutcome, ServeError> {
+        let (id, view, level, floor) = self.pending.take().expect("accept without pending");
+        match msg {
+            Message::ReadAnswer {
+                id: got_id,
+                view: got_view,
+                epoch,
+                latest,
+                rows,
+            } => {
+                if got_id != id || got_view != view {
+                    return Err(ServeError::Protocol {
+                        kind: "mis-correlated ReadAnswer",
+                    });
+                }
+                if level != ReadLevel::Convergent && epoch < floor {
+                    return Err(ServeError::NonMonotonic {
+                        view,
+                        floor,
+                        got: epoch,
+                    });
+                }
+                let slot = self.floors.entry((view, level)).or_insert(0);
+                *slot = (*slot).max(epoch);
+                Ok(ReadOutcome {
+                    view,
+                    level,
+                    epoch,
+                    latest,
+                    rows,
+                })
+            }
+            Message::ReadError { id, reason } => Err(ServeError::Remote { id, reason }),
+            other => Err(ServeError::Protocol {
+                kind: kind_of(&other),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eca_relational::Tuple;
+    use eca_wire::InMemoryFifo;
+
+    fn registry() -> Arc<EpochRegistry> {
+        Arc::new(EpochRegistry::new(
+            [SignedBag::from_tuples([Tuple::ints([1])])],
+            4,
+        ))
+    }
+
+    #[test]
+    fn serve_answers_reads_and_rejects_maintenance_traffic() {
+        let reg = registry();
+        let server = ReadServer::new(Arc::clone(&reg));
+        let (client_end, mut server_end) = InMemoryFifo::pair(TransferMeter::new());
+
+        let mut client = ReadClient::new(client_end);
+        client.begin_read(0, ReadLevel::Strong).unwrap();
+        server.serve_ready(&mut server_end).unwrap();
+        let got = client.try_finish().unwrap().unwrap();
+        assert_eq!(got.epoch, 0);
+        assert_eq!(got.rows, SignedBag::from_tuples([Tuple::ints([1])]));
+
+        // Maintenance traffic on a read channel is a remote error.
+        client
+            .transport_mut()
+            .send(&Message::Hello { epoch: 3 })
+            .unwrap();
+        server.serve_ready(&mut server_end).unwrap();
+        match client.transport_mut().try_recv().unwrap().unwrap() {
+            Message::ReadError { reason, .. } => assert!(reason.contains("Hello")),
+            other => panic!("expected ReadError, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_view_is_a_remote_error() {
+        let server = ReadServer::new(registry());
+        let answer = server.respond(Message::ReadQuery {
+            id: QueryId(5),
+            view: 99,
+            level: ReadLevel::Convergent,
+            min_epoch: 0,
+        });
+        match answer {
+            Message::ReadError { id, reason } => {
+                assert_eq!(id, QueryId(5));
+                assert!(reason.contains("99"));
+            }
+            other => panic!("expected ReadError, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn floors_survive_reconnect() {
+        let reg = registry();
+        reg.publish(0, &SignedBag::from_tuples([Tuple::ints([2])]), true);
+        let server = ReadServer::new(Arc::clone(&reg));
+
+        let (c1, mut s1) = InMemoryFifo::pair(TransferMeter::new());
+        let mut client = ReadClient::new(c1);
+        client.begin_read(0, ReadLevel::Weak).unwrap();
+        server.serve_ready(&mut s1).unwrap();
+        let first = client.try_finish().unwrap().unwrap();
+        let floors = client.floors();
+        assert_eq!(floors.get(&(0, ReadLevel::Weak)), Some(&first.epoch));
+
+        // "Reconnect": a brand-new channel, floors carried over. The
+        // weak read must not regress even though the oldest ring entry
+        // is older than the floor.
+        let (c2, mut s2) = InMemoryFifo::pair(TransferMeter::new());
+        let mut client = ReadClient::with_floors(c2, floors);
+        client.begin_read(0, ReadLevel::Weak).unwrap();
+        server.serve_ready(&mut s2).unwrap();
+        let second = client.try_finish().unwrap().unwrap();
+        assert!(second.epoch >= first.epoch);
+    }
+}

@@ -676,6 +676,11 @@ impl ChaosSimulation {
                     "session-layer envelope leaked past the reliable link",
                 ));
             }
+            Message::ReadQuery { .. } | Message::ReadAnswer { .. } | Message::ReadError { .. } => {
+                return Err(SimError::Protocol(
+                    "read-serving message on a maintenance channel",
+                ));
+            }
         };
         for q in outbound {
             self.sites[i].wh_link.send(&Message::QueryRequest {

@@ -378,6 +378,11 @@ impl Simulation {
                     "session-layer envelope leaked past the transport",
                 ));
             }
+            Message::ReadQuery { .. } | Message::ReadAnswer { .. } | Message::ReadError { .. } => {
+                return Err(SimError::Protocol(
+                    "read-serving message on a maintenance channel",
+                ));
+            }
         };
         for q in outbound {
             self.wh_end.send(&Message::QueryRequest {

@@ -383,6 +383,11 @@ impl MultiSimulation {
                     "session-layer envelope leaked past the transport",
                 ));
             }
+            Message::ReadQuery { .. } | Message::ReadAnswer { .. } | Message::ReadError { .. } => {
+                return Err(SimError::Protocol(
+                    "read-serving message on a maintenance channel",
+                ));
+            }
         };
         for q in outbound {
             self.sites[i].wh_end.send(&Message::QueryRequest {

@@ -18,12 +18,13 @@
 //! default for the simulator and all golden traces; this runtime is for
 //! wall-clock throughput.
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use eca_core::QueryId;
 use eca_relational::{SignedBag, Update};
 use eca_wire::{Message, Transport, WireQuery};
 
+use crate::publish::EpochRegistry;
 use crate::session::Session;
 use crate::{SourceId, ViewId, Warehouse, WarehouseError};
 
@@ -32,6 +33,9 @@ use crate::{SourceId, ViewId, Warehouse, WarehouseError};
 pub(crate) struct ShardView {
     pub(crate) maintainer: Box<dyn eca_core::ViewMaintainer>,
     pub(crate) states: Vec<SignedBag>,
+    /// Global view index — the slot this view publishes to in the
+    /// serving registry (shard-local indices are meaningless there).
+    pub(crate) global: usize,
 }
 
 /// All warehouse state owned by one source's pump thread (or, in the
@@ -41,6 +45,9 @@ pub(crate) struct Shard {
     session: Session,
     pub(crate) views: Vec<ShardView>,
     record_history: bool,
+    /// Shared epoch publication, carried over from the serial
+    /// warehouse's [`Warehouse::enable_serving`] across the reshape.
+    publisher: Option<Arc<EpochRegistry>>,
 }
 
 impl Shard {
@@ -85,14 +92,22 @@ impl Shard {
     fn record_states(&mut self, idx: usize) {
         if !self.record_history {
             let _ = self.views[idx].maintainer.drain_intermediate_states();
-            return;
-        }
-        let entry = &mut self.views[idx];
-        let intermediates = entry.maintainer.drain_intermediate_states();
-        if intermediates.is_empty() {
-            entry.states.push(entry.maintainer.materialized().clone());
         } else {
-            entry.states.extend(intermediates);
+            let entry = &mut self.views[idx];
+            let intermediates = entry.maintainer.drain_intermediate_states();
+            if intermediates.is_empty() {
+                entry.states.push(entry.maintainer.materialized().clone());
+            } else {
+                entry.states.extend(intermediates);
+            }
+        }
+        if let Some(registry) = &self.publisher {
+            let entry = &self.views[idx];
+            registry.publish(
+                entry.global,
+                entry.maintainer.materialized(),
+                entry.maintainer.is_quiescent(),
+            );
         }
     }
 
@@ -128,6 +143,7 @@ impl Warehouse {
                 session: Session::new(),
                 views: Vec::new(),
                 record_history: self.record_history,
+                publisher: self.publisher.clone(),
             })
             .collect();
         let mut view_index = Vec::with_capacity(self.views.len());
@@ -138,6 +154,7 @@ impl Warehouse {
             shards[shard].views.push(ShardView {
                 maintainer: entry.maintainer,
                 states: entry.states,
+                global,
             });
         }
         ShardSet {
@@ -296,6 +313,13 @@ impl ConcurrentWarehouse {
                     return Err(WarehouseError::UnexpectedMessage {
                         kind: "session-layer",
                     })
+                }
+                // Read-serving traffic belongs on `eca-serve` channels,
+                // never on a maintenance channel.
+                Message::ReadQuery { .. }
+                | Message::ReadAnswer { .. }
+                | Message::ReadError { .. } => {
+                    return Err(WarehouseError::UnexpectedMessage { kind: "read-layer" })
                 }
             };
             for reply in replies {

@@ -21,10 +21,12 @@
 #![warn(missing_docs)]
 
 pub mod concurrent;
+pub mod publish;
 pub mod reactor;
 pub mod session;
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 use std::time::Duration;
 
 use eca_core::maintainer::OutboundQuery;
@@ -33,6 +35,7 @@ use eca_relational::{SignedBag, Update};
 use eca_wire::{Message, Transport, TransportError, WireQuery};
 
 pub use concurrent::ConcurrentWarehouse;
+pub use publish::{EpochRegistry, ReadSnapshot};
 pub use reactor::{connect_source, ReactorWarehouse};
 pub use session::{PendingQuery, Route, RouteKind, Session};
 
@@ -188,6 +191,10 @@ pub struct Warehouse {
     record_history: bool,
     max_retries: u32,
     recovery: RecoveryStats,
+    /// Epoch publication for the read-serving layer, enabled by
+    /// [`Warehouse::enable_serving`]. `None` keeps maintenance-only
+    /// deployments free of per-event snapshot clones.
+    publisher: Option<Arc<EpochRegistry>>,
 }
 
 impl Default for Warehouse {
@@ -205,7 +212,30 @@ impl Warehouse {
             record_history: true,
             max_retries: 3,
             recovery: RecoveryStats::default(),
+            publisher: None,
         }
+    }
+
+    /// Turn on epoch publication for the read-serving layer: every view
+    /// registered so far is published (initial state = epoch 0,
+    /// quiesced), and from now on every processed event publishes the
+    /// affected view's new state into the returned [`EpochRegistry`] —
+    /// copy-on-publish, so readers share `Arc` snapshots and never
+    /// contend with maintenance. `ring_cap` bounds each view's window
+    /// of retained epochs. Call after [`Warehouse::add_view`]; views
+    /// added later are not served.
+    ///
+    /// The registry survives [`Warehouse::into_concurrent`] and the
+    /// reactor reshaping — shards keep publishing into the same store.
+    pub fn enable_serving(&mut self, ring_cap: usize) -> Arc<EpochRegistry> {
+        let registry = Arc::new(EpochRegistry::new(
+            self.views
+                .iter()
+                .map(|v| v.maintainer.materialized().clone()),
+            ring_cap,
+        ));
+        self.publisher = Some(Arc::clone(&registry));
+        registry
     }
 
     /// How many times an in-flight query may be re-issued across channel
@@ -336,19 +366,28 @@ impl Warehouse {
     }
 
     /// Record the state(s) view `idx` reached during the event just
-    /// processed.
+    /// processed, and publish the new materialized state to the serving
+    /// registry if one is attached.
     fn record_states(&mut self, idx: usize) {
         if !self.record_history {
             // Still drain intermediates so maintainers don't accumulate.
             let _ = self.views[idx].maintainer.drain_intermediate_states();
-            return;
-        }
-        let entry = &mut self.views[idx];
-        let intermediates = entry.maintainer.drain_intermediate_states();
-        if intermediates.is_empty() {
-            entry.states.push(entry.maintainer.materialized().clone());
         } else {
-            entry.states.extend(intermediates);
+            let entry = &mut self.views[idx];
+            let intermediates = entry.maintainer.drain_intermediate_states();
+            if intermediates.is_empty() {
+                entry.states.push(entry.maintainer.materialized().clone());
+            } else {
+                entry.states.extend(intermediates);
+            }
+        }
+        if let Some(registry) = &self.publisher {
+            let entry = &self.views[idx];
+            // Quiescent ⇒ no compensation in flight for this view ⇒ the
+            // state is V at a real source state (§3.1 history member) —
+            // eligible to serve strong reads.
+            let quiescent = entry.status == ViewStatus::Active && entry.maintainer.is_quiescent();
+            registry.publish(idx, entry.maintainer.materialized(), quiescent);
         }
     }
 
@@ -551,6 +590,11 @@ impl Warehouse {
                 return Err(WarehouseError::UnexpectedMessage {
                     kind: "session-layer",
                 })
+            }
+            // Read-serving traffic belongs on `eca-serve` channels,
+            // never on a maintenance channel.
+            Message::ReadQuery { .. } | Message::ReadAnswer { .. } | Message::ReadError { .. } => {
+                return Err(WarehouseError::UnexpectedMessage { kind: "read-layer" })
             }
         };
         Ok(outbound

@@ -1,0 +1,232 @@
+//! Epoch publication: the maintenance → serving handoff.
+//!
+//! Maintenance (any of the three runtimes) *publishes* view snapshots
+//! into an [`EpochRegistry`]; the read-serving layer (`eca-serve`)
+//! *reads* them. Publication is copy-on-publish: each event's
+//! materialized state is cloned once into an `Arc` and pushed onto a
+//! bounded per-view ring, so readers never take a lock the maintainer
+//! holds during query evaluation — heavy read traffic cannot block
+//! maintenance, and vice versa. The registry is the §3 consistency
+//! hierarchy made operational:
+//!
+//! * every ring entry is a *published epoch* — [`ReadLevel::Convergent`]
+//!   may serve any of them;
+//! * epochs are globally monotonic ([`EpochRegistry::latest`] never
+//!   decreases), so a per-client floor turns ring reads into
+//!   [`ReadLevel::Weak`] monotonic reads;
+//! * a snapshot published while the view's maintainer was quiescent is
+//!   by construction a member of the §3.1 state history (`V` evaluated
+//!   at a real source state, never a mid-compensation intermediate) —
+//!   the latest such snapshot serves [`ReadLevel::Strong`].
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use eca_relational::SignedBag;
+use eca_wire::ReadLevel;
+
+/// One served snapshot plus the epoch metadata a read answer carries.
+#[derive(Clone, Debug)]
+pub struct ReadSnapshot {
+    /// Epoch of the served state.
+    pub epoch: u64,
+    /// Latest epoch published anywhere in the registry at serve time;
+    /// `latest - epoch` is the answer's staleness in epochs.
+    pub latest: u64,
+    /// The rows, shared with the publisher (copy-on-publish).
+    pub rows: Arc<SignedBag>,
+}
+
+struct ViewSlot {
+    /// Published `(epoch, state)` pairs, oldest first. Never empty: the
+    /// initial state is published at registration.
+    ring: VecDeque<(u64, Arc<SignedBag>)>,
+    /// The latest snapshot published while the maintainer was quiescent
+    /// — the §3.1-history state strong reads serve.
+    strong: (u64, Arc<SignedBag>),
+}
+
+/// Shared epoch store: one slot per view, a global epoch counter, and a
+/// rotation cursor that spreads convergent reads over the ring (so the
+/// bench's staleness distribution reflects the whole window, not just
+/// the freshest entry).
+pub struct EpochRegistry {
+    epoch: AtomicU64,
+    rotation: AtomicU64,
+    ring_cap: usize,
+    slots: Vec<Mutex<ViewSlot>>,
+}
+
+/// Lock helper mirroring the shard-lock discipline: publication state
+/// stays readable even if a panicking thread poisoned a slot.
+fn lock(slot: &Mutex<ViewSlot>) -> MutexGuard<'_, ViewSlot> {
+    slot.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl EpochRegistry {
+    /// A registry over the given initial view states (published as
+    /// epoch 0, quiesced — the initial state is `V(ss)` by definition).
+    /// `ring_cap` bounds each view's published-epoch window (≥ 1).
+    pub fn new(initial: impl IntoIterator<Item = SignedBag>, ring_cap: usize) -> EpochRegistry {
+        let slots = initial
+            .into_iter()
+            .map(|state| {
+                let rows = Arc::new(state);
+                Mutex::new(ViewSlot {
+                    ring: VecDeque::from([(0, Arc::clone(&rows))]),
+                    strong: (0, rows),
+                })
+            })
+            .collect();
+        EpochRegistry {
+            epoch: AtomicU64::new(0),
+            rotation: AtomicU64::new(0),
+            ring_cap: ring_cap.max(1),
+            slots,
+        }
+    }
+
+    /// Number of registered views.
+    pub fn view_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The latest epoch published anywhere (globally monotonic).
+    pub fn latest(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Publish `state` as view `view`'s newest epoch. `quiescent` marks
+    /// a state reached with no compensation in flight — exactly the
+    /// §3.1-history membership strong reads rely on. Returns the epoch
+    /// assigned.
+    ///
+    /// Called by the maintainer after every processed event; readers
+    /// only ever contend for the brief ring push below, never for the
+    /// maintainer's own locks.
+    pub fn publish(&self, view: usize, state: &SignedBag, quiescent: bool) -> u64 {
+        let epoch = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+        let rows = Arc::new(state.clone());
+        let mut slot = lock(&self.slots[view]);
+        slot.ring.push_back((epoch, Arc::clone(&rows)));
+        if slot.ring.len() > self.ring_cap {
+            slot.ring.pop_front();
+        }
+        if quiescent {
+            slot.strong = (epoch, rows);
+        }
+        epoch
+    }
+
+    /// Serve one read at `level`, honouring the client's monotonicity
+    /// floor `min_epoch` (the highest epoch that client has observed
+    /// for this view — carried by the client so it survives
+    /// reconnects). Returns `None` for an unknown view.
+    pub fn read(&self, view: usize, level: ReadLevel, min_epoch: u64) -> Option<ReadSnapshot> {
+        let slot = lock(self.slots.get(view)?);
+        let (epoch, rows) = match level {
+            // Any published epoch: rotate through the ring so the
+            // convergent staleness distribution samples the window.
+            ReadLevel::Convergent => {
+                let i = self.rotation.fetch_add(1, Ordering::Relaxed) as usize % slot.ring.len();
+                slot.ring[i].clone()
+            }
+            // Monotonic per client: the *oldest* published epoch at or
+            // above the client's floor — maximal permissible staleness,
+            // which is what distinguishes weak from strong in the
+            // staleness histograms while keeping epochs non-regressing.
+            ReadLevel::Weak => slot
+                .ring
+                .iter()
+                .find(|(e, _)| *e >= min_epoch)
+                .or_else(|| slot.ring.back())
+                .cloned()?,
+            // Latest quiesced epoch: a §3.1-history state, and
+            // non-regressing because `strong` only moves forward.
+            ReadLevel::Strong => slot.strong.clone(),
+        };
+        let latest = self.latest();
+        Some(ReadSnapshot {
+            epoch,
+            latest,
+            rows,
+        })
+    }
+
+    /// The epoch of view `view`'s latest quiesced snapshot.
+    pub fn strong_epoch(&self, view: usize) -> Option<u64> {
+        Some(lock(self.slots.get(view)?).strong.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eca_relational::Tuple;
+
+    fn bag(n: i64) -> SignedBag {
+        SignedBag::from_tuples([Tuple::ints([n])])
+    }
+
+    #[test]
+    fn initial_state_serves_every_level_at_epoch_zero() {
+        let reg = EpochRegistry::new([bag(1), bag(2)], 4);
+        assert_eq!(reg.view_count(), 2);
+        for level in ReadLevel::all() {
+            let snap = reg.read(1, level, 0).unwrap();
+            assert_eq!(snap.epoch, 0);
+            assert_eq!(*snap.rows, bag(2));
+        }
+        assert!(reg.read(2, ReadLevel::Weak, 0).is_none());
+    }
+
+    #[test]
+    fn strong_tracks_only_quiescent_publications() {
+        let reg = EpochRegistry::new([bag(0)], 4);
+        let e1 = reg.publish(0, &bag(1), false); // mid-compensation
+        assert_eq!(reg.read(0, ReadLevel::Strong, 0).unwrap().epoch, 0);
+        let e2 = reg.publish(0, &bag(2), true);
+        assert!(e2 > e1);
+        let snap = reg.read(0, ReadLevel::Strong, 0).unwrap();
+        assert_eq!(snap.epoch, e2);
+        assert_eq!(*snap.rows, bag(2));
+        assert_eq!(reg.strong_epoch(0), Some(e2));
+    }
+
+    #[test]
+    fn weak_honours_the_client_floor() {
+        let reg = EpochRegistry::new([bag(0)], 8);
+        let mut epochs = vec![0];
+        for i in 1..=5 {
+            epochs.push(reg.publish(0, &bag(i), true));
+        }
+        // Floor 0: the oldest ring entry (maximal staleness).
+        assert_eq!(reg.read(0, ReadLevel::Weak, 0).unwrap().epoch, 0);
+        // A floor mid-window: never served below it.
+        let floor = epochs[3];
+        let snap = reg.read(0, ReadLevel::Weak, floor).unwrap();
+        assert!(snap.epoch >= floor);
+        assert_eq!(*snap.rows, bag(3));
+    }
+
+    #[test]
+    fn ring_stays_bounded_and_convergent_rotates() {
+        let reg = EpochRegistry::new([bag(0)], 3);
+        for i in 1..=10 {
+            reg.publish(0, &bag(i), i % 2 == 0);
+        }
+        assert_eq!(reg.latest(), 10);
+        // Convergent reads cycle through at most ring_cap distinct epochs.
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..12 {
+            seen.insert(reg.read(0, ReadLevel::Convergent, 0).unwrap().epoch);
+        }
+        assert!(seen.len() <= 3, "ring leaked: {seen:?}");
+        assert!(seen.contains(&10));
+        // Staleness metadata is consistent.
+        let snap = reg.read(0, ReadLevel::Weak, 0).unwrap();
+        assert!(snap.latest >= snap.epoch);
+    }
+}

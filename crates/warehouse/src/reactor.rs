@@ -943,6 +943,13 @@ impl ReactorWarehouse {
                         kind: "session-layer",
                     })
                 }
+                // Read-serving traffic belongs on `eca-serve` channels,
+                // never on a maintenance channel.
+                Message::ReadQuery { .. }
+                | Message::ReadAnswer { .. }
+                | Message::ReadError { .. } => {
+                    return Err(WarehouseError::UnexpectedMessage { kind: "read-layer" })
+                }
             }
         }
         if notifications > 0 {

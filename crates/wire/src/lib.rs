@@ -35,11 +35,11 @@ pub mod transport;
 
 pub use codec::{DecodeError, Decoder, Encoder};
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultyTransport};
-pub use message::{Message, WireQuery, WireTerm};
+pub use message::{Message, ReadLevel, WireQuery, WireTerm};
 pub use meter::{Direction, TransferMeter};
 pub use poller::{PollToken, Poller};
 pub use reliable::{fnv1a_checksum, LinkStats, ReliableConfig, ReliableLink};
 pub use transport::{
     read_frame, read_frame_capped, write_frame, FrameDecoder, InMemoryFifo, PollWaker, Readiness,
-    Role, SharedFifo, TcpTransport, Transport, TransportError,
+    Role, SharedFifo, TcpTransport, Transport, TransportError, MAX_FRAME_LEN,
 };

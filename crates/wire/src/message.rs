@@ -105,6 +105,67 @@ impl WireQuery {
     }
 }
 
+/// The §3 consistency level a read client requests, mapped onto the
+/// paper's hierarchy (weakest to strongest):
+///
+/// * [`ReadLevel::Convergent`] — §3's *convergence*: the answer is some
+///   published epoch of the view; successive reads may go backwards.
+/// * [`ReadLevel::Weak`] — §3's *weak consistency*: every answer is a
+///   published epoch and, per client, epochs never regress (the client
+///   carries its floor in [`Message::ReadQuery::min_epoch`], so the
+///   guarantee survives reconnects).
+/// * [`ReadLevel::Strong`] — §3's *strong consistency*: the answer is
+///   the latest epoch published while the view's maintainer was
+///   quiescent — a state of the §3.1 state history, i.e. `V` evaluated
+///   at a real source state, never a mid-compensation intermediate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ReadLevel {
+    /// Any published epoch; no per-client ordering.
+    Convergent,
+    /// Published epochs, monotonic per client.
+    Weak,
+    /// Latest quiesced epoch (read-your-latest-epoch).
+    Strong,
+}
+
+impl ReadLevel {
+    /// All levels, weakest first.
+    pub fn all() -> [ReadLevel; 3] {
+        [ReadLevel::Convergent, ReadLevel::Weak, ReadLevel::Strong]
+    }
+
+    /// Stable label for artifacts and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            ReadLevel::Convergent => "convergent",
+            ReadLevel::Weak => "weak",
+            ReadLevel::Strong => "strong",
+        }
+    }
+
+    fn to_u8(self) -> u8 {
+        match self {
+            ReadLevel::Convergent => 0,
+            ReadLevel::Weak => 1,
+            ReadLevel::Strong => 2,
+        }
+    }
+
+    fn from_u8(tag: u8) -> Result<ReadLevel, DecodeError> {
+        Ok(match tag {
+            0 => ReadLevel::Convergent,
+            1 => ReadLevel::Weak,
+            2 => ReadLevel::Strong,
+            tag => {
+                return Err(DecodeError::BadTag {
+                    context: "ReadLevel",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
 /// A message on the source↔warehouse channel.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Message {
@@ -155,6 +216,47 @@ pub enum Message {
         /// The announced epoch.
         epoch: u64,
     },
+    /// Read client → serve layer: read one view's materialized state at
+    /// the requested consistency level.
+    ReadQuery {
+        /// Correlation id (client-local).
+        id: QueryId,
+        /// The view's registry index ([`eca_core`]'s `ViewId.0`).
+        view: u64,
+        /// Requested §3 consistency level.
+        level: ReadLevel,
+        /// Client-side monotonicity floor: the highest epoch this
+        /// client has already observed for this view (0 if none). The
+        /// serve layer never answers below it at [`ReadLevel::Weak`],
+        /// which keeps per-client monotonicity intact across
+        /// disconnects — the floor travels with the client, not the
+        /// server.
+        min_epoch: u64,
+    },
+    /// Serve layer → read client: one view snapshot plus epoch metadata.
+    ReadAnswer {
+        /// Correlation id of the answered read.
+        id: QueryId,
+        /// The view that was read.
+        view: u64,
+        /// The epoch of the served snapshot.
+        epoch: u64,
+        /// The latest epoch published (any view) when the read was
+        /// served — `latest - epoch` is the answer's staleness in
+        /// epochs.
+        latest: u64,
+        /// The materialized rows at `epoch`.
+        rows: SignedBag,
+    },
+    /// Serve layer → read client: the read could not be served (unknown
+    /// view, or a non-read message arrived on a read channel).
+    ReadError {
+        /// Correlation id of the failed read (0 when the request could
+        /// not be parsed far enough to know).
+        id: QueryId,
+        /// Human-readable reason.
+        reason: String,
+    },
 }
 
 impl Message {
@@ -197,6 +299,37 @@ impl Message {
                 e.put_u8(5);
                 e.put_u64(*epoch);
             }
+            Message::ReadQuery {
+                id,
+                view,
+                level,
+                min_epoch,
+            } => {
+                e.put_u8(6);
+                e.put_u64(id.0);
+                e.put_u64(*view);
+                e.put_u8(level.to_u8());
+                e.put_u64(*min_epoch);
+            }
+            Message::ReadAnswer {
+                id,
+                view,
+                epoch,
+                latest,
+                rows,
+            } => {
+                e.put_u8(7);
+                e.put_u64(id.0);
+                e.put_u64(*view);
+                e.put_u64(*epoch);
+                e.put_u64(*latest);
+                e.put_bag(rows);
+            }
+            Message::ReadError { id, reason } => {
+                e.put_u8(8);
+                e.put_u64(id.0);
+                e.put_str(reason);
+            }
         }
         e.finish()
     }
@@ -231,6 +364,23 @@ impl Message {
             },
             5 => Message::Hello {
                 epoch: d.get_u64()?,
+            },
+            6 => Message::ReadQuery {
+                id: QueryId(d.get_u64()?),
+                view: d.get_u64()?,
+                level: ReadLevel::from_u8(d.get_u8()?)?,
+                min_epoch: d.get_u64()?,
+            },
+            7 => Message::ReadAnswer {
+                id: QueryId(d.get_u64()?),
+                view: d.get_u64()?,
+                epoch: d.get_u64()?,
+                latest: d.get_u64()?,
+                rows: d.get_bag()?,
+            },
+            8 => Message::ReadError {
+                id: QueryId(d.get_u64()?),
+                reason: d.get_str()?,
             },
             tag => {
                 return Err(DecodeError::BadTag {
@@ -610,6 +760,68 @@ mod tests {
         ] {
             assert_eq!(Message::decode(m.encode()).unwrap(), m);
         }
+    }
+
+    #[test]
+    fn read_messages_roundtrip() {
+        let mut rows = SignedBag::new();
+        rows.add(Tuple::ints([1, 2]), 2);
+        rows.add(Tuple::ints([3, 4]), -1);
+        for m in [
+            Message::ReadQuery {
+                id: QueryId(11),
+                view: 3,
+                level: ReadLevel::Convergent,
+                min_epoch: 0,
+            },
+            Message::ReadQuery {
+                id: QueryId(12),
+                view: 0,
+                level: ReadLevel::Weak,
+                min_epoch: 41,
+            },
+            Message::ReadQuery {
+                id: QueryId(13),
+                view: u64::MAX,
+                level: ReadLevel::Strong,
+                min_epoch: u64::MAX,
+            },
+            Message::ReadAnswer {
+                id: QueryId(11),
+                view: 3,
+                epoch: 40,
+                latest: 45,
+                rows,
+            },
+            Message::ReadAnswer {
+                id: QueryId(0),
+                view: 0,
+                epoch: 0,
+                latest: 0,
+                rows: SignedBag::new(),
+            },
+            Message::ReadError {
+                id: QueryId(9),
+                reason: "unknown view #17".to_owned(),
+            },
+        ] {
+            assert_eq!(Message::decode(m.encode()).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn bad_read_level_rejected() {
+        let mut bytes = Message::ReadQuery {
+            id: QueryId(1),
+            view: 0,
+            level: ReadLevel::Strong,
+            min_epoch: 0,
+        }
+        .encode()
+        .to_vec();
+        // The level byte sits after tag + id + view.
+        bytes[17] = 7;
+        assert!(Message::decode(Bytes::from(bytes)).is_err());
     }
 
     #[test]

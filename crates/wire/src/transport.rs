@@ -393,6 +393,17 @@ pub trait Transport {
 // Framing, shared by every byte-stream transport.
 // ---------------------------------------------------------------------------
 
+/// Largest frame payload any blocking or incremental read path accepts
+/// by default: 16 MiB, comfortably above the largest legitimate
+/// [`Message`] (multi-megabyte resync answers) while keeping a corrupt
+/// or hostile 4-byte length prefix from demanding an allocation of up
+/// to 4 GiB ([`read_frame`]) or from making an incremental decoder
+/// buffer a stream without bound ([`FrameDecoder`]). Paths that expect
+/// strictly smaller messages — e.g. the reactor's Hello handshake —
+/// pass their own tighter cap to [`read_frame_capped`] /
+/// [`FrameDecoder::with_cap`].
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
 /// Write one message as a `u32`-big-endian-length-prefixed frame.
 ///
 /// The 4-byte prefix is transport overhead and is *not* charged to the
@@ -410,13 +421,15 @@ pub fn write_frame(w: &mut impl Write, msg: &Message) -> Result<(), TransportErr
 }
 
 /// Read one length-prefixed frame. `Ok(None)` on clean EOF at a frame
-/// boundary.
+/// boundary. The length prefix is checked against [`MAX_FRAME_LEN`]
+/// *before* the payload buffer is allocated.
 ///
 /// # Errors
-/// [`TransportError::Io`] on truncated frames or I/O faults (the message
-/// itself is *not* decoded here — pair with [`Message::decode`]).
+/// [`TransportError::Io`] on truncated frames, over-cap length prefixes
+/// (`InvalidData`) or I/O faults (the message itself is *not* decoded
+/// here — pair with [`Message::decode`]).
 pub fn read_frame(r: &mut impl Read) -> Result<Option<Bytes>, TransportError> {
-    read_frame_capped(r, u32::MAX as usize)
+    read_frame_capped(r, MAX_FRAME_LEN)
 }
 
 /// Like [`read_frame`], but reject any frame whose length prefix
@@ -433,8 +446,20 @@ pub fn read_frame_capped(
 ) -> Result<Option<Bytes>, TransportError> {
     let mut len_buf = [0u8; 4];
     // EOF before any length byte is a clean shutdown; EOF mid-prefix or
-    // mid-payload is a truncated frame.
-    match r.read(&mut len_buf)? {
+    // mid-payload is a truncated frame. The first read retries
+    // `Interrupted` itself (`read`, unlike `read_exact`, surfaces it):
+    // a signal landing before the first prefix byte must not kill a
+    // healthy connection, and a 1–3 byte prefix followed by EOF must
+    // fall through to `read_exact`'s `UnexpectedEof`, not be mistaken
+    // for a clean shutdown.
+    let first = loop {
+        match r.read(&mut len_buf) {
+            Ok(n) => break n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(TransportError::Io(e)),
+        }
+    };
+    match first {
         0 => return Ok(None),
         n => r.read_exact(&mut len_buf[n..])?,
     }
@@ -461,18 +486,46 @@ pub fn read_frame_capped(
 /// message. Byte-split boundaries are invisible to the caller — the
 /// yielded frame sequence depends only on the byte stream, not on how
 /// it was chunked (the codec proptest drives exactly that invariant).
-#[derive(Default)]
+///
+/// Length prefixes are capped (default [`MAX_FRAME_LEN`]): an
+/// over-sized prefix is a framing error surfaced by
+/// [`FrameDecoder::next_frame`] *immediately*, not a promise the
+/// decoder waits on — otherwise `pending.len() < 4 + len` would hold
+/// forever and the decoder would buffer the rest of the stream without
+/// bound (a slow OOM on a connection that never errors).
 pub struct FrameDecoder {
     /// Unconsumed stream bytes; `pos` marks how much of the front has
     /// already been yielded (compacted lazily to keep `extend` O(n)).
     buf: Vec<u8>,
     pos: usize,
+    /// Largest acceptable frame payload.
+    cap: usize,
+}
+
+impl Default for FrameDecoder {
+    fn default() -> FrameDecoder {
+        FrameDecoder {
+            buf: Vec::new(),
+            pos: 0,
+            cap: MAX_FRAME_LEN,
+        }
+    }
 }
 
 impl FrameDecoder {
-    /// An empty decoder, mid-stream position zero.
+    /// An empty decoder, mid-stream position zero, capped at
+    /// [`MAX_FRAME_LEN`].
     pub fn new() -> FrameDecoder {
         FrameDecoder::default()
+    }
+
+    /// An empty decoder with a custom frame-length cap, for channels
+    /// whose legitimate messages are known to be strictly smaller.
+    pub fn with_cap(cap: usize) -> FrameDecoder {
+        FrameDecoder {
+            cap,
+            ..FrameDecoder::default()
+        }
     }
 
     /// Append freshly read stream bytes.
@@ -486,18 +539,30 @@ impl FrameDecoder {
     }
 
     /// Pop the next complete frame payload, if one has fully arrived.
-    pub fn next_frame(&mut self) -> Option<Bytes> {
+    ///
+    /// # Errors
+    /// `InvalidData` when the pending length prefix exceeds the cap —
+    /// a framing error: the stream position is corrupt (or hostile)
+    /// and the connection must be torn down, since every subsequent
+    /// byte would be misinterpreted.
+    pub fn next_frame(&mut self) -> Result<Option<Bytes>, TransportError> {
         let pending = &self.buf[self.pos..];
         if pending.len() < 4 {
-            return None;
+            return Ok(None);
         }
         let len = u32::from_be_bytes([pending[0], pending[1], pending[2], pending[3]]) as usize;
+        if len > self.cap {
+            return Err(TransportError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("frame length {len} exceeds cap {}", self.cap),
+            )));
+        }
         if pending.len() < 4 + len {
-            return None;
+            return Ok(None);
         }
         let frame = Bytes::from(pending[4..4 + len].to_vec());
         self.pos += 4 + len;
-        Some(frame)
+        Ok(Some(frame))
     }
 
     /// Whether a partial frame (or partial length prefix) is buffered.
@@ -1167,9 +1232,31 @@ impl TcpTransport {
                 }
             }
         }
-        while let Some(frame) = self.decoder.next_frame() {
-            self.meter.record(self.role.inbound(), frame.len() as u64);
-            self.inbound.push_back(frame);
+        loop {
+            match self.decoder.next_frame() {
+                Ok(Some(frame)) => {
+                    self.meter.record(self.role.inbound(), frame.len() as u64);
+                    self.inbound.push_back(frame);
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    // Framing error (over-cap length prefix): the
+                    // stream position is unrecoverable — fault once and
+                    // tear the connection down.
+                    if self.fault.is_none() {
+                        self.fault = Some(match e {
+                            TransportError::Io(io) => io,
+                            other => std::io::Error::new(
+                                std::io::ErrorKind::InvalidData,
+                                other.to_string(),
+                            ),
+                        });
+                    }
+                    self.eof = true;
+                    self.decoder.clear();
+                    break;
+                }
+            }
         }
         if self.eof && self.decoder.has_partial() {
             // EOF mid-frame: a truncated stream, reported exactly once

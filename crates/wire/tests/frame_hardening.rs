@@ -1,0 +1,166 @@
+//! Blocking read-path hardening: the length prefix of a frame is
+//! untrusted input. A corrupt or hostile 4-byte prefix must be rejected
+//! *before* the payload allocation ([`MAX_FRAME_LEN`]), a partial
+//! prefix followed by EOF must be reported as truncation (never a clean
+//! shutdown), and `ErrorKind::Interrupted` on the very first read must
+//! be retried rather than killing a healthy connection.
+
+use std::io::{Error, ErrorKind, Read};
+
+use eca_relational::{Tuple, Update};
+use eca_wire::{
+    read_frame, read_frame_capped, write_frame, Message, TransportError, MAX_FRAME_LEN,
+};
+
+/// A scripted reader: each step is either a byte chunk or an
+/// `Interrupted` error; reading past the script panics when `strict`
+/// (proving the caller never asked) or yields EOF otherwise.
+struct Script {
+    steps: Vec<Result<Vec<u8>, ()>>,
+    next: usize,
+    strict: bool,
+}
+
+impl Script {
+    fn new(steps: Vec<Result<Vec<u8>, ()>>) -> Script {
+        Script {
+            steps,
+            next: 0,
+            strict: false,
+        }
+    }
+
+    /// Panic if the caller reads past the scripted steps.
+    fn strict(mut self) -> Script {
+        self.strict = true;
+        self
+    }
+}
+
+impl Read for Script {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self.steps.get_mut(self.next) {
+            None => {
+                assert!(!self.strict, "read past the scripted bytes");
+                Ok(0)
+            }
+            Some(Err(())) => {
+                self.next += 1;
+                Err(Error::new(ErrorKind::Interrupted, "signal"))
+            }
+            Some(Ok(chunk)) => {
+                let n = chunk.len().min(buf.len());
+                buf[..n].copy_from_slice(&chunk[..n]);
+                chunk.drain(..n);
+                if chunk.is_empty() {
+                    self.next += 1;
+                }
+                Ok(n)
+            }
+        }
+    }
+}
+
+fn io_kind(err: TransportError) -> ErrorKind {
+    match err {
+        TransportError::Io(e) => e.kind(),
+        other => panic!("expected an Io error, got {other:?}"),
+    }
+}
+
+/// Regression for the uncapped-`read_frame` bug: a garbage prefix
+/// promising ~4 GiB must error with `InvalidData` without the payload
+/// ever being read — the strict script proves no byte past the prefix
+/// was requested, so no allocation was attempted either.
+#[test]
+fn garbage_prefix_errors_before_allocating() {
+    let mut r = Script::new(vec![Ok(u32::MAX.to_be_bytes().to_vec())]).strict();
+    assert_eq!(
+        io_kind(read_frame(&mut r).unwrap_err()),
+        ErrorKind::InvalidData
+    );
+
+    // Smallest over-cap value; and the cap itself is accepted.
+    let mut r = Script::new(vec![Ok(((MAX_FRAME_LEN as u32) + 1)
+        .to_be_bytes()
+        .to_vec())])
+    .strict();
+    assert_eq!(
+        io_kind(read_frame(&mut r).unwrap_err()),
+        ErrorKind::InvalidData
+    );
+
+    let mut r = Script::new(vec![Ok(8u32.to_be_bytes().to_vec()), Ok(vec![0u8; 8])]);
+    assert_eq!(read_frame_capped(&mut r, 8).unwrap().unwrap().len(), 8);
+}
+
+/// A 1–3 byte prefix followed by EOF is a truncated frame, not a clean
+/// shutdown — the peer died mid-prefix and the caller must hear about
+/// it (regression for the short-read audit).
+#[test]
+fn partial_prefix_then_eof_reports_truncation() {
+    for n in 1..=3usize {
+        let mut r = Script::new(vec![Ok(vec![0u8; n])]);
+        assert_eq!(
+            io_kind(read_frame(&mut r).unwrap_err()),
+            ErrorKind::UnexpectedEof,
+            "{n}-byte prefix then EOF must be UnexpectedEof"
+        );
+    }
+    // EOF at the frame boundary stays a clean shutdown.
+    let mut r = Script::new(vec![]);
+    assert!(read_frame(&mut r).unwrap().is_none());
+}
+
+/// `Interrupted` before the first prefix byte must be retried — a
+/// signal landing between frames is not a connection fault. The frame
+/// that follows (dribbled one byte at a time) decodes normally.
+#[test]
+fn interrupted_first_read_is_retried() {
+    let msg = Message::UpdateNotification {
+        update: Update::insert("r1", Tuple::ints([1, 2])),
+    };
+    let mut stream = Vec::new();
+    write_frame(&mut stream, &msg).unwrap();
+
+    let mut steps: Vec<Result<Vec<u8>, ()>> = vec![Err(()), Err(())];
+    steps.extend(stream.iter().map(|&b| Ok(vec![b])));
+    let mut r = Script::new(steps);
+    let frame = read_frame(&mut r).unwrap().expect("frame after signals");
+    assert_eq!(Message::decode(frame).unwrap(), msg);
+
+    // Interrupted then clean EOF is still a clean shutdown.
+    let mut r = Script::new(vec![Err(())]);
+    assert!(read_frame(&mut r).unwrap().is_none());
+
+    // Interrupted *inside* the prefix (after a 2-byte short read) is
+    // absorbed by read_exact; the frame still decodes.
+    let mut stream2 = Vec::new();
+    write_frame(&mut stream2, &msg).unwrap();
+    let r2 = Script::new(vec![
+        Ok(stream2[..2].to_vec()),
+        Err(()),
+        Ok(stream2[2..].to_vec()),
+    ]);
+    let frame = read_frame(&mut { r2 }).unwrap().expect("frame");
+    assert_eq!(Message::decode(frame).unwrap(), msg);
+}
+
+/// Short reads mid-payload followed by EOF are truncation too — the cap
+/// fix must not have disturbed the payload path.
+#[test]
+fn truncated_payload_reports_truncation() {
+    let msg = Message::UpdateNotification {
+        update: Update::insert("r1", Tuple::ints([1, 2])),
+    };
+    let mut stream = Vec::new();
+    write_frame(&mut stream, &msg).unwrap();
+    for cut in 5..stream.len() {
+        let mut r = Script::new(vec![Ok(stream[..cut].to_vec())]);
+        assert_eq!(
+            io_kind(read_frame(&mut r).unwrap_err()),
+            ErrorKind::UnexpectedEof,
+            "payload cut at {cut}"
+        );
+    }
+}

@@ -9,7 +9,7 @@ use eca_core::QueryId;
 use eca_relational::{SignedBag, Tuple, Update};
 use eca_wire::{
     read_frame, write_frame, FrameDecoder, Message, Role, TcpTransport, TransferMeter, Transport,
-    TransportError,
+    TransportError, MAX_FRAME_LEN,
 };
 use proptest::prelude::*;
 
@@ -57,7 +57,7 @@ fn decode_chunked(stream: &[u8], cuts: &[usize]) -> (Vec<Message>, bool) {
     let mut start = 0;
     for &cut in cuts.iter().chain(std::iter::once(&stream.len())) {
         decoder.extend(&stream[start..cut]);
-        while let Some(frame) = decoder.next_frame() {
+        while let Some(frame) = decoder.next_frame().expect("legit stream never over-cap") {
             out.push(Message::decode(frame).unwrap());
         }
         start = cut;
@@ -181,6 +181,91 @@ fn mid_frame_disconnect_faults_after_complete_frames() {
     assert_eq!(wh.recv().unwrap(), None);
 }
 
+/// An over-cap length prefix must be rejected the moment the 4 prefix
+/// bytes are visible — *before* the promised body arrives — otherwise
+/// `pending.len() < 4 + len` holds forever and the decoder buffers the
+/// rest of the stream without bound (a slow OOM on a connection that
+/// never errors). Regression for the unbounded-buffering bug.
+#[test]
+fn oversized_prefix_is_an_immediate_framing_error() {
+    let mut decoder = FrameDecoder::new();
+    decoder.extend(&u32::MAX.to_be_bytes());
+    let err = decoder.next_frame().expect_err("4 GiB promise must fail");
+    match err {
+        TransportError::Io(e) => assert_eq!(e.kind(), std::io::ErrorKind::InvalidData),
+        other => panic!("expected Io(InvalidData), got {other:?}"),
+    }
+    // The smallest over-cap prefix fails too; the cap itself passes.
+    let mut decoder = FrameDecoder::new();
+    decoder.extend(&((MAX_FRAME_LEN as u32) + 1).to_be_bytes());
+    assert!(decoder.next_frame().is_err());
+    let mut decoder = FrameDecoder::with_cap(8);
+    decoder.extend(&8u32.to_be_bytes());
+    decoder.extend(&[0u8; 8]);
+    assert_eq!(decoder.next_frame().unwrap().unwrap().len(), 8);
+}
+
+/// Frames already complete in the buffer are still delivered before the
+/// hostile prefix faults the stream — the error is positional, not
+/// retroactive.
+#[test]
+fn frames_before_oversized_prefix_still_decode() {
+    let good = Message::UpdateNotification {
+        update: Update::insert("r1", Tuple::ints([1, 2])),
+    };
+    let mut stream = stream_of(&[good.clone(), good.clone()]);
+    stream.extend_from_slice(&u32::MAX.to_be_bytes());
+    let mut decoder = FrameDecoder::new();
+    decoder.extend(&stream);
+    for _ in 0..2 {
+        let frame = decoder.next_frame().unwrap().unwrap();
+        assert_eq!(Message::decode(frame).unwrap(), good);
+    }
+    assert!(decoder.next_frame().is_err());
+}
+
+/// A peer that *promises* an enormous frame over a real socket: the
+/// transport must surface `InvalidData` once and then read as closed —
+/// and must never sit waiting for 4 GiB that will never come.
+#[test]
+fn oversized_prefix_tears_down_tcp_connection() {
+    use std::io::Write as _;
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let good = Message::UpdateNotification {
+        update: Update::insert("r1", Tuple::ints([1, 2])),
+    };
+    let sender = {
+        let good = good.clone();
+        std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut buf = Vec::new();
+            write_frame(&mut buf, &good).unwrap();
+            buf.extend_from_slice(&u32::MAX.to_be_bytes()); // 4 GiB promise
+            buf.extend_from_slice(&[0; 64]); // a taste of the "body"
+            stream.write_all(&buf).unwrap();
+            // Keep the socket open: the fault must come from the cap,
+            // not from EOF.
+            stream
+        })
+    };
+    let mut wh = TcpTransport::connect(addr, Role::Warehouse, TransferMeter::new()).unwrap();
+    let _stream = sender.join().unwrap();
+    let mut out = Vec::new();
+    let fault = loop {
+        match wh.drain_into(&mut out, usize::MAX) {
+            Ok(_) => std::thread::sleep(std::time::Duration::from_millis(1)),
+            Err(e) => break e,
+        }
+    };
+    assert_eq!(out, vec![good]);
+    match fault {
+        TransportError::Io(e) => assert_eq!(e.kind(), std::io::ErrorKind::InvalidData),
+        other => panic!("expected Io(InvalidData), got {other:?}"),
+    }
+    assert_eq!(wh.recv().unwrap(), None, "faulted channel reads closed");
+}
+
 proptest! {
     /// Random message sequences, random multi-way chunkings: the chunked
     /// decode equals the blocking decode, with no residue.
@@ -226,5 +311,38 @@ proptest! {
         prop_assert_eq!(got.len(), whole);
         prop_assert_eq!(&got[..], &msgs[..whole]);
         prop_assert_eq!(partial, cut != consumed);
+    }
+
+    /// A legitimate stream followed by an over-cap prefix, chunked at a
+    /// random boundary: every complete frame decodes, then the decoder
+    /// faults — never hangs waiting for the phantom body, regardless of
+    /// how the bytes were split.
+    #[test]
+    fn oversized_prefix_faults_after_any_chunking(
+        msgs in prop::collection::vec(message(), 0..6),
+        promised in (MAX_FRAME_LEN as u64 + 1..=u32::MAX as u64),
+        cut_seed in any::<u64>(),
+    ) {
+        let mut stream = stream_of(&msgs);
+        stream.extend_from_slice(&(promised as u32).to_be_bytes());
+        let cut = (cut_seed % (stream.len() as u64 + 1)) as usize;
+        let mut decoder = FrameDecoder::new();
+        let mut out = Vec::new();
+        let mut faulted = false;
+        for chunk in [&stream[..cut], &stream[cut..]] {
+            decoder.extend(chunk);
+            loop {
+                match decoder.next_frame() {
+                    Ok(Some(frame)) => out.push(Message::decode(frame).unwrap()),
+                    Ok(None) => break,
+                    Err(_) => {
+                        faulted = true;
+                        break;
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(out, msgs);
+        prop_assert!(faulted, "hostile prefix never surfaced");
     }
 }
