@@ -9,7 +9,7 @@
 //!
 //! ```text
 //! throughput [--smoke] [--scaling-smoke] [--tcp-scaling-smoke]
-//!            [--selfmaint-smoke] [--serving-smoke]
+//!            [--selfmaint-smoke] [--serving-smoke] [--recovery-smoke]
 //!            [--workers N] [--reactor-workers N]
 //!            [--io-latency-us N] [--out PATH] [--root PATH]
 //! ```
@@ -40,6 +40,12 @@
 //! refreshes `results/serving.json`. The full (non-smoke) run measures
 //! the ≥1000-reader configuration and embeds the result in the main
 //! artifact.
+//! `--recovery-smoke` runs only the crash-recovery gate: a warehouse
+//! crashed mid-run must recover from its WAL + checkpoint, converge to
+//! the fault-free golden views, and spend at most half the extra
+//! messages (and bytes) of the full-RV fallback; it also refreshes
+//! `results/recovery.json`. The full run sweeps a checkpoint-cadence
+//! ladder for the recovery-time-vs-checkpoint-age curve.
 
 use std::path::PathBuf;
 use std::time::Duration;
@@ -57,6 +63,7 @@ struct Args {
     tcp_scaling_smoke: bool,
     selfmaint_smoke: bool,
     serving_smoke: bool,
+    recovery_smoke: bool,
     workers: usize,
     reactor_workers: usize,
     io_latency: Duration,
@@ -74,6 +81,7 @@ fn parse_args() -> Args {
         tcp_scaling_smoke: false,
         selfmaint_smoke: false,
         serving_smoke: false,
+        recovery_smoke: false,
         workers: 8,
         reactor_workers: 2,
         io_latency: Duration::from_micros(1000),
@@ -88,6 +96,7 @@ fn parse_args() -> Args {
             "--tcp-scaling-smoke" => parsed.tcp_scaling_smoke = true,
             "--selfmaint-smoke" => parsed.selfmaint_smoke = true,
             "--serving-smoke" => parsed.serving_smoke = true,
+            "--recovery-smoke" => parsed.recovery_smoke = true,
             "--workers" => {
                 parsed.workers = args
                     .next()
@@ -151,6 +160,46 @@ fn print_serving(r: &eca_bench::serving::ServingResult) {
         r.strong_all_in_history,
         r.updates_per_sec,
     );
+}
+
+fn print_recovery(points: &[eca_bench::recovery::RecoveryPoint]) {
+    println!(
+        "{:>9} {:>6} {:>10} {:>10} {:>9} {:>10} {:>10} {:>9} {:>5}",
+        "ckpt",
+        "crash",
+        "dur extra",
+        "dur extra",
+        "recovery",
+        "rv extra",
+        "rv extra",
+        "replayed",
+        "gate"
+    );
+    println!(
+        "{:>9} {:>6} {:>10} {:>10} {:>9} {:>10} {:>10} {:>9} {:>5}",
+        "every", "step", "msgs", "bytes", "us", "msgs", "bytes", "records", ""
+    );
+    for p in points {
+        println!(
+            "{:>9} {:>6} {:>10} {:>10} {:>9} {:>10} {:>10} {:>9} {:>5}",
+            p.checkpoint_every,
+            p.crash_step,
+            p.durable_extra_messages(),
+            p.durable_extra_bytes(),
+            p.durable_recovery_us,
+            p.full_extra_messages(),
+            p.full_extra_bytes(),
+            p.wal_replayed,
+            if p.ok() { "ok" } else { "FAIL" },
+        );
+    }
+}
+
+fn write_recovery(points: &[eca_bench::recovery::RecoveryPoint]) {
+    let doc = eca_bench::recovery::report(points).pretty();
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/recovery.json", doc).expect("write recovery artifact");
+    println!("wrote results/recovery.json");
 }
 
 fn print_scaling(scaling: &[ScalingResult]) {
@@ -238,6 +287,16 @@ fn main() {
         return;
     }
 
+    if args.recovery_smoke {
+        let points = eca_bench::recovery::sweep(true);
+        print_recovery(&points);
+        write_recovery(&points);
+        if !eca_bench::recovery::violations(&points).is_empty() {
+            std::process::exit(1);
+        }
+        return;
+    }
+
     let results = sweep(args.smoke, args.io_latency, args.workers);
     println!(
         "{:>7} {:>5} {:>7} {:>12} {:>12} {:>8}",
@@ -276,12 +335,20 @@ fn main() {
     std::fs::write("results/serving.json", serving_doc.pretty()).expect("write serving artifact");
     println!("wrote results/serving.json");
 
+    // Crash recovery: the full run walks the checkpoint-cadence ladder
+    // for the recovery-time-vs-checkpoint-age curve.
+    let recovery_points = eca_bench::recovery::sweep(args.smoke);
+    print_recovery(&recovery_points);
+    let recovery_doc = eca_bench::recovery::report(&recovery_points);
+    write_recovery(&recovery_points);
+
     let doc = report(
         &results,
         &scaling,
         &tcp_scaling,
         eca_bench::selfmaint::report(SELFMAINT_K, SELFMAINT_SEED),
         serving_doc,
+        recovery_doc,
     )
     .pretty();
     if let Some(dir) = args.out.parent() {
@@ -303,6 +370,14 @@ fn main() {
     failed |= !gate_scaling(&scaling, 32);
     failed |= !gate_scaling(&tcp_scaling, 128);
     failed |= !eca_bench::serving::smoke(&serving);
+    let recovery_violations = eca_bench::recovery::violations(&recovery_points);
+    if !recovery_violations.is_empty() {
+        eprintln!(
+            "FAIL: {} recovery point(s) missed the incremental-resync gate",
+            recovery_violations.len()
+        );
+        failed = true;
+    }
     if failed {
         std::process::exit(1);
     }

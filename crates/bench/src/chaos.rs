@@ -17,6 +17,7 @@ use eca_relational::{Predicate, Schema, SignedBag, Tuple, Update};
 use eca_sim::{ChaosProfile, ChaosSimulation, ChaosStats, Policy};
 use eca_source::Source;
 use eca_storage::Scenario;
+use eca_warehouse::DurabilityConfig;
 use eca_wire::FaultPlan;
 use eca_workload::{Example6, Params, UpdateMix};
 
@@ -38,17 +39,23 @@ pub enum Family {
     /// lost on both ends, every view over the site degrades, and each
     /// recovers through an RV-style full resync (Alg. D.1).
     Restarts,
+    /// A mixed plan plus a scripted *warehouse crash*: the warehouse
+    /// process dies mid-run and recovers from its WAL + checkpoint,
+    /// re-issuing in-flight queries and asking sources only for the
+    /// notification tail past the durable watermark.
+    Crashes,
 }
 
 impl Family {
     /// Every family, in sweep order.
-    pub fn all() -> [Family; 5] {
+    pub fn all() -> [Family; 6] {
         [
             Family::Drops,
             Family::Duplicates,
             Family::Reorders,
             Family::Resets,
             Family::Restarts,
+            Family::Crashes,
         ]
     }
 
@@ -60,6 +67,7 @@ impl Family {
             Family::Reorders => "reorders",
             Family::Resets => "resets",
             Family::Restarts => "restarts",
+            Family::Crashes => "crashes",
         }
     }
 
@@ -74,6 +82,9 @@ impl Family {
             }
             Family::Restarts => {
                 ChaosProfile::symmetric(FaultPlan::mixed(seed, rate)).with_restarts(&[5])
+            }
+            Family::Crashes => {
+                ChaosProfile::symmetric(FaultPlan::mixed(seed, rate)).with_warehouse_crashes(&[5])
             }
         }
     }
@@ -165,14 +176,26 @@ type ScenarioEntry = (&'static str, fn() -> Fixture);
 fn single_site(fixture: Fixture, profile: ChaosProfile) -> ChaosSimulation {
     let (source, view, script) = fixture;
     let snapshot = source.snapshot();
-    let initial = view.eval(&snapshot).expect("initial state");
-    let maintainer = AlgorithmKind::Eca
-        .instantiate_with_base(&view, initial, Some(snapshot))
-        .expect("ECA applies to any view");
     let mut sim = ChaosSimulation::new();
     let site = sim.add_source_with("s0", source, script, profile);
-    sim.add_view(site, maintainer).expect("view over site");
+    // A factory rather than a one-shot maintainer so the crash family
+    // can rebuild the warehouse process mid-run.
+    sim.add_view_with_factory(site, move || {
+        let initial = view.eval(&snapshot).expect("initial state");
+        AlgorithmKind::Eca
+            .instantiate_with_base(&view, initial, Some(snapshot.clone()))
+            .expect("ECA applies to any view")
+    })
+    .expect("view over site");
     sim
+}
+
+/// A scratch durability directory for one crash-family run.
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("eca-chaos-bench-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
 }
 
 fn golden(fixture: fn() -> Fixture) -> SignedBag {
@@ -192,7 +215,12 @@ fn run_point(
     rate: f64,
     seed: u64,
 ) -> ChaosPoint {
-    let sim = single_site(fixture(), family.profile(seed, rate));
+    let mut sim = single_site(fixture(), family.profile(seed, rate));
+    if family == Family::Crashes {
+        let dir = tmpdir(&format!("{scenario}-{seed}-{}", (rate * 100.0) as u32));
+        sim.enable_durability(DurabilityConfig::new(&dir))
+            .expect("durability over scratch dir");
+    }
     match sim.run(Policy::Random { seed }) {
         Ok(report) => ChaosPoint {
             scenario,
@@ -238,7 +266,12 @@ pub fn sweep(smoke: bool) -> Vec<ChaosPoint> {
         ]
     };
     let families: Vec<Family> = if smoke {
-        vec![Family::Drops, Family::Duplicates, Family::Resets]
+        vec![
+            Family::Drops,
+            Family::Duplicates,
+            Family::Resets,
+            Family::Crashes,
+        ]
     } else {
         Family::all().to_vec()
     };
@@ -251,9 +284,12 @@ pub fn sweep(smoke: bool) -> Vec<ChaosPoint> {
             // remains the dominant recovery trigger.
             let rates: Vec<f64> = match (smoke, family) {
                 (true, Family::Resets) => vec![0.1],
+                // The smoke crash point is fault-free on the wire: the
+                // gate isolates WAL recovery, not recovery-under-loss.
+                (true, Family::Crashes) => vec![0.0],
                 (true, _) => vec![0.2],
                 (false, Family::Resets) => vec![0.02, 0.05, 0.1],
-                (false, Family::Restarts) => vec![0.0, 0.05],
+                (false, Family::Restarts | Family::Crashes) => vec![0.0, 0.05],
                 (false, _) => vec![0.05, 0.1, 0.2, 0.3],
             };
             for &rate in &rates {
@@ -307,6 +343,11 @@ pub fn report(points: &[ChaosPoint]) -> Json {
                     ("resyncs_started", Json::from(s.resyncs_started)),
                     ("resyncs_completed", Json::from(s.resyncs_completed)),
                     ("stale_answers", Json::from(s.stale_answers)),
+                    ("warehouse_restarts", Json::from(s.warehouse_restarts)),
+                    ("resync_notifications", Json::from(s.resync_notifications)),
+                    ("recovered_incremental", Json::from(s.recovered_incremental)),
+                    ("recovered_full", Json::from(s.recovered_full)),
+                    ("wal_replayed", Json::from(s.wal_replayed)),
                     ("raw_bytes", Json::from(p.raw_bytes)),
                     ("logical_bytes", Json::from(p.logical_bytes)),
                     ("overhead_ratio", Json::Num(p.overhead_ratio())),
@@ -323,17 +364,42 @@ mod tests {
     #[test]
     fn smoke_sweep_is_clean_and_injects() {
         let points = sweep(true);
-        // 1 scenario × 3 families × 1 rate × 3 seeds.
-        assert_eq!(points.len(), 9);
+        // 1 scenario × 4 families × 1 rate × 3 seeds.
+        assert_eq!(points.len(), 12);
         assert!(violations(&points).is_empty());
         assert!(points.iter().any(|p| p.stats.drops > 0));
         assert!(points.iter().any(|p| p.stats.duplicates > 0));
         assert!(points
             .iter()
             .any(|p| p.family == Family::Resets && p.stats.resets >= 1));
+        // Every warehouse-crash point recovered from the WAL rather than
+        // falling back to full RV resync.
+        assert!(points.iter().any(|p| p.family == Family::Crashes));
+        assert!(points
+            .iter()
+            .filter(|p| p.family == Family::Crashes)
+            .all(|p| p.stats.warehouse_restarts == 1
+                && p.stats.recovered_incremental >= 1
+                && p.stats.recovered_full == 0));
         // Reliability is never free under faults but the ledger stays
         // consistent: raw ≥ logical on every point.
         assert!(points.iter().all(|p| p.raw_bytes >= p.logical_bytes));
+    }
+
+    #[test]
+    fn crash_family_converges_on_example6_every_seed() {
+        let golden_mv = golden(example6_fixture);
+        for seed in SEEDS {
+            let p = run_point(
+                "example6",
+                example6_fixture,
+                &golden_mv,
+                Family::Crashes,
+                0.0,
+                seed,
+            );
+            assert!(p.ok(), "{p:?}");
+        }
     }
 
     #[test]

@@ -20,6 +20,7 @@
 
 pub mod chaos;
 pub mod json;
+pub mod recovery;
 pub mod scenario_file;
 pub mod selfmaint;
 pub mod serving;

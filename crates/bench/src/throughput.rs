@@ -1108,6 +1108,7 @@ pub fn report(
     tcp_scaling: &[ScalingResult],
     selfmaint: Json,
     serving: Json,
+    recovery: Json,
 ) -> Json {
     Json::obj([
         (
@@ -1155,5 +1156,6 @@ pub fn report(
         ),
         ("selfmaint", selfmaint),
         ("serving", serving),
+        ("recovery", recovery),
     ])
 }

@@ -497,6 +497,42 @@ impl ViewMaintainer for EcaAux {
         Ok(())
     }
 
+    fn checkpoint_aux(&self) -> Vec<crate::maintainer::AuxDurableState> {
+        self.aux
+            .iter()
+            .map(|a| crate::maintainer::AuxDurableState {
+                fresh: a.fresh,
+                bag: a.bag.clone(),
+            })
+            .collect()
+    }
+
+    fn restore_checkpoint(
+        &mut self,
+        mv: SignedBag,
+        aux: Vec<crate::maintainer::AuxDurableState>,
+    ) -> Result<(), CoreError> {
+        if aux.len() != self.aux.len() {
+            return Err(CoreError::UnknownRelation {
+                relation: format!("checkpoint has {} auxiliary slots", aux.len()),
+            });
+        }
+        // Exact reinstall: unlike reset_to, freshness is trusted — the
+        // checkpoint was cut at a quiescent point, so a fresh bag there
+        // tracked the source exactly and replay resumes from it without
+        // emitting the rebuild queries a stale-marking resync would.
+        self.mv = mv;
+        self.collect = SignedBag::new();
+        self.uqs.clear();
+        self.refreshing.clear();
+        for (slot, durable) in self.aux.iter_mut().zip(aux) {
+            slot.bag = durable.bag;
+            slot.fresh = durable.fresh && slot.covered;
+            slot.refresh = None;
+        }
+        Ok(())
+    }
+
     fn selfmaint_stats(&self) -> Option<SelfMaintStats> {
         let mut aux_tuples = 0u64;
         let mut aux_bytes = 0u64;

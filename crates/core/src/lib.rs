@@ -41,7 +41,7 @@ pub use basedb::BaseDb;
 pub use composite::CompositeView;
 pub use error::CoreError;
 pub use expr::{Atom, Query, QueryId, Term};
-pub use maintainer::{OutboundQuery, ViewMaintainer};
+pub use maintainer::{AuxDurableState, OutboundQuery, ViewMaintainer};
 pub use parse::{parse_view, ParseError};
 pub use view::ViewDef;
 

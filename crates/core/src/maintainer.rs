@@ -125,6 +125,53 @@ pub trait ViewMaintainer: Send {
     fn selfmaint_stats(&self) -> Option<SelfMaintStats> {
         None
     }
+
+    /// Durable state beyond `MV` that a checkpoint must capture for this
+    /// algorithm to restart *exactly* where it left off. Checkpoints are
+    /// only taken at quiescent points (`UQS = ∅`, nothing in flight), so
+    /// for the paper's algorithms `MV` alone suffices — the default. A
+    /// self-maintaining algorithm (`EcaAux`) additionally snapshots its
+    /// auxiliary bags and their freshness, one [`AuxDurableState`] per
+    /// base-relation slot, in slot order.
+    fn checkpoint_aux(&self) -> Vec<AuxDurableState> {
+        Vec::new()
+    }
+
+    /// Reinstall a checkpointed state: `mv` becomes the materialized
+    /// view and `aux` (from [`ViewMaintainer::checkpoint_aux`]) restores
+    /// any algorithm-specific durable state. Unlike
+    /// [`ViewMaintainer::reset_to`] — which must assume notifications
+    /// were lost and therefore distrusts auxiliary state — a checkpoint
+    /// restore is exact: auxiliaries come back with the freshness they
+    /// had, so replaying the logged tail re-emits byte-identical
+    /// queries.
+    ///
+    /// # Errors
+    /// [`CoreError::ResyncUnsupported`] when the algorithm can neither
+    /// restore the extra state nor fall back to `reset_to`.
+    fn restore_checkpoint(
+        &mut self,
+        mv: SignedBag,
+        aux: Vec<AuxDurableState>,
+    ) -> Result<(), CoreError> {
+        let _ = aux;
+        // At a quiescent point the default algorithms are fully
+        // described by MV; reset_to installs it and clears the (already
+        // empty) pending structures.
+        self.reset_to(mv)
+    }
+}
+
+/// The durable snapshot of one auxiliary-view slot, as captured by
+/// [`ViewMaintainer::checkpoint_aux`] at a quiescent point.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AuxDurableState {
+    /// Whether the auxiliary tracked the source exactly at checkpoint
+    /// time (stale auxiliaries rebuild lazily after restore, exactly as
+    /// they would have in the original run).
+    pub fresh: bool,
+    /// The resident bag, in retained-column coordinates.
+    pub bag: SignedBag,
 }
 
 /// A snapshot of one warehouse-resident auxiliary view: the bag
@@ -173,6 +220,19 @@ impl QueryIdGen {
         let id = QueryId(self.next);
         self.next += 1;
         id
+    }
+
+    /// The value the next [`QueryIdGen::fresh`] call will hand out —
+    /// what a checkpoint must persist for id allocation to resume
+    /// deterministically after a restart.
+    pub fn next_value(&self) -> u64 {
+        self.next
+    }
+
+    /// Resume allocation at `next` (recovery only). Never rewinds: ids
+    /// must stay unique across a process's whole life.
+    pub fn resume_at(&mut self, next: u64) {
+        self.next = self.next.max(next);
     }
 }
 

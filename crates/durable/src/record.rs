@@ -1,0 +1,240 @@
+//! WAL record vocabulary and its frame codec.
+//!
+//! One record per committed maintenance event on one source channel,
+//! in apply order. The log is a *redo* log of inputs: replaying the
+//! records through the warehouse's ordinary event handlers re-derives
+//! all view and session state deterministically (sequential global ids,
+//! deterministic maintainer emissions), so nothing derived is ever
+//! logged.
+
+use bytes::Bytes;
+use eca_relational::{SignedBag, Update, UpdateKind};
+use eca_wire::{fnv1a_checksum, DecodeError, Decoder, Encoder, MAX_FRAME_LEN};
+
+use crate::DurableError;
+
+/// Byte length of the `[u32 len][u64 checksum]` frame header.
+pub(crate) const HEADER_LEN: usize = 12;
+
+/// One committed maintenance event on one source channel.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WalRecord {
+    /// An update notification was applied (fanned out to every view
+    /// over the source).
+    Update(Update),
+    /// A query answer was applied, addressed by its session-global id.
+    /// The bag rides along: at replay time the source may long since
+    /// have moved past the state the answer was evaluated on.
+    Answer {
+        /// The session-global query id the answer resolved.
+        id: u64,
+        /// The answer relation as delivered.
+        answer: SignedBag,
+    },
+    /// The session epoch was bumped by a channel reset
+    /// (`Warehouse::on_reset`). Replay re-drains and re-issues exactly
+    /// as the original call did.
+    EpochBump {
+        /// Whether notifications may have been lost (source restart →
+        /// every view degraded to a resync).
+        notifications_lost: bool,
+    },
+    /// The notifications-applied watermark jumped without individual
+    /// records — written after a *source* restart, whose lost
+    /// notifications are subsumed by the resync answer rather than
+    /// re-sent.
+    Watermark {
+        /// Total effective notifications accounted for on this channel.
+        applied: u64,
+    },
+}
+
+impl WalRecord {
+    /// Encode just the record body (no frame header).
+    pub fn encode_body(&self) -> Bytes {
+        let mut e = Encoder::new();
+        match self {
+            WalRecord::Update(u) => {
+                e.put_u8(0);
+                e.put_u8(match u.kind {
+                    UpdateKind::Insert => 0,
+                    UpdateKind::Delete => 1,
+                });
+                e.put_str(&u.relation);
+                e.put_tuple(&u.tuple);
+            }
+            WalRecord::Answer { id, answer } => {
+                e.put_u8(1);
+                e.put_u64(*id);
+                e.put_bag(answer);
+            }
+            WalRecord::EpochBump { notifications_lost } => {
+                e.put_u8(2);
+                e.put_u8(u8::from(*notifications_lost));
+            }
+            WalRecord::Watermark { applied } => {
+                e.put_u8(3);
+                e.put_u64(*applied);
+            }
+        }
+        e.finish()
+    }
+
+    /// Decode a record body (the frame's checksum already verified).
+    ///
+    /// # Errors
+    /// [`DecodeError`] on a malformed body.
+    pub fn decode_body(bytes: Bytes) -> Result<Self, DecodeError> {
+        let mut d = Decoder::new(bytes);
+        let rec = match d.get_u8()? {
+            0 => {
+                let kind = match d.get_u8()? {
+                    0 => UpdateKind::Insert,
+                    1 => UpdateKind::Delete,
+                    tag => {
+                        return Err(DecodeError::BadTag {
+                            context: "WalRecord update kind",
+                            tag,
+                        })
+                    }
+                };
+                let relation = d.get_str()?;
+                let tuple = d.get_tuple()?;
+                WalRecord::Update(Update {
+                    relation,
+                    kind,
+                    tuple,
+                })
+            }
+            1 => WalRecord::Answer {
+                id: d.get_u64()?,
+                answer: d.get_bag()?,
+            },
+            2 => WalRecord::EpochBump {
+                notifications_lost: d.get_u8()? != 0,
+            },
+            3 => WalRecord::Watermark {
+                applied: d.get_u64()?,
+            },
+            tag => {
+                return Err(DecodeError::BadTag {
+                    context: "WalRecord",
+                    tag,
+                })
+            }
+        };
+        Ok(rec)
+    }
+}
+
+/// Frame a body for the log: `[u32 len][u64 fnv1a(body)][body]`.
+///
+/// # Errors
+/// [`DurableError::RecordTooLarge`] past [`MAX_FRAME_LEN`].
+pub(crate) fn frame_body(body: &[u8], out: &mut Vec<u8>) -> Result<(), DurableError> {
+    if body.len() > MAX_FRAME_LEN {
+        return Err(DurableError::RecordTooLarge { len: body.len() });
+    }
+    out.extend_from_slice(&(body.len() as u32).to_be_bytes());
+    out.extend_from_slice(&fnv1a_checksum(body).to_be_bytes());
+    out.extend_from_slice(body);
+    Ok(())
+}
+
+/// Try to lift one frame off `buf[offset..]`.
+///
+/// Returns `Some((body, next_offset))` when a complete frame with a
+/// valid length and matching checksum starts at `offset`; `None` for
+/// anything else — a partial header, a length past the cap or past the
+/// buffer end, or a checksum mismatch. `None` is the torn-tail signal:
+/// the caller stops scanning and truncates at `offset`.
+pub(crate) fn unframe(buf: &[u8], offset: usize) -> Option<(Bytes, usize)> {
+    let rest = buf.get(offset..)?;
+    if rest.len() < HEADER_LEN {
+        return None;
+    }
+    let len = u32::from_be_bytes(rest[0..4].try_into().ok()?) as usize;
+    if len > MAX_FRAME_LEN || rest.len() < HEADER_LEN + len {
+        return None;
+    }
+    let want = u64::from_be_bytes(rest[4..12].try_into().ok()?);
+    let body = &rest[HEADER_LEN..HEADER_LEN + len];
+    if fnv1a_checksum(body) != want {
+        return None;
+    }
+    Some((Bytes::from(body), offset + HEADER_LEN + len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eca_relational::Tuple;
+
+    fn samples() -> Vec<WalRecord> {
+        vec![
+            WalRecord::Update(Update::insert("r1", Tuple::ints([1, 2]))),
+            WalRecord::Update(Update::delete("r2", Tuple::ints([7]))),
+            WalRecord::Answer {
+                id: 42,
+                answer: SignedBag::from_tuples([Tuple::ints([1]), Tuple::ints([4])]),
+            },
+            WalRecord::EpochBump {
+                notifications_lost: true,
+            },
+            WalRecord::EpochBump {
+                notifications_lost: false,
+            },
+            WalRecord::Watermark { applied: 17 },
+        ]
+    }
+
+    #[test]
+    fn records_roundtrip() {
+        for rec in samples() {
+            let body = rec.encode_body();
+            assert_eq!(WalRecord::decode_body(body).unwrap(), rec);
+        }
+    }
+
+    #[test]
+    fn frames_roundtrip_and_reject_flips() {
+        for rec in samples() {
+            let body = rec.encode_body();
+            let mut framed = Vec::new();
+            frame_body(body.as_slice(), &mut framed).unwrap();
+            let (got, next) = unframe(&framed, 0).expect("intact frame");
+            assert_eq!(next, framed.len());
+            assert_eq!(WalRecord::decode_body(got).unwrap(), rec);
+
+            // Any single bit flip anywhere in the frame is rejected
+            // (header: bad length or checksum; body: checksum mismatch).
+            for byte in 0..framed.len() {
+                for bit in 0..8 {
+                    let mut evil = framed.clone();
+                    evil[byte] ^= 1 << bit;
+                    if let Some((body, _)) = unframe(&evil, 0) {
+                        // A length flip can only "succeed" by pointing
+                        // at a shorter prefix whose checksum happens to
+                        // match — impossible here since the checksum
+                        // bytes would need to match the new body too.
+                        panic!(
+                            "flip at byte {byte} bit {bit} yielded a frame: {:?}",
+                            body.as_slice()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_record_is_refused() {
+        let mut out = Vec::new();
+        let body = vec![0u8; MAX_FRAME_LEN + 1];
+        assert!(matches!(
+            frame_body(&body, &mut out),
+            Err(DurableError::RecordTooLarge { .. })
+        ));
+        assert!(out.is_empty());
+    }
+}

@@ -34,13 +34,15 @@
 //! state is touched; the harness counts them as
 //! [`ChaosStats::stale_answers`] and moves on.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 use eca_core::maintainer::ViewMaintainer;
-use eca_core::CoreError;
+use eca_core::{CoreError, QueryId};
 use eca_relational::Update;
 use eca_source::Source;
-use eca_warehouse::{SourceId, ViewId, Warehouse, WarehouseError};
+use eca_warehouse::{
+    DurabilityConfig, RecoveryOutcome, SourceId, ViewId, Warehouse, WarehouseError,
+};
 use eca_wire::{
     FaultKind, FaultPlan, FaultyTransport, InMemoryFifo, Message, ReliableLink, TransferMeter,
     Transport, WireQuery,
@@ -58,6 +60,30 @@ const STEP_CAP: u64 = 2_000_000;
 
 type ChaosLink = ReliableLink<FaultyTransport<InMemoryFifo>>;
 
+/// Which site a scripted restart kills.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RestartSite {
+    /// The source endpoint crashes and comes back empty: session state
+    /// on both ends is lost, in-flight notifications may be gone, and
+    /// every view over the site resyncs from a fresh `V(ss)`.
+    Source,
+    /// The **warehouse** process crashes and restarts from disk: every
+    /// channel (all sites) is torn down, the warehouse is rebuilt from
+    /// its view factories and recovered via
+    /// [`Warehouse::recover_durability`] — or, without durability, via
+    /// the paper's §4 amnesia fallback (full resync everywhere).
+    Warehouse,
+}
+
+/// One scripted restart event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Restart {
+    /// Scheduler step at which the crash fires.
+    pub at: u64,
+    /// Which endpoint dies.
+    pub site: RestartSite,
+}
+
 /// The fault schedule of one site's channel.
 #[derive(Clone, Debug)]
 pub struct ChaosProfile {
@@ -67,10 +93,12 @@ pub struct ChaosProfile {
     /// Faults injected on warehouse → source sends (query frames and the
     /// warehouse's acks).
     pub w2s: FaultPlan,
-    /// Scheduler step numbers at which the source endpoint crashes and
-    /// comes back empty: session state on both ends is lost and every
-    /// view over the site resyncs.
-    pub restarts: Vec<u64>,
+    /// Scripted restarts, ordered by step. [`RestartSite::Source`]
+    /// events kill this site's source endpoint;
+    /// [`RestartSite::Warehouse`] events kill the warehouse process
+    /// itself (affecting every site, but scheduled here so per-site
+    /// profiles stay the single source of fault truth).
+    pub restarts: Vec<Restart>,
 }
 
 impl ChaosProfile {
@@ -96,10 +124,29 @@ impl ChaosProfile {
         }
     }
 
-    /// The same profile with scripted source restarts at the given
-    /// scheduler steps.
+    /// The same profile with scripted **source** restarts at the given
+    /// scheduler steps (the historical vocabulary; see
+    /// [`ChaosProfile::with_warehouse_crashes`] for the other side).
     pub fn with_restarts(mut self, steps: &[u64]) -> Self {
-        self.restarts = steps.to_vec();
+        self.restarts = steps
+            .iter()
+            .map(|&at| Restart {
+                at,
+                site: RestartSite::Source,
+            })
+            .collect();
+        self.restarts.sort_unstable();
+        self
+    }
+
+    /// The same profile with scripted **warehouse** crashes at the given
+    /// scheduler steps. The warehouse is global, so schedule these on
+    /// one site only; each fires once.
+    pub fn with_warehouse_crashes(mut self, steps: &[u64]) -> Self {
+        self.restarts.extend(steps.iter().map(|&at| Restart {
+            at,
+            site: RestartSite::Warehouse,
+        }));
         self.restarts.sort_unstable();
         self
     }
@@ -128,6 +175,21 @@ pub struct ChaosStats {
     pub resets: u64,
     /// Scripted source restarts executed.
     pub restarts: u64,
+    /// Scripted warehouse crashes executed.
+    pub warehouse_restarts: u64,
+    /// Update notifications re-sent by sources after a warehouse crash
+    /// (the incremental-resync tail: everything past the recovered
+    /// watermark).
+    pub resync_notifications: u64,
+    /// Source channels recovered incrementally (checkpoint + log tail)
+    /// across all warehouse crashes.
+    pub recovered_incremental: u64,
+    /// Source channels recovered via the full §4 fallback across all
+    /// warehouse crashes.
+    pub recovered_full: u64,
+    /// WAL records replayed during incremental recoveries — the
+    /// "updates since checkpoint" the recovery cost is proportional to.
+    pub wal_replayed: u64,
     /// Queries re-issued under fresh ids by the recovery policy.
     pub reissued: u64,
     /// RV-style resyncs started.
@@ -182,6 +244,11 @@ pub struct ChaosRunReport {
     pub quiescent: bool,
     /// Injection and recovery counters.
     pub stats: ChaosStats,
+    /// Wall-clock time spent inside warehouse recovery (checkpoint
+    /// load, log replay, resync planning), summed over every crash.
+    /// Zero when no warehouse crash fired. Kept out of [`ChaosStats`]
+    /// so seeded runs stay bit-for-bit comparable.
+    pub recovery_time: std::time::Duration,
     /// The interleaved event trace, each event tagged with its site.
     pub trace: Vec<(SiteId, TraceEvent)>,
 }
@@ -211,13 +278,28 @@ struct ChaosSite {
     profile: ChaosProfile,
     /// Index into `profile.restarts` of the next restart still to fire.
     next_restart: usize,
+    /// Unique effective update notifications sent (== `sent_history`
+    /// length) — the coordinate system for durable watermarks.
     notifications_sent: u64,
+    /// Re-sent copies after a warehouse crash; metered separately so
+    /// `sent_history` indices keep their meaning.
+    notifications_resent: u64,
+    /// Every effective update ever notified, in send order. After a
+    /// warehouse crash the tail past the recovered watermark is re-sent.
+    sent_history: Vec<Update>,
+    /// `notifications_sent` at the moment each outstanding answer was
+    /// evaluated: the number of updates its snapshot subsumes.
+    answer_watermarks: BTreeMap<QueryId, u64>,
 }
 
 struct ChaosViewInfo {
     site: usize,
     view: eca_core::ViewDef,
     source_states: Vec<eca_relational::SignedBag>,
+    /// Rebuilds the maintainer after a warehouse crash (its initial `MV`
+    /// is discarded by recovery). Views registered without a factory
+    /// cannot survive a warehouse crash.
+    factory: Option<Box<dyn Fn() -> Box<dyn ViewMaintainer>>>,
 }
 
 /// One warehouse over several sources, every channel faulty on purpose.
@@ -261,6 +343,15 @@ pub struct ChaosSimulation {
     views: Vec<ChaosViewInfo>,
     trace: Vec<(SiteId, TraceEvent)>,
     stats: ChaosStats,
+    /// Durability config the warehouse runs under; also what a crashed
+    /// warehouse recovers from. `None` → crashes recover via the §4
+    /// amnesia fallback (full resync everywhere).
+    durability: Option<DurabilityConfig>,
+    /// Forwarded retry budget, replayed onto rebuilt warehouses.
+    max_retries: Option<u32>,
+    /// Recovery-stat totals absorbed from warehouses that crashed.
+    recovery_base: eca_warehouse::RecoveryStats,
+    recovery_time: std::time::Duration,
 }
 
 impl Default for ChaosSimulation {
@@ -278,6 +369,10 @@ impl ChaosSimulation {
             views: Vec::new(),
             trace: Vec::new(),
             stats: ChaosStats::default(),
+            durability: None,
+            max_retries: None,
+            recovery_base: eca_warehouse::RecoveryStats::default(),
+            recovery_time: std::time::Duration::ZERO,
         }
     }
 
@@ -324,8 +419,29 @@ impl ChaosSimulation {
             profile,
             next_restart: 0,
             notifications_sent: 0,
+            notifications_resent: 0,
+            sent_history: Vec::new(),
+            answer_watermarks: BTreeMap::new(),
         });
         SiteId(self.sites.len() - 1)
+    }
+
+    /// Run the warehouse durably under `config`: every committed
+    /// maintenance event is logged, checkpoints are cut at quiescent
+    /// points, and scripted [`RestartSite::Warehouse`] crashes recover
+    /// from disk instead of falling back to full resyncs.
+    ///
+    /// Call after every source is registered (the log is per-source);
+    /// views registered later join the checkpoint at the next quiescent
+    /// cut.
+    ///
+    /// # Errors
+    /// Propagates I/O failures creating the durability directory or the
+    /// initial logs.
+    pub fn enable_durability(&mut self, config: DurabilityConfig) -> Result<(), SimError> {
+        self.warehouse.enable_durability(config.clone())?;
+        self.durability = Some(config);
+        Ok(())
     }
 
     /// Host a view over `site`. The maintainer's initial `MV` must equal
@@ -338,6 +454,31 @@ impl ChaosSimulation {
         site: SiteId,
         maintainer: Box<dyn ViewMaintainer>,
     ) -> Result<ViewId, SimError> {
+        self.install_view(site, maintainer, None)
+    }
+
+    /// Host a view built by `factory`, keeping the factory so the view
+    /// can be re-instantiated after a scripted warehouse crash. Required
+    /// for every view when the run schedules
+    /// [`RestartSite::Warehouse`] events.
+    ///
+    /// # Errors
+    /// Propagates view-evaluation failures on the initial snapshot.
+    pub fn add_view_with_factory(
+        &mut self,
+        site: SiteId,
+        factory: impl Fn() -> Box<dyn ViewMaintainer> + 'static,
+    ) -> Result<ViewId, SimError> {
+        let maintainer = factory();
+        self.install_view(site, maintainer, Some(Box::new(factory)))
+    }
+
+    fn install_view(
+        &mut self,
+        site: SiteId,
+        maintainer: Box<dyn ViewMaintainer>,
+        factory: Option<Box<dyn Fn() -> Box<dyn ViewMaintainer>>>,
+    ) -> Result<ViewId, SimError> {
         let view = maintainer.view().clone();
         let initial = view.eval(&self.sites[site.0].source.snapshot())?;
         let id = self
@@ -347,6 +488,7 @@ impl ChaosSimulation {
             site: site.0,
             view,
             source_states: vec![initial],
+            factory,
         });
         Ok(id)
     }
@@ -354,6 +496,7 @@ impl ChaosSimulation {
     /// Re-issue attempts per query before a view degrades to a resync
     /// (forwarded to [`Warehouse::set_max_retries`]).
     pub fn set_max_retries(&mut self, n: u32) {
+        self.max_retries = Some(n);
         self.warehouse.set_max_retries(n);
     }
 
@@ -479,17 +622,147 @@ impl ChaosSimulation {
         })
     }
 
-    /// Fire every scripted restart that has come due at `step`.
+    /// Fire every scripted restart that has come due at `step`. Runs
+    /// outside any RNG draw, so adding restart events never perturbs a
+    /// seeded schedule's draw sequence.
     fn fire_due_restarts(&mut self, step: u64) -> Result<(), SimError> {
         for i in 0..self.sites.len() {
-            while self.sites[i]
+            while let Some(due) = self.sites[i]
                 .profile
                 .restarts
                 .get(self.sites[i].next_restart)
-                .is_some_and(|&at| at <= step)
+                .copied()
+                .filter(|r| r.at <= step)
             {
                 self.sites[i].next_restart += 1;
-                self.rewire(i, true)?;
+                match due.site {
+                    RestartSite::Source => self.rewire(i, true)?,
+                    RestartSite::Warehouse => self.crash_warehouse()?,
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Kill the warehouse process and bring it back. The old instance —
+    /// sessions, view state, unsynced log buffers — is dropped on the
+    /// floor; a replacement is rebuilt from the registered factories and
+    /// recovered from disk ([`Warehouse::recover_durability`]) or, when
+    /// the run is not durable, reset into the paper's §4 amnesia
+    /// fallback: every view degrades and resyncs from a fresh `V(ss)`.
+    /// Every site's channel is torn down with it; sources then re-send
+    /// the notification tail past each recovered watermark so
+    /// incrementally recovered views converge without a full resync.
+    fn crash_warehouse(&mut self) -> Result<(), SimError> {
+        self.stats.warehouse_restarts += 1;
+        let dying = self.warehouse.recovery_stats();
+        self.recovery_base.reissued += dying.reissued;
+        self.recovery_base.resyncs_started += dying.resyncs_started;
+        self.recovery_base.resyncs_completed += dying.resyncs_completed;
+        // Rebuild the deployment shape. Factories are mandatory: a
+        // recovered maintainer's state comes from disk (or a resync),
+        // never from the dead instance.
+        let mut fresh = Warehouse::new();
+        if let Some(n) = self.max_retries {
+            fresh.set_max_retries(n);
+        }
+        for s in &self.sites {
+            let _ = fresh.add_source(s.name.clone());
+        }
+        for info in &self.views {
+            let Some(factory) = &info.factory else {
+                return Err(SimError::Protocol(
+                    "warehouse crash scheduled but a view was registered without a factory \
+                     (use add_view_with_factory)",
+                ));
+            };
+            fresh.add_view(self.sites[info.site].source_id, factory())?;
+        }
+        // The crash: dropping the old warehouse loses exactly what a
+        // real process loses — everything not on disk.
+        self.warehouse = fresh;
+        let started = std::time::Instant::now();
+        // (site index, incremental?, durable watermark, outbound queries)
+        let outcomes: Vec<(usize, bool, u64, Vec<Message>)> =
+            if let Some(config) = self.durability.clone() {
+                self.warehouse
+                    .recover_durability(config)?
+                    .into_iter()
+                    .map(|o| match o {
+                        RecoveryOutcome::Incremental {
+                            source,
+                            replayed,
+                            notifications_seen,
+                            messages,
+                        } => {
+                            self.stats.recovered_incremental += 1;
+                            self.stats.wal_replayed += replayed;
+                            (source.0, true, notifications_seen, messages)
+                        }
+                        RecoveryOutcome::Full { source, messages } => {
+                            self.stats.recovered_full += 1;
+                            (source.0, false, 0, messages)
+                        }
+                    })
+                    .collect()
+            } else {
+                let mut outcomes = Vec::with_capacity(self.sites.len());
+                for i in 0..self.sites.len() {
+                    let source_id = self.sites[i].source_id;
+                    let messages = self.warehouse.on_reset(source_id, true)?;
+                    self.stats.recovered_full += 1;
+                    outcomes.push((i, false, 0, messages));
+                }
+                outcomes
+            };
+        self.recovery_time += started.elapsed();
+        for (i, incremental, watermark, messages) in outcomes {
+            self.absorb_injections(i);
+            // Answers in flight died with the channel; their watermark
+            // notes will never be consumed.
+            self.sites[i].answer_watermarks.clear();
+            let (src_t, wh_t) = {
+                let s = &mut self.sites[i];
+                let (src_end, wh_end) = InMemoryFifo::pair(s.raw.clone());
+                let src_t = FaultyTransport::with_origin(
+                    src_end,
+                    s.profile.s2w.clone(),
+                    s.src_link.inner_mut().next_seq(),
+                );
+                let wh_t = FaultyTransport::with_origin(
+                    wh_end,
+                    s.profile.w2s.clone(),
+                    s.wh_link.inner_mut().next_seq(),
+                );
+                (src_t, wh_t)
+            };
+            // Recovery already bumped the session epoch; both ends come
+            // up on it directly.
+            let epoch = self.warehouse.epoch(self.sites[i].source_id);
+            self.sites[i].src_link.restart(src_t, epoch);
+            self.sites[i].wh_link.restart(wh_t, epoch);
+            // The crashed process's undelivered inbox dies with it: a
+            // notification the link had sequenced but the warehouse never
+            // consumed is below no watermark, so the tail re-send below
+            // covers it — keeping it here would apply it twice.
+            self.sites[i].wh_link.clear_ready();
+            self.sites[i].wh_link.set_epoch(epoch);
+            for msg in messages {
+                self.sites[i].wh_link.send(&msg)?;
+            }
+            // Incremental recovery: re-send exactly the updates past the
+            // durable watermark. FIFO ordering puts them ahead of any
+            // answer to the re-issued queries, so compensation stays
+            // sound. A full resync needs no tail — `V(ss)` subsumes it.
+            if incremental {
+                let tail: Vec<Update> = self.sites[i].sent_history[watermark as usize..].to_vec();
+                for update in tail {
+                    self.sites[i]
+                        .src_link
+                        .send(&Message::UpdateNotification { update })?;
+                    self.sites[i].notifications_resent += 1;
+                    self.stats.resync_notifications += 1;
+                }
             }
         }
         Ok(())
@@ -596,10 +869,11 @@ impl ChaosSimulation {
             for info in self.views.iter_mut().filter(|v| v.site == i) {
                 info.source_states.push(info.view.eval(&snapshot)?);
             }
-            self.sites[i]
-                .src_link
-                .send(&Message::UpdateNotification { update })?;
+            self.sites[i].src_link.send(&Message::UpdateNotification {
+                update: update.clone(),
+            })?;
             self.sites[i].notifications_sent += 1;
+            self.sites[i].sent_history.push(update);
         }
         Ok(())
     }
@@ -627,6 +901,11 @@ impl ChaosSimulation {
             answer.encoded_len() as u64,
             answer.pos_len() + answer.neg_len(),
         );
+        // Remember how many updates this evaluation's snapshot subsumed:
+        // if the answer completes a resync, the warehouse's durable
+        // watermark advances to exactly this point.
+        let watermark = site.notifications_sent;
+        site.answer_watermarks.insert(id, watermark);
         site.src_link.send(&Message::QueryAnswer { id, answer })?;
         Ok(())
     }
@@ -655,14 +934,27 @@ impl ChaosSimulation {
                 queries
             }
             Message::QueryAnswer { id, answer } => {
+                let before = self.warehouse.recovery_stats().resyncs_completed;
                 match self.warehouse.on_answer(source_id, id, answer) {
                     Ok(queries) => {
                         self.trace
                             .push((SiteId(i), TraceEvent::WarehouseAnswer { id }));
+                        // A completed resync subsumes every notification
+                        // the answering snapshot had seen — advance the
+                        // durable watermark so a later crash does not
+                        // re-send (and double-apply) them.
+                        if self.warehouse.recovery_stats().resyncs_completed > before {
+                            if let Some(watermark) = self.sites[i].answer_watermarks.remove(&id) {
+                                self.warehouse.note_source_watermark(source_id, watermark)?;
+                            }
+                        } else {
+                            self.sites[i].answer_watermarks.remove(&id);
+                        }
                         queries
                     }
                     Err(WarehouseError::Core(CoreError::UnknownQuery { .. })) => {
                         self.stats.stale_answers += 1;
+                        self.sites[i].answer_watermarks.remove(&id);
                         Vec::new()
                     }
                     Err(e) => return Err(e.into()),
@@ -695,10 +987,13 @@ impl ChaosSimulation {
         for i in 0..self.sites.len() {
             self.absorb_injections(i);
         }
+        // Cumulative over every warehouse incarnation: the live
+        // instance's counters plus everything absorbed at crash time.
         let recovery = self.warehouse.recovery_stats();
-        self.stats.reissued = recovery.reissued;
-        self.stats.resyncs_started = recovery.resyncs_started;
-        self.stats.resyncs_completed = recovery.resyncs_completed;
+        self.stats.reissued = self.recovery_base.reissued + recovery.reissued;
+        self.stats.resyncs_started = self.recovery_base.resyncs_started + recovery.resyncs_started;
+        self.stats.resyncs_completed =
+            self.recovery_base.resyncs_completed + recovery.resyncs_completed;
         for s in &self.sites {
             let src = s.src_link.stats();
             let wh = s.wh_link.stats();
@@ -730,8 +1025,10 @@ impl ChaosSimulation {
             .map(|s| SiteReport {
                 name: s.name.clone(),
                 query_messages: s.logical.messages_w2s(),
-                answer_messages: s.logical.messages_s2w() - s.notifications_sent,
-                notification_messages: s.notifications_sent,
+                answer_messages: s.logical.messages_s2w()
+                    - s.notifications_sent
+                    - s.notifications_resent,
+                notification_messages: s.notifications_sent + s.notifications_resent,
                 answer_bytes: s.logical.answer_bytes(),
                 answer_tuples: s.logical.answer_tuples(),
                 bytes_s2w: s.logical.bytes_s2w(),
@@ -754,6 +1051,7 @@ impl ChaosSimulation {
             overhead,
             quiescent,
             stats: self.stats,
+            recovery_time: self.recovery_time,
             trace: self.trace,
         }
     }
@@ -996,6 +1294,114 @@ mod tests {
             .unwrap();
         assert!(report.converged());
         assert!(report.quiescent);
+    }
+
+    fn build_chaos_with_factories(
+        kind: AlgorithmKind,
+        profiles: [ChaosProfile; 2],
+    ) -> ChaosSimulation {
+        let mut sim = ChaosSimulation::new();
+        let fixtures = [("a", site_a()), ("b", site_b())];
+        for ((name, (source, view, script)), profile) in fixtures.into_iter().zip(profiles) {
+            let snapshot = source.snapshot();
+            let site = sim.add_source_with(name, source, script, profile);
+            sim.add_view_with_factory(site, move || {
+                let initial = view.eval(&snapshot).unwrap();
+                kind.instantiate_with_base(&view, initial, Some(snapshot.clone()))
+                    .unwrap()
+            })
+            .unwrap();
+        }
+        sim
+    }
+
+    fn sim_tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("eca-sim-chaos-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn warehouse_crash_without_durability_falls_back_to_full_resyncs() {
+        let profiles = [
+            ChaosProfile::none().with_warehouse_crashes(&[9]),
+            ChaosProfile::none(),
+        ];
+        let report = build_chaos_with_factories(AlgorithmKind::Eca, profiles)
+            .run(Policy::Random { seed: 17 })
+            .unwrap();
+        assert!(report.converged());
+        assert!(report.quiescent);
+        assert_eq!(report.stats.warehouse_restarts, 1);
+        assert_eq!(report.stats.recovered_incremental, 0);
+        assert_eq!(
+            report.stats.recovered_full, 2,
+            "amnesia fallback resets every source channel"
+        );
+        assert!(report.stats.resyncs_completed >= 2);
+        assert_eq!(report.stats.resync_notifications, 0);
+    }
+
+    #[test]
+    fn warehouse_crash_with_durability_recovers_and_converges() {
+        let dir = sim_tmpdir("crash-recovers");
+        let profiles = [
+            ChaosProfile::none().with_warehouse_crashes(&[9]),
+            ChaosProfile::none(),
+        ];
+        let mut sim = build_chaos_with_factories(AlgorithmKind::Eca, profiles);
+        sim.enable_durability(DurabilityConfig::new(&dir)).unwrap();
+        let report = sim.run(Policy::Random { seed: 17 }).unwrap();
+        assert!(report.converged());
+        assert!(report.quiescent);
+        assert_eq!(report.stats.warehouse_restarts, 1);
+        assert_eq!(
+            report.stats.recovered_incremental, 2,
+            "with a baseline checkpoint and an intact log every channel \
+             recovers incrementally: {:?}",
+            report.stats
+        );
+        assert_eq!(report.stats.recovered_full, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_fault_free_run_matches_plain_chaos_exactly() {
+        let dir = sim_tmpdir("fault-free-identity");
+        for policy in [Policy::Serial, Policy::Random { seed: 42 }] {
+            let plain = build_chaos(
+                AlgorithmKind::Eca,
+                [ChaosProfile::none(), ChaosProfile::none()],
+            )
+            .run(policy)
+            .unwrap();
+            let mut durable = build_chaos(
+                AlgorithmKind::Eca,
+                [ChaosProfile::none(), ChaosProfile::none()],
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+            durable
+                .enable_durability(DurabilityConfig::new(&dir))
+                .unwrap();
+            let durable = durable.run(policy).unwrap();
+            assert_eq!(plain.stats, durable.stats, "{policy:?}");
+            for (p, c) in plain.sites.iter().zip(&durable.sites) {
+                assert_eq!(p.query_messages, c.query_messages, "{policy:?}");
+                assert_eq!(p.answer_messages, c.answer_messages, "{policy:?}");
+                assert_eq!(p.notification_messages, c.notification_messages);
+                assert_eq!(p.bytes_s2w, c.bytes_s2w, "{policy:?}");
+                assert_eq!(p.bytes_w2s, c.bytes_w2s, "{policy:?}");
+            }
+            for (p, c) in plain.views.iter().zip(&durable.views) {
+                assert_eq!(p.final_mv, c.final_mv, "{policy:?}");
+                assert_eq!(
+                    p.warehouse_view_states, c.warehouse_view_states,
+                    "{policy:?}: durability must not change the state history"
+                );
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -48,7 +48,9 @@ use eca_wire::{InMemoryFifo, Message, TransferMeter, Transport, TransportError, 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-pub use chaos::{ChaosProfile, ChaosRunReport, ChaosSimulation, ChaosStats, LinkOverhead};
+pub use chaos::{
+    ChaosProfile, ChaosRunReport, ChaosSimulation, ChaosStats, LinkOverhead, Restart, RestartSite,
+};
 pub use equiv::{
     run_equivalence, run_reactor_tcp, EquivCase, EquivOutcome, EquivSource, EquivTriple,
     MeterCounts,

@@ -21,12 +21,14 @@
 use std::sync::{Arc, Mutex};
 
 use eca_core::QueryId;
+use eca_durable::{SourceCheckpoint, ViewCheckpoint, WalRecord};
 use eca_relational::{SignedBag, Update};
 use eca_wire::{Message, Transport, WireQuery};
 
+use crate::durability::SourceDurability;
 use crate::publish::EpochRegistry;
-use crate::session::Session;
-use crate::{SourceId, ViewId, Warehouse, WarehouseError};
+use crate::session::{RouteKind, Session};
+use crate::{SourceId, ViewId, ViewStatus, Warehouse, WarehouseError};
 
 /// One view hosted inside a shard. The global [`ViewId`] → (shard,
 /// local) mapping lives in [`ConcurrentWarehouse::view_index`].
@@ -36,6 +38,9 @@ pub(crate) struct ShardView {
     /// Global view index — the slot this view publishes to in the
     /// serving registry (shard-local indices are meaningless there).
     pub(crate) global: usize,
+    /// Carried-over [`ViewStatus::Degraded`]: the view skips updates
+    /// until its in-flight resync answer installs `V(ss)`.
+    pub(crate) degraded: bool,
 }
 
 /// All warehouse state owned by one source's pump thread (or, in the
@@ -48,6 +53,14 @@ pub(crate) struct Shard {
     /// Shared epoch publication, carried over from the serial
     /// warehouse's [`Warehouse::enable_serving`] across the reshape.
     publisher: Option<Arc<EpochRegistry>>,
+    /// Write-ahead log + checkpoints for this source channel, carried
+    /// over from the serial warehouse's durability state. Shards log the
+    /// same events the serial runtime does, so a crashed concurrent
+    /// deployment recovers through the (serial)
+    /// [`Warehouse::recover_durability`] path before reshaping again.
+    durability: Option<SourceDurability>,
+    /// Update notifications applied on this channel over its whole life.
+    notifications_seen: u64,
 }
 
 impl Shard {
@@ -58,6 +71,10 @@ impl Shard {
     pub(crate) fn on_update(&mut self, update: &Update) -> Result<Vec<Message>, WarehouseError> {
         let mut out = Vec::new();
         for idx in 0..self.views.len() {
+            if self.views[idx].degraded {
+                // Skip: the update's effects are inside the coming V(ss).
+                continue;
+            }
             let emitted = self.views[idx].maintainer.on_update(update)?;
             self.record_states(idx);
             for q in emitted {
@@ -66,6 +83,8 @@ impl Shard {
                 out.push(Message::QueryRequest { id, query });
             }
         }
+        self.notifications_seen += 1;
+        self.log_event(|| WalRecord::Update(update.clone()))?;
         Ok(out)
     }
 
@@ -75,7 +94,20 @@ impl Shard {
         id: QueryId,
         answer: SignedBag,
     ) -> Result<Vec<Message>, WarehouseError> {
+        let keep = self.durability.is_some().then(|| answer.clone());
         let route = self.session.take(id)?;
+        if route.kind == RouteKind::Resync {
+            // A carried-over resync completing on this shard: install
+            // the fresh V(ss) wholesale and resume maintenance.
+            let entry = &mut self.views[route.view];
+            entry.maintainer.reset_to(answer)?;
+            entry.degraded = false;
+            self.record_states(route.view);
+            if let Some(answer) = keep {
+                self.log_event(move || WalRecord::Answer { id: id.0, answer })?;
+            }
+            return Ok(Vec::new());
+        }
         let emitted = self.views[route.view]
             .maintainer
             .on_answer(route.local, answer)?;
@@ -86,7 +118,65 @@ impl Shard {
             let id = self.session.register(route.view, q.id, query.clone());
             out.push(Message::QueryRequest { id, query });
         }
+        if let Some(answer) = keep {
+            self.log_event(move || WalRecord::Answer { id: id.0, answer })?;
+        }
         Ok(out)
+    }
+
+    /// Append one committed event to the shard's log (no-op without
+    /// durability), then cut a checkpoint if one is due and the shard is
+    /// quiescent — same discipline as the serial runtime, under the
+    /// shard lock.
+    fn log_event(&mut self, record: impl FnOnce() -> WalRecord) -> Result<(), WarehouseError> {
+        if self.durability.is_none() {
+            return Ok(());
+        }
+        let record = record();
+        self.durability
+            .as_mut()
+            .expect("checked above")
+            .log(&record)?;
+        self.maybe_checkpoint()
+    }
+
+    fn maybe_checkpoint(&mut self) -> Result<(), WarehouseError> {
+        let due = self
+            .durability
+            .as_ref()
+            .is_some_and(SourceDurability::due_for_checkpoint);
+        if !due || !self.is_quiescent() || self.views.iter().any(|v| v.degraded) {
+            return Ok(());
+        }
+        let wal_gen = self.durability.as_ref().expect("checked above").next_gen();
+        let ckpt = SourceCheckpoint {
+            epoch: self.session.epoch(),
+            next_global_id: self.session.next_global_id(),
+            notifications_applied: self.notifications_seen,
+            wal_gen,
+            views: self
+                .views
+                .iter()
+                .map(|v| ViewCheckpoint {
+                    mv: v.maintainer.materialized().clone(),
+                    aux: v.maintainer.checkpoint_aux(),
+                })
+                .collect(),
+        };
+        self.durability
+            .as_mut()
+            .expect("checked above")
+            .cut(&ckpt)?;
+        Ok(())
+    }
+
+    /// Force buffered WAL records to disk regardless of policy (clean
+    /// shutdown). No-op without durability.
+    pub(crate) fn sync_durability(&mut self) -> Result<(), WarehouseError> {
+        if let Some(d) = &mut self.durability {
+            d.sync()?;
+        }
+        Ok(())
     }
 
     fn record_states(&mut self, idx: usize) {
@@ -126,26 +216,37 @@ pub(crate) struct ShardSet {
 }
 
 impl Warehouse {
-    /// Reshape into per-source shards. Per-shard sessions are rebuilt
-    /// (shard-local routing), which is only sound while nothing is
-    /// pending.
-    ///
-    /// # Panics
-    /// If any session has outstanding queries.
+    /// Reshape into per-source shards. Sessions move wholesale — epochs,
+    /// id allocators and in-flight queries survive the reshape (pending
+    /// routes are rewritten from global to shard-local view indices), as
+    /// do per-view degraded states and any durability state, so a
+    /// recovered warehouse can be reshaped mid-resync.
     pub(crate) fn into_shards(self) -> ShardSet {
-        assert!(
-            self.sources.iter().all(|s| s.session.pending() == 0),
-            "sharding a warehouse requires quiescent sessions"
-        );
-        let names: Vec<String> = self.sources.iter().map(|s| s.name.clone()).collect();
-        let mut shards: Vec<Shard> = (0..self.sources.len())
-            .map(|_| Shard {
-                session: Session::new(),
+        let durability = self.durability.map(|d| {
+            assert!(
+                !d.replaying,
+                "cannot reshape a warehouse while recovery replay is in progress"
+            );
+            d.per_source
+        });
+        let mut names = Vec::with_capacity(self.sources.len());
+        let mut shards: Vec<Shard> = Vec::with_capacity(self.sources.len());
+        for entry in self.sources {
+            names.push(entry.name);
+            shards.push(Shard {
+                session: entry.session,
                 views: Vec::new(),
                 record_history: self.record_history,
                 publisher: self.publisher.clone(),
-            })
-            .collect();
+                durability: None,
+                notifications_seen: entry.notifications_seen,
+            });
+        }
+        if let Some(per_source) = durability {
+            for (shard, sd) in shards.iter_mut().zip(per_source) {
+                shard.durability = Some(sd);
+            }
+        }
         let mut view_index = Vec::with_capacity(self.views.len());
         for (global, entry) in self.views.into_iter().enumerate() {
             let shard = entry.source.0;
@@ -155,7 +256,14 @@ impl Warehouse {
                 maintainer: entry.maintainer,
                 states: entry.states,
                 global,
+                degraded: entry.status == ViewStatus::Degraded,
             });
+        }
+        // In-flight routes still name global view indices; rewrite them
+        // to this shard's local ones.
+        for shard in &mut shards {
+            let map = view_index.clone();
+            shard.session.remap_views(move |global| map[global].1);
         }
         ShardSet {
             names,
@@ -194,12 +302,10 @@ pub(crate) fn lock(shard: &Mutex<Shard>) -> std::sync::MutexGuard<'_, Shard> {
 impl Warehouse {
     /// Reshape this warehouse into the sharded concurrent runtime.
     ///
-    /// Must be called before any traffic: per-shard sessions are rebuilt
-    /// (shard-local routing), which is only sound while nothing is
-    /// pending.
-    ///
-    /// # Panics
-    /// If any session has outstanding queries.
+    /// Sessions, in-flight queries, degraded-view states and durability
+    /// all carry over, so this is sound mid-traffic — including right
+    /// after [`Warehouse::recover_durability`], while resyncs are still
+    /// outstanding.
     pub fn into_concurrent(self) -> ConcurrentWarehouse {
         let ShardSet {
             names,
@@ -255,6 +361,19 @@ impl ConcurrentWarehouse {
     /// Whether every shard is quiescent.
     pub fn is_quiescent(&self) -> bool {
         self.shards.iter().all(|s| lock(s).is_quiescent())
+    }
+
+    /// Force every shard's buffered WAL records to disk regardless of
+    /// the fsync policy (clean-shutdown helper). No-op without
+    /// durability.
+    ///
+    /// # Errors
+    /// [`WarehouseError::Durability`] on filesystem failures.
+    pub fn sync_durability(&self) -> Result<(), WarehouseError> {
+        for shard in &self.shards {
+            lock(shard).sync_durability()?;
+        }
+        Ok(())
     }
 
     /// Pump one source's transport until `expected_notifications` update
@@ -446,22 +565,40 @@ mod tests {
         }
     }
 
+    /// Sessions carry over the reshape: a query put in flight on the
+    /// serial warehouse is answered through its shard afterwards — same
+    /// global id, route remapped to the shard-local view index — and the
+    /// view converges.
     #[test]
-    #[should_panic(expected = "quiescent sessions")]
-    fn into_concurrent_rejects_pending_sessions() {
+    fn into_concurrent_carries_in_flight_sessions() {
         let mut wh = Warehouse::new();
         let src = wh.add_source("s");
         let view = view_def("V", "r1", "r2");
         let mut db = BaseDb::new();
         db.register("r1");
         db.register("r2");
+        db.insert("r1", Tuple::ints([1, 2]));
         let initial = view.eval(&db).unwrap();
-        wh.add_view(src, AlgorithmKind::Eca.instantiate(&view, initial).unwrap())
+        let id = wh
+            .add_view(src, AlgorithmKind::Eca.instantiate(&view, initial).unwrap())
             .unwrap();
-        // Put a query in flight, then try to convert.
-        wh.on_update(src, &Update::insert("r2", Tuple::ints([2, 3])))
-            .unwrap();
-        let _ = wh.into_concurrent();
+        let u = Update::insert("r2", Tuple::ints([2, 3]));
+        db.apply(&u);
+        let qs = wh.on_update(src, &u).unwrap();
+        assert_eq!(qs.len(), 1);
+        let epoch_before = wh.epoch(src);
+
+        let cw = wh.into_concurrent();
+        assert!(!cw.is_quiescent(), "the in-flight query survived");
+        {
+            let mut shard = lock(&cw.shards[src.0]);
+            assert_eq!(shard.session.epoch(), epoch_before);
+            let answer = qs[0].query.eval(&db).unwrap();
+            let replies = shard.on_answer(qs[0].id, answer).unwrap();
+            assert!(replies.is_empty());
+        }
+        assert!(cw.is_quiescent());
+        assert_eq!(cw.materialized(id), view.eval(&db).unwrap());
     }
 
     #[test]

@@ -1,0 +1,807 @@
+//! Durable warehouse state: WAL hooks, quiescent checkpoints, crash
+//! recovery.
+//!
+//! The serial [`Warehouse`] (and, after
+//! [`Warehouse::into_concurrent`]/`into_reactor`, each per-source shard)
+//! can be given a disk via [`Warehouse::enable_durability`]: every
+//! committed maintenance event on a source channel — applied update
+//! notifications, applied answers (by session-global id), epoch bumps,
+//! watermark jumps — is appended to that channel's write-ahead log
+//! (`eca-durable`), and a checkpoint of view bags + session counters is
+//! cut at the first quiescent point after every
+//! [`eca_durable::DurabilityConfig::checkpoint_every`] events.
+//!
+//! Because per-source processing is single-threaded and deterministic
+//! (sequential global ids, deterministic maintainer emissions), the log
+//! records only *inputs*: [`Warehouse::recover_durability`] replays them
+//! through the ordinary `on_update`/`on_answer`/`on_reset` paths and
+//! re-derives every view bag, every pending route and every id exactly,
+//! discarding the outbound queries regenerated along the way (they were
+//! already on the wire before the crash). A torn or corrupt log tail is
+//! truncated at the last valid record; an unusable checkpoint or log
+//! falls back to the paper's §4 story — degrade every view and resync
+//! from a fresh `V(ss)` ([`RecoveryOutcome::Full`]).
+//!
+//! Checkpoint/log pairing is by *generation*: cutting a checkpoint
+//! names a fresh WAL generation and the old log file is deleted, so a
+//! crash between "checkpoint written" and "old log removed" can never
+//! replay pre-checkpoint records on top of the new checkpoint.
+
+use eca_core::QueryId;
+use eca_durable::{
+    DurabilityConfig, DurableError, SourceCheckpoint, ViewCheckpoint, Wal, WalRecord,
+};
+use eca_wire::Message;
+
+use crate::{SourceId, ViewStatus, Warehouse, WarehouseError};
+
+/// Durable bookkeeping for one source channel. Owned by the serial
+/// warehouse, and moved into the channel's shard when the warehouse is
+/// reshaped for the concurrent/reactor runtimes.
+pub(crate) struct SourceDurability {
+    config: DurabilityConfig,
+    source: usize,
+    wal: Wal,
+    /// Generation of the WAL currently appended to; the on-disk
+    /// checkpoint (if any) names the generation it pairs with.
+    gen: u64,
+    records_since_checkpoint: u64,
+    /// A baseline checkpoint is still owed (durability enabled or a
+    /// full-fallback recovery happened while the channel was not
+    /// quiescent): cut one at the first quiescent point regardless of
+    /// cadence. Until it lands, a crash recovers via the full path.
+    needs_baseline: bool,
+}
+
+impl SourceDurability {
+    /// Wipe any previous durable state of `source` and start a fresh
+    /// generation-0 log. The caller owes a baseline checkpoint.
+    fn fresh(config: &DurabilityConfig, source: usize) -> Result<Self, DurableError> {
+        let _ = std::fs::remove_file(config.checkpoint_path(source));
+        config.remove_stale_wals(source, u64::MAX);
+        let wal = Wal::open(config.wal_path(source, 0), config.fsync)?;
+        Ok(SourceDurability {
+            config: config.clone(),
+            source,
+            wal,
+            gen: 0,
+            records_since_checkpoint: 0,
+            needs_baseline: true,
+        })
+    }
+
+    /// Resume appending to an existing generation after recovery
+    /// (`replayed` records already in the file count against the
+    /// checkpoint cadence).
+    fn resume(
+        config: &DurabilityConfig,
+        source: usize,
+        gen: u64,
+        replayed: u64,
+    ) -> Result<Self, DurableError> {
+        let wal = Wal::open(config.wal_path(source, gen), config.fsync)?;
+        config.remove_stale_wals(source, gen);
+        Ok(SourceDurability {
+            config: config.clone(),
+            source,
+            wal,
+            gen,
+            records_since_checkpoint: replayed,
+            needs_baseline: false,
+        })
+    }
+
+    pub(crate) fn log(&mut self, record: &WalRecord) -> Result<(), DurableError> {
+        self.wal.append(record)?;
+        self.records_since_checkpoint += 1;
+        Ok(())
+    }
+
+    pub(crate) fn due_for_checkpoint(&self) -> bool {
+        self.needs_baseline || self.records_since_checkpoint >= self.config.checkpoint_every
+    }
+
+    /// Install `ckpt` as the new durable baseline and rotate to a fresh
+    /// WAL generation. `ckpt.wal_gen` must be `self.gen + 1` (the
+    /// generation the checkpoint will pair with).
+    pub(crate) fn cut(&mut self, ckpt: &SourceCheckpoint) -> Result<(), DurableError> {
+        debug_assert_eq!(ckpt.wal_gen, self.gen + 1);
+        ckpt.write(&self.config.checkpoint_path(self.source))?;
+        let fresh = Wal::open(
+            self.config.wal_path(self.source, ckpt.wal_gen),
+            self.config.fsync,
+        )?;
+        self.wal = fresh;
+        let _ = std::fs::remove_file(self.config.wal_path(self.source, self.gen));
+        self.gen = ckpt.wal_gen;
+        self.records_since_checkpoint = 0;
+        self.needs_baseline = false;
+        Ok(())
+    }
+
+    /// The generation a cut made *now* would pair with.
+    pub(crate) fn next_gen(&self) -> u64 {
+        self.gen + 1
+    }
+
+    /// Force buffered records to disk regardless of policy (clean
+    /// shutdown).
+    pub(crate) fn sync(&mut self) -> Result<(), DurableError> {
+        self.wal.sync()
+    }
+}
+
+/// The warehouse-wide durable state behind
+/// [`Warehouse::enable_durability`].
+pub(crate) struct WarehouseDurability {
+    /// One entry per source, in registration order.
+    pub(crate) per_source: Vec<SourceDurability>,
+    /// While `true` (log replay during recovery), events are *not*
+    /// re-logged — they are already in the log being replayed.
+    pub(crate) replaying: bool,
+}
+
+/// How one source channel came back from a crash.
+#[derive(Debug)]
+pub enum RecoveryOutcome {
+    /// Checkpoint + log tail replayed: sessions are back at the correct
+    /// epoch with the pre-crash in-flight queries pending, and the
+    /// channel only needs the source to re-send notifications past the
+    /// watermark plus answers to the re-issued queries.
+    Incremental {
+        /// The recovered channel.
+        source: SourceId,
+        /// WAL records replayed on top of the checkpoint.
+        replayed: u64,
+        /// Update notifications durably accounted for — the source
+        /// should re-send its history *from this index on* (per-channel
+        /// FIFO: re-sends must precede answers to the re-issued
+        /// queries).
+        notifications_seen: u64,
+        /// Query messages to put on the fresh channel (in-flight work
+        /// re-issued under the post-recovery epoch).
+        messages: Vec<Message>,
+    },
+    /// Checkpoint or log unusable (missing, damaged, or inconsistent
+    /// with the deployment): the paper's §4 fallback. Every view over
+    /// the source is degraded and resyncs from a fresh `V(ss)`.
+    Full {
+        /// The recovered channel.
+        source: SourceId,
+        /// Resync query messages to put on the fresh channel.
+        messages: Vec<Message>,
+    },
+}
+
+impl RecoveryOutcome {
+    /// The channel this outcome describes.
+    pub fn source(&self) -> SourceId {
+        match self {
+            RecoveryOutcome::Incremental { source, .. } | RecoveryOutcome::Full { source, .. } => {
+                *source
+            }
+        }
+    }
+
+    /// Whether the channel recovered incrementally (checkpoint + log).
+    pub fn is_incremental(&self) -> bool {
+        matches!(self, RecoveryOutcome::Incremental { .. })
+    }
+
+    /// The query messages to send on the fresh channel.
+    pub fn messages(&self) -> &[Message] {
+        match self {
+            RecoveryOutcome::Incremental { messages, .. }
+            | RecoveryOutcome::Full { messages, .. } => messages,
+        }
+    }
+}
+
+/// Per-source recovery plan assembled from the on-disk state before any
+/// warehouse state is touched.
+enum Plan {
+    Incremental {
+        ckpt: SourceCheckpoint,
+        records: Vec<WalRecord>,
+    },
+    Full,
+}
+
+impl Warehouse {
+    /// Whether durability is enabled.
+    pub fn durability_enabled(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// Update notifications applied (and accounted) on `source`'s
+    /// channel over its whole life — the watermark an incremental
+    /// resync resumes from.
+    pub fn notifications_seen(&self, source: SourceId) -> u64 {
+        self.sources[source.0].notifications_seen
+    }
+
+    /// Turn on durability: every source channel gets a write-ahead log
+    /// under `config.dir` and a baseline checkpoint (cut immediately if
+    /// the channel is quiescent, else at its first quiescent point).
+    /// Any durable state already in `config.dir` is wiped — this call
+    /// starts a new durable lineage; use
+    /// [`Warehouse::recover_durability`] to *resume* one.
+    ///
+    /// Fault-free behaviour is unchanged: logging touches neither
+    /// transports nor meters nor scheduling, so runs stay meter- and
+    /// trace-identical to the same deployment without durability.
+    ///
+    /// # Panics
+    /// If durability is already enabled.
+    ///
+    /// # Errors
+    /// [`WarehouseError::Durability`] on filesystem failures.
+    pub fn enable_durability(&mut self, config: DurabilityConfig) -> Result<(), WarehouseError> {
+        assert!(
+            self.durability.is_none(),
+            "durability is already enabled on this warehouse"
+        );
+        std::fs::create_dir_all(&config.dir).map_err(DurableError::Io)?;
+        let mut per_source = Vec::with_capacity(self.sources.len());
+        for s in 0..self.sources.len() {
+            per_source.push(SourceDurability::fresh(&config, s)?);
+        }
+        self.durability = Some(WarehouseDurability {
+            per_source,
+            replaying: false,
+        });
+        for s in 0..self.sources.len() {
+            self.maybe_checkpoint(s)?;
+        }
+        Ok(())
+    }
+
+    /// Force every buffered WAL record to disk regardless of the fsync
+    /// policy (clean-shutdown helper). No-op without durability.
+    ///
+    /// # Errors
+    /// [`WarehouseError::Durability`] on filesystem failures.
+    pub fn sync_durability(&mut self) -> Result<(), WarehouseError> {
+        if let Some(d) = &mut self.durability {
+            for sd in &mut d.per_source {
+                sd.sync()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Record that the source has accounted for `sent` notifications on
+    /// this channel even though fewer arrived — called when a completed
+    /// RV-style resync subsumes notifications lost to a *source*
+    /// restart, so a later warehouse crash does not ask for them again
+    /// (re-applying an update already inside the installed `V(ss)`
+    /// would double-count it).
+    ///
+    /// # Errors
+    /// [`WarehouseError::UnknownSource`];
+    /// [`WarehouseError::Durability`] on log append failures.
+    pub fn note_source_watermark(
+        &mut self,
+        source: SourceId,
+        sent: u64,
+    ) -> Result<(), WarehouseError> {
+        if source.0 >= self.sources.len() {
+            return Err(WarehouseError::UnknownSource { id: source.0 });
+        }
+        if sent > self.sources[source.0].notifications_seen {
+            self.sources[source.0].notifications_seen = sent;
+            self.log_event(source.0, || WalRecord::Watermark { applied: sent })?;
+        }
+        Ok(())
+    }
+
+    /// Whether committed events should be logged right now (durability
+    /// on and not replaying).
+    pub(crate) fn logging_live(&self) -> bool {
+        matches!(&self.durability, Some(d) if !d.replaying)
+    }
+
+    /// Append one committed event to `source`'s log (no-op without
+    /// durability or during replay), then cut a checkpoint if one is
+    /// due and the channel is quiescent.
+    pub(crate) fn log_event(
+        &mut self,
+        source: usize,
+        record: impl FnOnce() -> WalRecord,
+    ) -> Result<(), WarehouseError> {
+        let logging = matches!(&self.durability, Some(d) if !d.replaying);
+        if !logging {
+            return Ok(());
+        }
+        let record = record();
+        self.durability.as_mut().expect("checked above").per_source[source].log(&record)?;
+        self.maybe_checkpoint(source)
+    }
+
+    /// Cut a checkpoint of `source`'s channel if one is due and the
+    /// channel is quiescent (nothing pending, every view active and
+    /// settled — so no in-flight compensation state needs serializing).
+    fn maybe_checkpoint(&mut self, source: usize) -> Result<(), WarehouseError> {
+        let due = match &self.durability {
+            Some(d) if !d.replaying => d.per_source[source].due_for_checkpoint(),
+            _ => false,
+        };
+        if !due || !self.source_quiescent(SourceId(source)) {
+            return Ok(());
+        }
+        let wal_gen =
+            self.durability.as_ref().expect("checked above").per_source[source].next_gen();
+        let ckpt = self.build_checkpoint(source, wal_gen);
+        self.durability.as_mut().expect("checked above").per_source[source].cut(&ckpt)?;
+        Ok(())
+    }
+
+    /// Serialize `source`'s durable state at a quiescent point.
+    fn build_checkpoint(&self, source: usize, wal_gen: u64) -> SourceCheckpoint {
+        let entry = &self.sources[source];
+        SourceCheckpoint {
+            epoch: entry.session.epoch(),
+            next_global_id: entry.session.next_global_id(),
+            notifications_applied: entry.notifications_seen,
+            wal_gen,
+            views: entry
+                .views
+                .iter()
+                .map(|v| ViewCheckpoint {
+                    mv: self.views[v.0].maintainer.materialized().clone(),
+                    aux: self.views[v.0].maintainer.checkpoint_aux(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Restart from disk after a crash. Call on a freshly built
+    /// warehouse with the *same* sources and views (same registration
+    /// order) as the crashed deployment, before any traffic.
+    ///
+    /// Per source channel: load the checkpoint, restore view bags and
+    /// session counters from it, truncate the log's torn tail at the
+    /// last valid record, replay the tail through the ordinary event
+    /// handlers (re-deriving pending queries under their original ids),
+    /// and finally reset the channel — re-issuing the in-flight work
+    /// under a fresh epoch. A missing/damaged checkpoint, an
+    /// undecodable log, or a replay mismatch falls back to
+    /// [`RecoveryOutcome::Full`]: every view over that source degrades
+    /// and resyncs from a fresh `V(ss)`.
+    ///
+    /// Durability stays enabled afterwards, resuming the recovered
+    /// lineage (incremental channels keep their generation; full ones
+    /// start a new one and owe a baseline checkpoint).
+    ///
+    /// # Panics
+    /// If durability is already enabled on this instance.
+    ///
+    /// # Errors
+    /// [`WarehouseError::Durability`] on filesystem failures;
+    /// maintainer failures surfaced while resetting unusable channels.
+    pub fn recover_durability(
+        &mut self,
+        config: DurabilityConfig,
+    ) -> Result<Vec<RecoveryOutcome>, WarehouseError> {
+        assert!(
+            self.durability.is_none(),
+            "recover_durability needs a fresh warehouse without durability enabled"
+        );
+        std::fs::create_dir_all(&config.dir).map_err(DurableError::Io)?;
+
+        // Phase 1: read disk and decide a plan per source.
+        let mut plans = Vec::with_capacity(self.sources.len());
+        for s in 0..self.sources.len() {
+            let loaded = match SourceCheckpoint::load(&config.checkpoint_path(s)) {
+                Ok(loaded) => loaded,
+                Err(DurableError::Io(e)) => return Err(DurableError::Io(e).into()),
+                // Checksum-valid but undecodable: version skew — fall
+                // back rather than brick the restart.
+                Err(_) => None,
+            };
+            let plan = match loaded {
+                Some(ckpt) if ckpt.views.len() == self.sources[s].views.len() => {
+                    let wal_path = config.wal_path(s, ckpt.wal_gen);
+                    match Wal::scan(&wal_path) {
+                        Ok(scan) => {
+                            Wal::truncate_torn_tail(&wal_path, &scan)?;
+                            Plan::Incremental {
+                                ckpt,
+                                records: scan.records,
+                            }
+                        }
+                        // Undecodable record past a valid checksum:
+                        // version skew — the log cannot be trusted.
+                        Err(_) => Plan::Full,
+                    }
+                }
+                _ => Plan::Full,
+            };
+            plans.push(plan);
+        }
+
+        // Phase 2: open the logs and install durability in replay mode,
+        // so the replayed events are not re-logged.
+        let mut per_source = Vec::with_capacity(self.sources.len());
+        for (s, plan) in plans.iter().enumerate() {
+            let sd = match plan {
+                Plan::Incremental { ckpt, records } => {
+                    SourceDurability::resume(&config, s, ckpt.wal_gen, records.len() as u64)?
+                }
+                Plan::Full => SourceDurability::fresh(&config, s)?,
+            };
+            per_source.push(sd);
+        }
+        self.durability = Some(WarehouseDurability {
+            per_source,
+            replaying: true,
+        });
+
+        // Phase 3: restore + replay per source; downgrade to Full on
+        // any mismatch between the log and the deployment.
+        let mut incremental: Vec<Option<u64>> = Vec::with_capacity(plans.len());
+        for (s, plan) in plans.into_iter().enumerate() {
+            match plan {
+                Plan::Incremental { ckpt, records } => {
+                    let replayed = records.len() as u64;
+                    if self.restore_and_replay(s, ckpt, records) {
+                        incremental.push(Some(replayed));
+                    } else {
+                        // Partial replay may have left garbage: wipe the
+                        // durable lineage and let the resync overwrite
+                        // the in-memory state wholesale.
+                        let sd = SourceDurability::fresh(&config, s)?;
+                        self.durability
+                            .as_mut()
+                            .expect("installed above")
+                            .per_source[s] = sd;
+                        for v in self.sources[s].views.clone() {
+                            let entry = &mut self.views[v.0];
+                            entry.states = vec![entry.maintainer.materialized().clone()];
+                        }
+                        incremental.push(None);
+                    }
+                }
+                Plan::Full => incremental.push(None),
+            }
+        }
+
+        // Phase 4: live again. Reset every channel (the crash killed
+        // the connections): incremental channels re-issue their
+        // in-flight queries, unusable ones degrade to full resyncs.
+        self.durability.as_mut().expect("installed above").replaying = false;
+        let mut outcomes = Vec::with_capacity(incremental.len());
+        for (s, inc) in incremental.into_iter().enumerate() {
+            let source = SourceId(s);
+            let messages = self.on_reset(source, inc.is_none())?;
+            outcomes.push(match inc {
+                Some(replayed) => RecoveryOutcome::Incremental {
+                    source,
+                    replayed,
+                    notifications_seen: self.sources[s].notifications_seen,
+                    messages,
+                },
+                None => RecoveryOutcome::Full { source, messages },
+            });
+        }
+        Ok(outcomes)
+    }
+
+    /// Restore `source` from `ckpt` and replay `records` through the
+    /// ordinary event handlers (outbound queries discarded — they were
+    /// on the wire before the crash). Returns `false` on any mismatch.
+    fn restore_and_replay(
+        &mut self,
+        s: usize,
+        ckpt: SourceCheckpoint,
+        records: Vec<WalRecord>,
+    ) -> bool {
+        self.sources[s]
+            .session
+            .restore_durable(ckpt.epoch, ckpt.next_global_id);
+        self.sources[s].notifications_seen = ckpt.notifications_applied;
+        let view_ids = self.sources[s].views.clone();
+        for (v, vck) in view_ids.iter().zip(ckpt.views) {
+            let entry = &mut self.views[v.0];
+            if entry
+                .maintainer
+                .restore_checkpoint(vck.mv, vck.aux)
+                .is_err()
+            {
+                return false;
+            }
+            entry.status = ViewStatus::Active;
+            entry.states = vec![entry.maintainer.materialized().clone()];
+        }
+        let source = SourceId(s);
+        for record in records {
+            let ok = match record {
+                WalRecord::Update(update) => self.on_update(source, &update).is_ok(),
+                WalRecord::Answer { id, answer } => {
+                    self.on_answer(source, QueryId(id), answer).is_ok()
+                }
+                WalRecord::EpochBump { notifications_lost } => {
+                    self.on_reset(source, notifications_lost).is_ok()
+                }
+                WalRecord::Watermark { applied } => {
+                    let seen = &mut self.sources[s].notifications_seen;
+                    *seen = (*seen).max(applied);
+                    true
+                }
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SourceId, ViewId, ViewStatus, Warehouse};
+    use eca_core::algorithms::AlgorithmKind;
+    use eca_core::{BaseDb, ViewDef};
+    use eca_relational::{Predicate, Schema, Tuple, Update};
+    use eca_wire::Message;
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("eca-wh-durable-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn view_def() -> ViewDef {
+        ViewDef::new(
+            "V",
+            vec![
+                Schema::new("r1", &["W", "X"]),
+                Schema::new("r2", &["X", "Y"]),
+            ],
+            Predicate::col_eq(1, 2),
+            vec![0, 3],
+        )
+        .unwrap()
+    }
+
+    fn base_db() -> BaseDb {
+        let mut db = BaseDb::new();
+        db.register("r1");
+        db.register("r2");
+        db.insert("r1", Tuple::ints([1, 2]));
+        db.insert("r2", Tuple::ints([2, 7]));
+        db
+    }
+
+    fn catalog() -> Vec<Schema> {
+        vec![
+            Schema::new("r1", &["W", "X"]),
+            Schema::new("r2", &["X", "Y"]),
+        ]
+    }
+
+    /// A fresh warehouse with one ECA view over one source, in the
+    /// deployment shape recovery expects to be rebuilt into.
+    fn build(db: &BaseDb) -> (Warehouse, SourceId, ViewId) {
+        let v = view_def();
+        let mut wh = Warehouse::new();
+        let src = wh.add_source("src");
+        let id = wh
+            .add_view(
+                src,
+                AlgorithmKind::Eca
+                    .instantiate(&v, v.eval(db).unwrap())
+                    .unwrap(),
+            )
+            .unwrap();
+        (wh, src, id)
+    }
+
+    fn answer_all(wh: &mut Warehouse, src: SourceId, db: &BaseDb, msgs: Vec<Message>) {
+        let mut queue: Vec<Message> = msgs;
+        while let Some(msg) = queue.pop() {
+            let Message::QueryRequest { id, query } = msg else {
+                panic!("only query requests expected");
+            };
+            let answer = query.to_query(&catalog()).unwrap().eval(db).unwrap();
+            for q in wh.on_answer(src, id, answer).unwrap() {
+                queue.push(Message::QueryRequest {
+                    id: q.id,
+                    query: eca_wire::WireQuery::from_query(&q.query),
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn crash_mid_flight_recovers_incrementally_and_converges() {
+        let dir = tmpdir("midflight");
+        let mut db = base_db();
+        let (mut wh, src, view) = build(&db);
+        // Large cadence: only the baseline checkpoint exists, so the
+        // whole run replays from the log.
+        let cfg = DurabilityConfig::new(&dir).with_checkpoint_every(1_000);
+        wh.enable_durability(cfg.clone()).unwrap();
+
+        // One settled round, then an update whose queries stay in
+        // flight across the crash.
+        let u1 = Update::insert("r1", Tuple::ints([4, 2]));
+        db.apply(&u1);
+        let q1 = wh.on_update(src, &u1).unwrap();
+        for q in &q1 {
+            wh.on_answer(src, q.id, q.query.eval(&db).unwrap()).unwrap();
+        }
+        let u2 = Update::insert("r2", Tuple::ints([2, 9]));
+        db.apply(&u2);
+        let q2 = wh.on_update(src, &u2).unwrap();
+        assert_eq!(q2.len(), 1);
+        assert_eq!(wh.notifications_seen(src), 2);
+        drop(wh); // crash: the process dies with a query in flight
+
+        let (mut wh, src, view2) = build(&base_db());
+        assert_eq!(view, view2);
+        let outcomes = wh.recover_durability(cfg).unwrap();
+        assert_eq!(outcomes.len(), 1);
+        let RecoveryOutcome::Incremental {
+            replayed,
+            notifications_seen,
+            ref messages,
+            ..
+        } = outcomes[0]
+        else {
+            panic!("expected incremental recovery, got {:?}", outcomes[0]);
+        };
+        assert_eq!(replayed, 3, "u1 + its answer + u2");
+        assert_eq!(notifications_seen, 2);
+        assert_eq!(messages.len(), 1, "the in-flight query re-issued");
+        assert!(wh.epoch(src) > 0, "recovery starts a fresh epoch");
+        assert_eq!(wh.view_status(view), ViewStatus::Active);
+
+        answer_all(
+            &mut wh,
+            src,
+            &db,
+            outcomes.into_iter().next().unwrap().messages().to_vec(),
+        );
+        assert!(wh.is_quiescent());
+        assert_eq!(*wh.materialized(view), view_def().eval(&db).unwrap());
+    }
+
+    #[test]
+    fn checkpoint_rotation_bounds_replay_to_the_log_tail() {
+        let dir = tmpdir("rotate");
+        let mut db = base_db();
+        let (mut wh, src, view) = build(&db);
+        // Cut a checkpoint at every quiescent point.
+        let cfg = DurabilityConfig::new(&dir).with_checkpoint_every(1);
+        wh.enable_durability(cfg.clone()).unwrap();
+
+        for i in 0..5i64 {
+            let u = Update::insert("r2", Tuple::ints([2, 10 + i]));
+            db.apply(&u);
+            let qs = wh.on_update(src, &u).unwrap();
+            for q in &qs {
+                wh.on_answer(src, q.id, q.query.eval(&db).unwrap()).unwrap();
+            }
+        }
+        assert!(wh.is_quiescent());
+        drop(wh); // crash exactly at a checkpointed quiescent point
+
+        let (mut wh, _, _) = build(&base_db());
+        let outcomes = wh.recover_durability(cfg).unwrap();
+        let RecoveryOutcome::Incremental {
+            replayed,
+            ref messages,
+            ..
+        } = outcomes[0]
+        else {
+            panic!("expected incremental recovery");
+        };
+        assert_eq!(replayed, 0, "the checkpoint already covers everything");
+        assert!(messages.is_empty(), "nothing was in flight");
+        assert_eq!(*wh.materialized(view), view_def().eval(&db).unwrap());
+        assert!(wh.is_quiescent());
+    }
+
+    #[test]
+    fn unusable_checkpoint_falls_back_to_full_resync() {
+        let dir = tmpdir("fallback");
+        let mut db = base_db();
+        let (mut wh, src, view) = build(&db);
+        let cfg = DurabilityConfig::new(&dir).with_checkpoint_every(1_000);
+        wh.enable_durability(cfg.clone()).unwrap();
+        let u = Update::insert("r1", Tuple::ints([5, 2]));
+        db.apply(&u);
+        let qs = wh.on_update(src, &u).unwrap();
+        for q in &qs {
+            wh.on_answer(src, q.id, q.query.eval(&db).unwrap()).unwrap();
+        }
+        drop(wh);
+        std::fs::remove_file(cfg.checkpoint_path(0)).unwrap();
+
+        let (mut wh, src, _) = build(&base_db());
+        let outcomes = wh.recover_durability(cfg.clone()).unwrap();
+        let RecoveryOutcome::Full { ref messages, .. } = outcomes[0] else {
+            panic!("expected full fallback, got {:?}", outcomes[0]);
+        };
+        assert_eq!(messages.len(), 1, "one resync query for the view");
+        assert_eq!(wh.view_status(view), ViewStatus::Degraded);
+        answer_all(
+            &mut wh,
+            src,
+            &db,
+            outcomes.into_iter().next().unwrap().messages().to_vec(),
+        );
+        assert_eq!(*wh.materialized(view), view_def().eval(&db).unwrap());
+        assert!(wh.is_quiescent());
+
+        // The fallback re-establishes a durable lineage: a second crash
+        // right after quiescence now recovers incrementally again.
+        drop(wh);
+        let (mut wh, _, _) = build(&base_db());
+        let outcomes = wh.recover_durability(cfg).unwrap();
+        assert!(
+            outcomes[0].is_incremental(),
+            "baseline checkpoint after fallback, got {:?}",
+            outcomes[0]
+        );
+        assert_eq!(*wh.materialized(view), view_def().eval(&db).unwrap());
+    }
+
+    #[test]
+    fn fault_free_run_is_identical_with_durability_enabled() {
+        let dir = tmpdir("identity");
+        let mut db1 = base_db();
+        let mut db2 = base_db();
+        let (mut plain, src1, v1) = build(&db1);
+        let (mut durable, src2, v2) = build(&db2);
+        durable
+            .enable_durability(DurabilityConfig::new(&dir).with_checkpoint_every(2))
+            .unwrap();
+
+        for i in 0..6i64 {
+            let u = if i % 3 == 2 {
+                Update::delete("r2", Tuple::ints([2, 7]))
+            } else {
+                Update::insert("r2", Tuple::ints([2, 20 + i]))
+            };
+            db1.apply(&u);
+            db2.apply(&u);
+            let a = plain.on_update(src1, &u).unwrap();
+            let b = durable.on_update(src2, &u).unwrap();
+            assert_eq!(a.len(), b.len());
+            for (qa, qb) in a.iter().zip(&b) {
+                assert_eq!(qa.id, qb.id, "identical global id allocation");
+                plain
+                    .on_answer(src1, qa.id, qa.query.eval(&db1).unwrap())
+                    .unwrap();
+                durable
+                    .on_answer(src2, qb.id, qb.query.eval(&db2).unwrap())
+                    .unwrap();
+            }
+        }
+        assert_eq!(plain.view_states(v1), durable.view_states(v2));
+        assert_eq!(plain.epoch(src1), durable.epoch(src2));
+    }
+
+    #[test]
+    fn watermark_notes_are_durable_and_monotonic() {
+        let dir = tmpdir("watermark");
+        let db = base_db();
+        let (mut wh, src, _) = build(&db);
+        let cfg = DurabilityConfig::new(&dir).with_checkpoint_every(1_000);
+        wh.enable_durability(cfg.clone()).unwrap();
+        wh.note_source_watermark(src, 7).unwrap();
+        wh.note_source_watermark(src, 3).unwrap(); // ignored: not ahead
+        assert_eq!(wh.notifications_seen(src), 7);
+        drop(wh);
+
+        let (mut wh, src, _) = build(&base_db());
+        let outcomes = wh.recover_durability(cfg).unwrap();
+        assert!(outcomes[0].is_incremental());
+        assert_eq!(wh.notifications_seen(src), 7);
+    }
+}

@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod concurrent;
+pub mod durability;
 pub mod publish;
 pub mod reactor;
 pub mod session;
@@ -31,10 +32,13 @@ use std::time::Duration;
 
 use eca_core::maintainer::OutboundQuery;
 use eca_core::{CoreError, QueryId, ViewMaintainer};
+use eca_durable::WalRecord;
 use eca_relational::{SignedBag, Update};
 use eca_wire::{Message, Transport, TransportError, WireQuery};
 
 pub use concurrent::ConcurrentWarehouse;
+pub use durability::RecoveryOutcome;
+pub use eca_durable::{DurabilityConfig, DurableError, FsyncPolicy};
 pub use publish::{EpochRegistry, ReadSnapshot};
 pub use reactor::{connect_source, ReactorWarehouse};
 pub use session::{PendingQuery, Route, RouteKind, Session};
@@ -88,6 +92,9 @@ pub enum WarehouseError {
         /// The offending source's shard index.
         source: usize,
     },
+    /// The durability layer failed (WAL append, checkpoint write, or
+    /// recovery I/O).
+    Durability(DurableError),
 }
 
 impl std::fmt::Display for WarehouseError {
@@ -114,6 +121,7 @@ impl std::fmt::Display for WarehouseError {
                     "source #{source}'s transport rejected the reactor's poll waker"
                 )
             }
+            WarehouseError::Durability(e) => write!(f, "durability error: {e}"),
         }
     }
 }
@@ -123,8 +131,15 @@ impl std::error::Error for WarehouseError {
         match self {
             WarehouseError::Core(e) => Some(e),
             WarehouseError::Transport(e) => Some(e),
+            WarehouseError::Durability(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<DurableError> for WarehouseError {
+    fn from(e: DurableError) -> Self {
+        WarehouseError::Durability(e)
     }
 }
 
@@ -147,6 +162,11 @@ struct SourceEntry {
     /// registration order. Maintained by [`Warehouse::add_view`] so
     /// update fan-out never rescans (or re-allocates) the view table.
     views: Vec<ViewId>,
+    /// Update notifications applied on this channel over its whole life
+    /// (including notifications subsumed by a completed resync — see
+    /// [`Warehouse::note_source_watermark`]). This is the watermark an
+    /// incremental crash recovery resumes the source's stream from.
+    notifications_seen: u64,
 }
 
 /// Health of a hosted view with respect to channel faults.
@@ -195,6 +215,11 @@ pub struct Warehouse {
     /// [`Warehouse::enable_serving`]. `None` keeps maintenance-only
     /// deployments free of per-event snapshot clones.
     publisher: Option<Arc<EpochRegistry>>,
+    /// Write-ahead logging + checkpoints, enabled by
+    /// [`Warehouse::enable_durability`] /
+    /// [`Warehouse::recover_durability`]. `None` keeps volatile
+    /// deployments free of any disk traffic.
+    durability: Option<durability::WarehouseDurability>,
 }
 
 impl Default for Warehouse {
@@ -213,6 +238,7 @@ impl Warehouse {
             max_retries: 3,
             recovery: RecoveryStats::default(),
             publisher: None,
+            durability: None,
         }
     }
 
@@ -264,6 +290,7 @@ impl Warehouse {
             name: name.into(),
             session: Session::new(),
             views: Vec::new(),
+            notifications_seen: 0,
         });
         SourceId(self.sources.len() - 1)
     }
@@ -441,6 +468,8 @@ impl Warehouse {
             self.record_states(idx);
             out.extend(self.register_outbound(source, idx, emitted));
         }
+        self.sources[source.0].notifications_seen += 1;
+        self.log_event(source.0, || WalRecord::Update(update.clone()))?;
         Ok(out)
     }
 
@@ -460,6 +489,9 @@ impl Warehouse {
         if source.0 >= self.sources.len() {
             return Err(WarehouseError::UnknownSource { id: source.0 });
         }
+        // Copied up front only when the answer will be logged: the
+        // maintainer consumes the bag on the apply path below.
+        let keep = self.logging_live().then(|| answer.clone());
         let route = self.sources[source.0].session.take(id)?;
         if route.kind == RouteKind::Resync {
             // The answer is a fresh V(ss): install it wholesale and
@@ -469,13 +501,20 @@ impl Warehouse {
             entry.status = ViewStatus::Active;
             self.recovery.resyncs_completed += 1;
             self.record_states(route.view);
+            if let Some(answer) = keep {
+                self.log_event(source.0, move || WalRecord::Answer { id: id.0, answer })?;
+            }
             return Ok(Vec::new());
         }
         let emitted = self.views[route.view]
             .maintainer
             .on_answer(route.local, answer)?;
         self.record_states(route.view);
-        Ok(self.register_outbound(source, route.view, emitted))
+        let out = self.register_outbound(source, route.view, emitted);
+        if let Some(answer) = keep {
+            self.log_event(source.0, move || WalRecord::Answer { id: id.0, answer })?;
+        }
+        Ok(out)
     }
 
     /// React to a reset of `source`'s channel: bump the session epoch
@@ -561,6 +600,7 @@ impl Warehouse {
             self.recovery.resyncs_started += 1;
             out.push(Message::QueryRequest { id, query });
         }
+        self.log_event(source.0, || WalRecord::EpochBump { notifications_lost })?;
         Ok(out)
     }
 

@@ -91,6 +91,31 @@ impl Session {
         self.epoch
     }
 
+    /// The next session-global query id this session would allocate —
+    /// checkpointed so a recovered session re-allocates the exact ids
+    /// the pre-crash run used (answers route by id).
+    pub fn next_global_id(&self) -> u64 {
+        self.ids.next_value()
+    }
+
+    /// Restore the epoch and id allocator from a durable checkpoint.
+    /// Only meaningful on a fresh session, before any traffic: the
+    /// replayed log re-derives the pending table through the ordinary
+    /// register/take paths.
+    pub fn restore_durable(&mut self, epoch: u64, next_global_id: u64) {
+        self.epoch = epoch;
+        self.ids.resume_at(next_global_id);
+    }
+
+    /// Rewrite the view index inside every pending route (global view
+    /// indices → shard-local ones when a warehouse with in-flight
+    /// queries is reshaped into per-source shards).
+    pub fn remap_views(&mut self, map: impl Fn(usize) -> usize) {
+        for pq in self.pending.values_mut() {
+            pq.route.view = map(pq.route.view);
+        }
+    }
+
     /// Allocate a global id for a maintenance query emitted by `view`
     /// under `local`, remembering its body for possible re-issue.
     pub fn register(&mut self, view: usize, local: QueryId, query: WireQuery) -> QueryId {

@@ -237,7 +237,11 @@ impl<T: Transport> ReliableLink<T> {
     /// from zero and unacked frames are discarded — an unfillable gap
     /// that retransmission cannot heal, so the caller must run recovery
     /// (the warehouse's RV resync) for anything that was in flight.
-    /// Messages already released in order (`ready`) are kept.
+    /// Messages already released in order (`ready`) are kept — right
+    /// for a surviving endpoint whose *peer* restarted. When this
+    /// endpoint itself is the crashed process, follow with
+    /// [`clear_ready`](Self::clear_ready): its undelivered inbox died
+    /// with it.
     pub fn restart(&mut self, inner: T, epoch: u64) {
         self.inner = inner;
         self.epoch = self.epoch.max(epoch);
@@ -249,6 +253,15 @@ impl<T: Transport> ReliableLink<T> {
         self.next_recv_seq = 0;
         self.reorder.clear();
         self.fault = None;
+    }
+
+    /// Drop every received-but-unconsumed message. A crashed process
+    /// loses its in-memory inbox even for frames it already
+    /// acknowledged; whatever mattered must be re-covered by recovery
+    /// (WAL replay, watermark re-sends, or a full resync) — exactly as
+    /// on a real host.
+    pub fn clear_ready(&mut self) {
+        self.ready.clear();
     }
 
     /// One service pass: tick the virtual clock, fire retransmissions

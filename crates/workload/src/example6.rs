@@ -19,7 +19,7 @@ use rand::{Rng, SeedableRng};
 use crate::params::Params;
 
 /// Range of the `W`/`Z` selection attributes.
-const SEL_RANGE: i64 = 1000;
+pub(crate) const SEL_RANGE: i64 = 1000;
 
 /// What kinds of updates the k-update stream contains.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -103,8 +103,12 @@ impl Example6 {
         )
     }
 
-    fn rng(&self, stream: u64) -> StdRng {
+    pub(crate) fn stream_rng(&self, stream: u64) -> StdRng {
         StdRng::seed_from_u64(self.seed.wrapping_mul(0x9E37_79B9).wrapping_add(stream))
+    }
+
+    fn rng(&self, stream: u64) -> StdRng {
+        self.stream_rng(stream)
     }
 
     /// Deterministic base tuples for relation index `rel` (0..3), with

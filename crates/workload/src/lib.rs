@@ -8,6 +8,8 @@
 //!   exactly `J` and the selection accepts ≈ `σ` of the product.
 //! * [`scenarios`] — the paper's worked Examples 1–9 as canned scenarios
 //!   for integration tests and the anomaly-tour example binary.
+//! * [`stress`] — robustness generators: zipfian-skewed streams,
+//!   delete-heavy mixes, rolling warehouse-restart schedules.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -15,7 +17,9 @@
 pub mod example6;
 pub mod params;
 pub mod scenarios;
+pub mod stress;
 
 pub use example6::{Example6, UpdateMix};
 pub use params::Params;
 pub use scenarios::Scenario;
+pub use stress::{rolling_restart_schedule, Zipfian};
